@@ -1,0 +1,144 @@
+// Figure 10: weak scaling of a two-level geometric multigrid solver
+// (GMG-preconditioned CG on 2-D Poisson, injection restriction, weighted
+// Jacobi smoother). No distributed reference exists, so the comparison is
+// Legate-CPU vs SciPy and Legate-GPU vs CuPy, as in the paper.
+//
+// The V-cycle launches many *small* tasks (coarse-grid sweeps), which
+// exposes Legate's task-launch overheads: CuPy ends up ~30% faster at one
+// GPU even though the kernels are identical (Section 6.1).
+#include "common.h"
+
+#include <cmath>
+
+#include "apps/workloads.h"
+#include "baselines/ref/ref.h"
+#include "solve/multigrid.h"
+
+namespace {
+
+using namespace legate;
+
+constexpr coord_t kGridPerProc = 96;  // (96*sqrt(P))^2 unknowns
+constexpr double kScale = 64.0;
+constexpr int kIters = 10;
+
+coord_t grid_for(int procs) {
+  coord_t g = static_cast<coord_t>(
+      std::llround(kGridPerProc * std::sqrt(static_cast<double>(procs))));
+  return (g / 2) * 2;  // even, so injection restriction divides cleanly
+}
+
+double run_legate(sim::ProcKind kind, int procs) {
+  sim::PerfParams pp;
+  sim::Machine machine = kind == sim::ProcKind::GPU ? sim::Machine::gpus(procs, pp)
+                                                    : sim::Machine::sockets(procs, pp);
+  rt::Runtime runtime(machine);
+  runtime.engine().set_cost_scale(kScale);
+  coord_t g = grid_for(procs);
+  apps::HostProblem prob = apps::poisson2d(g);
+  auto A = sparse::CsrMatrix::from_host(runtime, prob.rows, prob.cols, prob.indptr,
+                                        prob.indices, prob.values);
+  sparse::CsrMatrix R = solve::TwoLevelGmg::injection_2d(runtime, g);
+  solve::TwoLevelGmg gmg(A, R);
+  auto b = dense::DArray::full(runtime, prob.rows, 1.0);
+  auto warm = solve::cg(A, b, 0.0, 2, gmg.preconditioner());
+  double t0 = runtime.sim_time();
+  auto res = solve::cg(A, b, /*tol=*/0.0, kIters, gmg.preconditioner());
+  benchmark::DoNotOptimize(res.residual);
+  return (runtime.sim_time() - t0) / kIters;
+}
+
+/// Sequential two-level GMG-CG on the single-device baselines.
+double run_ref(baselines::ref::Device dev, int scale_procs) {
+  using baselines::ref::RefCsr;
+  using baselines::ref::RefVector;
+  sim::PerfParams pp;
+  baselines::ref::RefContext ctx(dev, pp);
+  ctx.set_cost_scale(kScale);
+  coord_t g = grid_for(scale_procs);
+  apps::HostProblem prob = apps::poisson2d(g);
+  RefCsr A(ctx, prob.rows, prob.cols, prob.indptr, prob.indices, prob.values);
+
+  // Injection restriction and coarse operator (setup, untimed).
+  coord_t gc = g / 2;
+  std::vector<coord_t> rip{0}, rid;
+  std::vector<double> riv;
+  for (coord_t ic = 0; ic < gc; ++ic) {
+    for (coord_t jc = 0; jc < gc; ++jc) {
+      rid.push_back((2 * ic) * g + (2 * jc));
+      riv.push_back(1.0);
+      rip.push_back(static_cast<coord_t>(rid.size()));
+    }
+  }
+  RefCsr R(ctx, gc * gc, g * g, rip, rid, riv);
+  RefCsr P = R.transpose();
+  RefCsr Ac = R.spgemm(A).spgemm(P);
+  RefVector dinv_f = A.diagonal();
+  for (auto& v : dinv_f.data()) v = v != 0 ? 1.0 / v : 0.0;
+  RefVector dinv_c = Ac.diagonal();
+  for (auto& v : dinv_c.data()) v = v != 0 ? 1.0 / v : 0.0;
+
+  constexpr double omega = 2.0 / 3.0;
+  auto jacobi = [&](const RefCsr& op, const RefVector& dinv, RefVector& x,
+                    const RefVector& rhs, int sweeps) {
+    for (int s = 0; s < sweeps; ++s) {
+      RefVector r = rhs.sub(op.spmv(x));
+      r.imul(dinv);
+      x.axpy(omega, r);
+    }
+  };
+  auto vcycle = [&](const RefVector& r) {
+    RefVector x(ctx, r.size(), 0.0);
+    jacobi(A, dinv_f, x, r, 2);
+    RefVector resid = r.sub(A.spmv(x));
+    RefVector rc = R.spmv(resid);
+    RefVector ec(ctx, rc.size(), 0.0);
+    jacobi(Ac, dinv_c, ec, rc, 16);
+    x.iadd(P.spmv(ec));
+    jacobi(A, dinv_f, x, r, 2);
+    return x;
+  };
+
+  RefVector b(ctx, prob.rows, 1.0);
+  double t0 = ctx.now();
+  RefVector x(ctx, prob.rows, 0.0);
+  RefVector r = b;
+  RefVector z = vcycle(r);
+  RefVector p = z;
+  double rz = r.dot(z);
+  for (int it = 0; it < kIters; ++it) {
+    auto Ap = A.spmv(p);
+    double alpha = rz / p.dot(Ap);
+    x.axpy(alpha, p);
+    r.axpy(-alpha, Ap);
+    z = vcycle(r);
+    double rz_new = r.dot(z);
+    p.xpay(rz_new / rz, z);
+    rz = rz_new;
+  }
+  benchmark::DoNotOptimize(rz);
+  return (ctx.now() - t0) / kIters;
+}
+
+void register_all() {
+  using lsr_bench::register_point;
+  for (int p : lsr_bench::gpu_points()) {
+    register_point("Fig10/GMG/Legate-GPU/" + std::to_string(p), p,
+                   [p] { return run_legate(sim::ProcKind::GPU, p); });
+  }
+  for (int p : lsr_bench::socket_points()) {
+    register_point("Fig10/GMG/Legate-CPU/" + std::to_string(p), p,
+                   [p] { return run_legate(sim::ProcKind::CPU, p); });
+    register_point("Fig10/GMG/SciPy/" + std::to_string(p), p, [p] {
+      return run_ref(baselines::ref::Device::ScipyCpu, p);
+    });
+  }
+  register_point("Fig10/GMG/CuPy-1GPU/1", 1,
+                 [] { return run_ref(baselines::ref::Device::CupyGpu, 1); });
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

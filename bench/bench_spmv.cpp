@@ -1,0 +1,104 @@
+// Figure 8: weak scaling of an SpMV microbenchmark on banded matrices.
+//
+// Series (as in the paper): Legate-GPU, Legate-CPU, PETSc-GPU, PETSc-CPU,
+// CuPy (1 GPU), SciPy (problem keeps growing, single thread). Banded SpMV is
+// embarrassingly parallel: Legate and PETSc weak-scale flat, Legate pays a
+// small global-CSR reshape penalty relative to PETSc/CuPy (Section 3), and
+// SciPy's throughput decays as 1/P.
+#include "common.h"
+
+#include "apps/workloads.h"
+#include "baselines/petsc/petsc.h"
+#include "baselines/ref/ref.h"
+#include "sparse/csr.h"
+
+namespace {
+
+using namespace legate;
+
+// Functional sample: 40k rows per processor, half-bandwidth 5 (11 nnz/row);
+// cost_scale 64 models 2.56M rows per processor, the regime where SpMV is
+// bandwidth-bound on a V100 like the paper's runs.
+constexpr coord_t kRowsPerProc = 40000;
+constexpr coord_t kHalfBand = 5;
+constexpr double kScale = 64.0;
+constexpr int kIters = 5;
+
+double run_legate(sim::ProcKind kind, int procs) {
+  sim::PerfParams pp;
+  sim::Machine machine = kind == sim::ProcKind::GPU ? sim::Machine::gpus(procs, pp)
+                                                    : sim::Machine::sockets(procs, pp);
+  rt::Runtime runtime(machine);
+  runtime.engine().set_cost_scale(kScale);
+  apps::HostProblem prob = apps::banded_matrix(kRowsPerProc * procs, kHalfBand);
+  auto A = sparse::CsrMatrix::from_host(runtime, prob.rows, prob.cols, prob.indptr,
+                                        prob.indices, prob.values);
+  auto x = dense::DArray::full(runtime, prob.rows, 1.0);
+  auto warm = A.spmv(x);  // first iteration pays startup copies
+  double t0 = runtime.sim_time();
+  for (int i = 0; i < kIters; ++i) {
+    auto y = A.spmv(x);
+    benchmark::DoNotOptimize(y.store().span<double>().data());
+  }
+  return (runtime.sim_time() - t0) / kIters;
+}
+
+double run_petsc(sim::ProcKind kind, int procs) {
+  sim::PerfParams pp;
+  baselines::mpisim::MpiSim sim(kind, procs, pp);
+  sim.engine().set_cost_scale(kScale);
+  apps::HostProblem prob = apps::banded_matrix(kRowsPerProc * procs, kHalfBand);
+  baselines::petsc::Mat A(sim, prob.rows, prob.cols, prob.indptr, prob.indices,
+                          prob.values);
+  baselines::petsc::Vec x(sim, std::vector<double>(
+                                   static_cast<std::size_t>(prob.rows), 1.0));
+  baselines::petsc::Vec y(sim, prob.rows);
+  A.mult(x, y);  // warmup
+  double t0 = sim.makespan();
+  for (int i = 0; i < kIters; ++i) A.mult(x, y);
+  return (sim.makespan() - t0) / kIters;
+}
+
+double run_ref(baselines::ref::Device dev, int scale_procs) {
+  sim::PerfParams pp;
+  baselines::ref::RefContext ctx(dev, pp);
+  ctx.set_cost_scale(kScale);
+  apps::HostProblem prob = apps::banded_matrix(kRowsPerProc * scale_procs, kHalfBand);
+  baselines::ref::RefCsr A(ctx, prob.rows, prob.cols, prob.indptr, prob.indices,
+                           prob.values);
+  baselines::ref::RefVector x(ctx, prob.rows, 1.0);
+  double t0 = ctx.now();
+  for (int i = 0; i < kIters; ++i) {
+    auto y = A.spmv(x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  return (ctx.now() - t0) / kIters;
+}
+
+void register_all() {
+  using lsr_bench::register_point;
+  for (int p : lsr_bench::gpu_points()) {
+    register_point("Fig8/SpMV/Legate-GPU/" + std::to_string(p), p,
+                   [p] { return run_legate(sim::ProcKind::GPU, p); });
+    register_point("Fig8/SpMV/PETSc-GPU/" + std::to_string(p), p,
+                   [p] { return run_petsc(sim::ProcKind::GPU, p); });
+  }
+  for (int p : lsr_bench::socket_points()) {
+    register_point("Fig8/SpMV/Legate-CPU/" + std::to_string(p), p,
+                   [p] { return run_legate(sim::ProcKind::CPU, p); });
+    register_point("Fig8/SpMV/PETSc-CPU/" + std::to_string(p), p,
+                   [p] { return run_petsc(sim::ProcKind::CPU, p); });
+    // SciPy runs the growing problem on one thread: no weak scaling.
+    register_point("Fig8/SpMV/SciPy/" + std::to_string(p), p, [p] {
+      return run_ref(baselines::ref::Device::ScipyCpu, p);
+    });
+  }
+  register_point("Fig8/SpMV/CuPy-1GPU/1", 1,
+                 [] { return run_ref(baselines::ref::Device::CupyGpu, 1); });
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Each benchmark executes a 1/S functional sample of the paper-scale
+// workload and sets the engine's cost_scale to S, which charges full-size
+// bytes/flops/capacity (exact for these linear-cost workloads; DESIGN.md
+// "Execution & performance model"). Simulated seconds are reported through
+// google-benchmark's manual-time mode, so `items_per_second`-style counters
+// are directly comparable with the paper's iterations/second axes.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+
+#include "sim/machine.h"
+
+namespace lsr_bench {
+
+/// GPU scale points of the paper's weak-scaling plots (Figs. 8-10):
+/// 1 GPU, then whole sockets' worth (3) up to 32 nodes (192).
+inline const std::vector<int>& gpu_points() {
+  static const std::vector<int> v{1, 3, 6, 12, 24, 48, 96, 192};
+  return v;
+}
+
+/// CPU-socket scale points (1 socket ... 64 sockets = 32 nodes).
+inline const std::vector<int>& socket_points() {
+  static const std::vector<int> v{1, 2, 4, 8, 16, 32, 64};
+  return v;
+}
+
+/// Register a single weak-scaling point. `run` returns simulated seconds
+/// per solver/benchmark iteration; the reciprocal matches the paper's
+/// throughput axes and is exported as the `iters_per_s` counter.
+inline void register_point(const std::string& name, int procs,
+                           std::function<double()> run) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [procs, run](benchmark::State& state) {
+                                 double sec_per_iter = 0;
+                                 for (auto _ : state) {
+                                   sec_per_iter = run();
+                                   state.SetIterationTime(sec_per_iter);
+                                 }
+                                 state.counters["procs"] = procs;
+                                 state.counters["iters_per_s"] =
+                                     sec_per_iter > 0 ? 1.0 / sec_per_iter : 0;
+                               })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Register a point that reports out-of-memory instead of a throughput
+/// (Fig. 11's 64-GPU case, Fig. 12's CuPy large datasets).
+inline void register_oom(const std::string& name, int procs) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [procs](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   state.SetIterationTime(1e-9);
+                                 }
+                                 state.counters["procs"] = procs;
+                                 state.counters["OOM"] = 1;
+                               })
+      ->UseManualTime()
+      ->Iterations(1);
+}
+
+}  // namespace lsr_bench

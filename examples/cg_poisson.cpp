@@ -1,0 +1,58 @@
+// Conjugate-gradient solve of a 2-D Poisson problem (the paper's Fig. 9
+// workload), comparing the same algorithm on a GPU machine and a CPU
+// machine, plus the PETSc-style baseline on identical data.
+#include <cstdio>
+
+#include "apps/workloads.h"
+#include "baselines/petsc/petsc.h"
+#include "solve/krylov.h"
+#include "sparse/csr.h"
+
+int main() {
+  using namespace legate;
+  constexpr coord_t grid = 128;
+
+  sim::PerfParams params;
+  apps::HostProblem prob = apps::poisson2d(grid);
+  std::vector<double> rhs(static_cast<std::size_t>(prob.rows), 1.0);
+
+  std::printf("2-D Poisson, %lld x %lld grid (%lld unknowns, %lld nnz)\n\n",
+              static_cast<long long>(grid), static_cast<long long>(grid),
+              static_cast<long long>(prob.rows), static_cast<long long>(prob.nnz()));
+
+  // --- Legate Sparse on 3 GPUs --------------------------------------------
+  {
+    sim::Machine machine = sim::Machine::gpus(3, params);
+    rt::Runtime runtime(machine);
+    auto A = sparse::CsrMatrix::from_host(runtime, prob.rows, prob.cols,
+                                          prob.indptr, prob.indices, prob.values);
+    auto b = dense::DArray::from_vector(runtime, rhs);
+    auto res = solve::cg(A, b, 1e-8, 5000);
+    std::printf("Legate-GPU (3 GPUs):   %4d iterations, residual %.2e, %.2f ms simulated\n",
+                res.iterations, res.residual, runtime.sim_time() * 1e3);
+  }
+
+  // --- Legate Sparse on 2 CPU sockets ---------------------------------------
+  {
+    sim::Machine machine = sim::Machine::sockets(2, params);
+    rt::Runtime runtime(machine);
+    auto A = sparse::CsrMatrix::from_host(runtime, prob.rows, prob.cols,
+                                          prob.indptr, prob.indices, prob.values);
+    auto b = dense::DArray::from_vector(runtime, rhs);
+    auto res = solve::cg(A, b, 1e-8, 5000);
+    std::printf("Legate-CPU (2 sockets): %4d iterations, residual %.2e, %.2f ms simulated\n",
+                res.iterations, res.residual, runtime.sim_time() * 1e3);
+  }
+
+  // --- PETSc baseline on 3 GPUs ----------------------------------------------
+  {
+    baselines::mpisim::MpiSim sim(sim::ProcKind::GPU, 3, params);
+    baselines::petsc::Mat A(sim, prob.rows, prob.cols, prob.indptr, prob.indices,
+                            prob.values);
+    baselines::petsc::Vec b(sim, rhs);
+    auto res = baselines::petsc::ksp_cg(A, b, 1e-8, 5000);
+    std::printf("PETSc-GPU (3 GPUs):    %4d iterations, residual %.2e, %.2f ms simulated\n",
+                res.iterations, res.residual, sim.makespan() * 1e3);
+  }
+  return 0;
+}

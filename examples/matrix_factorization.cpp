@@ -1,0 +1,129 @@
+// Sparse matrix factorization with bias (the paper's Fig. 12 workload):
+// rating(u, i) ~ mu + b_u + b_i + U_u . V_i, trained with mini-batch SGD.
+//
+// The key optimization is the SDDMM kernel (sampled dense-dense matmul),
+// which evaluates the model only at the sampled ratings instead of
+// materializing the dense U @ V^T (Section 6.2 of the paper). The gradient
+// uses a dense transpose (an all-to-all shuffle) each step — the
+// communication pattern the paper calls out at larger scales.
+#include <cstdio>
+
+#include "apps/workloads.h"
+#include "sparse/formats.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace legate;
+
+/// One epoch of mini-batch SGD; returns the mean squared training error of
+/// the last batch.
+struct Trainer {
+  rt::Runtime& rt;
+  coord_t users, items, k;
+  dense::DArray U, V, bu, bi;
+  double mu, lr, reg;
+
+  Trainer(rt::Runtime& rt_, coord_t users_, coord_t items_, coord_t k_, double mu_)
+      : rt(rt_),
+        users(users_),
+        items(items_),
+        k(k_),
+        U(dense::DArray::random2d(rt_, users_, k_, 1)),
+        V(dense::DArray::random2d(rt_, items_, k_, 2)),
+        bu(dense::DArray::zeros(rt_, users_)),
+        bi(dense::DArray::zeros(rt_, items_)),
+        mu(mu_),
+        lr(0.004),
+        reg(0.05) {
+    U.iscale(0.1);
+    V.iscale(0.1);
+  }
+
+  double step(const sparse::CsrMatrix& batch) {
+    coord_t n = batch.nnz();
+    if (n == 0) return 0.0;
+    // mask: the batch pattern with unit values.
+    sparse::CsrMatrix mask = batch.power_values(0.0);
+    // Model predictions on the sampled pattern: mu + b_u + b_i + U V^T.
+    dense::DArray Vt = V.transpose();  // all-to-all shuffle, as in the paper
+    sparse::CsrMatrix pred = mask.sddmm(U, Vt)
+                                 .add(mask.scale_rows(bu))
+                                 .add(mask.scale_cols(bi))
+                                 .add(mask.scale(mu));
+    sparse::CsrMatrix err = pred.sub(batch);
+    double mse = err.power_values(2.0).sum_all().value / static_cast<double>(n);
+
+    // Gradients; factors also get L2 shrinkage.
+    dense::DArray dU = err.spmm(V);
+    dense::DArray dV = err.transpose().spmm(U);
+    dense::DArray dbu = err.sum(1);
+    dense::DArray dbi = err.sum(0);
+    U.iscale(1.0 - lr * reg);
+    V.iscale(1.0 - lr * reg);
+    U.axpy(-lr, dU);
+    V.axpy(-lr, dV);
+    bu.axpy(-lr, dbu);
+    bi.axpy(-lr, dbi);
+    return mse;
+  }
+};
+
+/// Slice `count` ratings starting at `offset` (wrapping) into a batch CSR.
+sparse::CsrMatrix make_batch(rt::Runtime& rt, const apps::RatingsDataset& data,
+                             coord_t offset, coord_t count) {
+  std::vector<coord_t> indptr{0}, indices;
+  std::vector<double> vals;
+  coord_t taken = 0;
+  for (coord_t u = 0; u < data.users; ++u) {
+    for (coord_t j = data.indptr[static_cast<std::size_t>(u)];
+         j < data.indptr[static_cast<std::size_t>(u) + 1]; ++j) {
+      coord_t pos = j;
+      bool in_batch = pos >= offset && pos < offset + count;
+      if (in_batch) {
+        indices.push_back(data.indices[static_cast<std::size_t>(j)]);
+        vals.push_back(data.ratings[static_cast<std::size_t>(j)]);
+        ++taken;
+      }
+    }
+    indptr.push_back(static_cast<coord_t>(indices.size()));
+  }
+  (void)taken;
+  return sparse::CsrMatrix::from_host(rt, data.users, data.items, indptr, indices,
+                                      vals);
+}
+
+}  // namespace
+
+int main() {
+  constexpr coord_t users = 2000, items = 800, nnz = 40000, k = 16;
+
+  sim::PerfParams params;
+  sim::Machine machine = sim::Machine::gpus(2, params);
+  rt::Runtime runtime(machine);
+
+  apps::RatingsDataset data = apps::synthetic_movielens(users, items, nnz, 42);
+  double mu = 0;
+  for (double r : data.ratings) mu += r;
+  mu /= static_cast<double>(data.nnz());
+
+  Trainer trainer(runtime, users, items, k, mu);
+  std::printf("dataset: %lld users x %lld items, %lld ratings (mean %.2f)\n",
+              static_cast<long long>(users), static_cast<long long>(items),
+              static_cast<long long>(data.nnz()), mu);
+
+  const coord_t batch = 8000;
+  double first_mse = -1, last_mse = 0;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    for (coord_t off = 0; off + batch <= data.nnz(); off += batch) {
+      last_mse = trainer.step(make_batch(runtime, data, off, batch));
+      if (first_mse < 0) first_mse = last_mse;
+    }
+    std::printf("epoch %d: batch MSE %.4f\n", epoch, last_mse);
+    trainer.lr *= 0.7;  // simple step-decay schedule keeps SGD stable
+  }
+  std::printf("MSE improved %.4f -> %.4f (training works)\n", first_mse, last_mse);
+  std::printf("simulated time: %.1f ms on %s\n", runtime.sim_time() * 1e3,
+              machine.describe().c_str());
+  return 0;
+}

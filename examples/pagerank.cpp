@@ -1,0 +1,76 @@
+// PageRank on a synthetic power-law web graph: the classic SpMV-driven
+// workload, written exactly as the SciPy version would be —
+//
+//   r = (1-d)/n + d * (A_norm.T @ r)      until ||r - r_prev||_1 < tol
+//
+// and exercising the composition of the sparse library (transpose,
+// scale_rows, spmv) with the dense library (axpy, norms, reductions).
+#include <cstdio>
+
+#include "dense/array.h"
+#include "sparse/formats.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace legate;
+  constexpr coord_t n = 20000;     // pages
+  constexpr coord_t avg_deg = 12;  // links per page
+  constexpr double d = 0.85;       // damping
+
+  sim::PerfParams params;
+  sim::Machine machine = sim::Machine::gpus(4, params);
+  rt::Runtime runtime(machine);
+
+  // Synthetic link graph: Zipf-popular targets (hubs), uniform sources.
+  Rng rng(1234);
+  std::vector<coord_t> indptr{0}, indices;
+  std::vector<double> values;
+  for (coord_t src = 0; src < n; ++src) {
+    coord_t deg = 1 + static_cast<coord_t>(rng.next_below(2 * avg_deg));
+    std::vector<coord_t> targets;
+    for (coord_t k = 0; k < deg; ++k) targets.push_back(rng.next_zipf(n, 1.3));
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (coord_t t : targets) {
+      indices.push_back(t);
+      values.push_back(1.0);
+    }
+    indptr.push_back(static_cast<coord_t>(indices.size()));
+  }
+  auto A = sparse::CsrMatrix::from_host(runtime, n, n, indptr, indices, values);
+
+  // Row-normalize (each page splits its rank across its out-links), then
+  // transpose so that ranks flow along in-links.
+  auto out_deg = A.row_nnz();
+  auto inv_deg = out_deg.maximum(dense::DArray::full(runtime, n, 1.0)).reciprocal();
+  auto M = A.scale_rows(inv_deg).transpose();
+
+  auto r = dense::DArray::full(runtime, n, 1.0 / n);
+  double teleport = (1.0 - d) / static_cast<double>(n);
+  int iters = 0;
+  double delta = 1.0;
+  while (delta > 1e-10 && iters < 200) {
+    auto next = M.spmv(r).scale(d).add_scalar(teleport);
+    delta = next.sub(r).abs().sum().value;
+    r = next;
+    ++iters;
+  }
+
+  auto ranks = r.to_vector();
+  coord_t best = 0;
+  for (coord_t i = 1; i < n; ++i)
+    if (ranks[static_cast<std::size_t>(i)] > ranks[static_cast<std::size_t>(best)])
+      best = i;
+
+  std::printf("graph:      %lld pages, %lld links\n", static_cast<long long>(n),
+              static_cast<long long>(A.nnz()));
+  std::printf("converged:  %d iterations (L1 delta %.2e)\n", iters, delta);
+  std::printf("rank mass:  %.6f (should stay ~1 up to dangling leakage)\n",
+              r.sum().value);
+  std::printf("top page:   #%lld with rank %.3e (hubs win under Zipf targets)\n",
+              static_cast<long long>(best),
+              ranks[static_cast<std::size_t>(best)]);
+  std::printf("simulated:  %.2f ms on %s\n", runtime.sim_time() * 1e3,
+              machine.describe().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: the paper's Fig. 1 program, translated to the C++ API.
+//
+//   A = sparse.random(n, n, format='csr')
+//   A = 0.5 * (A + A.T) + n * sparse.eye(n)
+//   x = np.random.rand(n)
+//   for _ in range(iters): x = A @ x; x /= norm(x)
+//   result = x.T @ (A @ x)
+//
+// Runs on a simulated 6-GPU Summit node; the same code runs on any machine
+// shape (change Machine::gpus / Machine::sockets).
+#include <cstdio>
+
+#include "dense/array.h"
+#include "sparse/formats.h"
+
+int main() {
+  using namespace legate;
+  constexpr coord_t n = 4096;
+  constexpr int iters = 25;
+
+  sim::PerfParams params;
+  sim::Machine machine = sim::Machine::gpus(6, params);
+  rt::Runtime runtime(machine);
+
+  // Random sparse matrix, made symmetric positive definite.
+  sparse::CsrMatrix R = sparse::random_csr(runtime, n, n, 0.001, /*seed=*/42);
+  sparse::CsrMatrix A = R.add(R.transpose())
+                            .scale(0.5)
+                            .add(sparse::eye(runtime, n).scale(double(n)));
+
+  // Power iteration with a Rayleigh quotient.
+  dense::DArray x = dense::DArray::random(runtime, n, /*seed=*/7);
+  for (int i = 0; i < iters; ++i) {
+    x = A.spmv(x);
+    dense::Scalar nrm = x.norm();
+    x.iscale({1.0 / nrm.value, nrm.ready});
+  }
+  double result = x.dot(A.spmv(x)).value;
+
+  std::printf("machine:           %s\n", machine.describe().c_str());
+  std::printf("matrix:            %lld x %lld, %lld non-zeros\n",
+              static_cast<long long>(A.rows()), static_cast<long long>(A.cols()),
+              static_cast<long long>(A.nnz()));
+  std::printf("max eigenvalue ~=  %.6f (Gershgorin center %d)\n", result, int(n));
+  std::printf("simulated time:    %.3f ms for %d power iterations\n",
+              runtime.sim_time() * 1e3, iters);
+  std::printf("engine:            %s\n", runtime.engine().report().c_str());
+  return 0;
+}

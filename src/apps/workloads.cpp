@@ -1,0 +1,180 @@
+#include "apps/workloads.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace legate::apps {
+
+HostProblem banded_matrix(coord_t n, coord_t half_bandwidth, double value) {
+  HostProblem p;
+  p.rows = p.cols = n;
+  p.indptr.reserve(static_cast<std::size_t>(n) + 1);
+  p.indptr.push_back(0);
+  for (coord_t i = 0; i < n; ++i) {
+    coord_t lo = std::max<coord_t>(0, i - half_bandwidth);
+    coord_t hi = std::min<coord_t>(n - 1, i + half_bandwidth);
+    for (coord_t j = lo; j <= hi; ++j) {
+      p.indices.push_back(j);
+      // Strong diagonal keeps the matrix SPD for solver use.
+      p.values.push_back(i == j ? 2.0 * static_cast<double>(half_bandwidth) + 1.0
+                                : value);
+    }
+    p.indptr.push_back(static_cast<coord_t>(p.indices.size()));
+  }
+  return p;
+}
+
+HostProblem poisson2d(coord_t grid) {
+  HostProblem p;
+  coord_t n = grid * grid;
+  p.rows = p.cols = n;
+  p.indptr.reserve(static_cast<std::size_t>(n) + 1);
+  p.indptr.push_back(0);
+  for (coord_t i = 0; i < grid; ++i) {
+    for (coord_t j = 0; j < grid; ++j) {
+      coord_t row = i * grid + j;
+      auto emit = [&](coord_t r, coord_t c, double v) {
+        (void)r;
+        p.indices.push_back(c);
+        p.values.push_back(v);
+      };
+      if (i > 0) emit(row, row - grid, -1.0);
+      if (j > 0) emit(row, row - 1, -1.0);
+      emit(row, row, 4.0);
+      if (j < grid - 1) emit(row, row + 1, -1.0);
+      if (i < grid - 1) emit(row, row + grid, -1.0);
+      p.indptr.push_back(static_cast<coord_t>(p.indices.size()));
+    }
+  }
+  return p;
+}
+
+coord_t rydberg_dim(int atoms) {
+  // Fibonacci(atoms + 2): f(0)=1 (empty chain has 1 state).
+  coord_t a = 1, b = 2;  // dims for 0 and 1 atoms
+  if (atoms == 0) return 1;
+  for (int i = 1; i < atoms; ++i) {
+    coord_t c = a + b;
+    a = b;
+    b = c;
+  }
+  return b;
+}
+
+RydbergSystem rydberg_chain(int atoms, double omega, double delta) {
+  LSR_CHECK(atoms >= 1 && atoms <= 40);
+  // Enumerate blockade-allowed configurations (no two adjacent excitations),
+  // in increasing bitmask order.
+  std::vector<std::uint64_t> states;
+  states.reserve(static_cast<std::size_t>(rydberg_dim(atoms)));
+  std::uint64_t limit = 1ULL << atoms;
+  for (std::uint64_t s = 0; s < limit; ++s) {
+    if ((s & (s >> 1)) == 0) states.push_back(s);
+  }
+  std::unordered_map<std::uint64_t, coord_t> index;
+  index.reserve(states.size() * 2);
+  for (std::size_t k = 0; k < states.size(); ++k)
+    index.emplace(states[k], static_cast<coord_t>(k));
+
+  coord_t dim = static_cast<coord_t>(states.size());
+
+  // H entries per row: diagonal detuning −Δ·|excited|, off-diagonal Ω/2 for
+  // each valid single-atom flip.
+  std::vector<std::vector<std::pair<coord_t, double>>> rows(
+      static_cast<std::size_t>(dim));
+  for (coord_t r = 0; r < dim; ++r) {
+    std::uint64_t s = states[static_cast<std::size_t>(r)];
+    auto& row = rows[static_cast<std::size_t>(r)];
+    double nexc = static_cast<double>(__builtin_popcountll(s));
+    if (delta != 0.0) row.emplace_back(r, -delta * nexc);
+    for (int a = 0; a < atoms; ++a) {
+      std::uint64_t flipped = s ^ (1ULL << a);
+      if ((flipped & (flipped >> 1)) != 0) continue;  // blockade-violating
+      row.emplace_back(index.at(flipped), omega / 2.0);
+    }
+    std::sort(row.begin(), row.end());
+  }
+
+  // Assemble the real block system [[0, H], [-H, 0]] of size 2dim.
+  RydbergSystem sys;
+  sys.atoms = atoms;
+  sys.dim = dim;
+  sys.ground_state = index.at(0);
+  HostProblem& p = sys.hamiltonian;
+  p.rows = p.cols = 2 * dim;
+  p.indptr.push_back(0);
+  for (coord_t r = 0; r < dim; ++r) {
+    for (auto& [c, v] : rows[static_cast<std::size_t>(r)]) {
+      p.indices.push_back(c + dim);
+      p.values.push_back(v);
+    }
+    p.indptr.push_back(static_cast<coord_t>(p.indices.size()));
+  }
+  for (coord_t r = 0; r < dim; ++r) {
+    for (auto& [c, v] : rows[static_cast<std::size_t>(r)]) {
+      p.indices.push_back(c);
+      p.values.push_back(-v);
+    }
+    p.indptr.push_back(static_cast<coord_t>(p.indices.size()));
+  }
+  return sys;
+}
+
+RatingsDataset synthetic_movielens(coord_t users, coord_t items, coord_t nnz,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  RatingsDataset d;
+  d.users = users;
+  d.items = items;
+  // Planted low-rank structure (user/item latent factors + biases) with
+  // noise, so factorization models have real signal to learn — mirroring the
+  // collaborative-filtering structure of the real MovieLens data.
+  std::vector<double> zu(static_cast<std::size_t>(users)),
+      bu(static_cast<std::size_t>(users)), zi(static_cast<std::size_t>(items)),
+      bi(static_cast<std::size_t>(items));
+  for (auto& v : zu) v = rng.next_normal();
+  for (auto& v : bu) v = 0.4 * rng.next_normal();
+  for (auto& v : zi) v = rng.next_normal();
+  for (auto& v : bi) v = 0.4 * rng.next_normal();
+  // Per-user rating counts proportional to a Zipf draw, then fill rows with
+  // Zipf-popular items (duplicates allowed then deduped per row).
+  std::vector<std::vector<std::pair<coord_t, double>>> rows(
+      static_cast<std::size_t>(users));
+  for (coord_t k = 0; k < nnz; ++k) {
+    coord_t u = rng.next_coord(0, users);
+    coord_t i = rng.next_zipf(items, 1.2);
+    double raw = 3.0 + 0.8 * zu[static_cast<std::size_t>(u)] * zi[static_cast<std::size_t>(i)] +
+                 bu[static_cast<std::size_t>(u)] + bi[static_cast<std::size_t>(i)] +
+                 0.3 * rng.next_normal();
+    // Snap to the 0.5-star scale like MovieLens.
+    double r = std::min(5.0, std::max(0.5, std::round(raw * 2.0) / 2.0));
+    rows[static_cast<std::size_t>(u)].emplace_back(i, r);
+  }
+  d.indptr.push_back(0);
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    coord_t prev = -1;
+    for (auto& [i, r] : row) {
+      if (i == prev) continue;  // keep first rating per (user, item)
+      d.indices.push_back(i);
+      d.ratings.push_back(r);
+      prev = i;
+    }
+    d.indptr.push_back(static_cast<coord_t>(d.indices.size()));
+  }
+  return d;
+}
+
+const std::vector<MovieLensProfile>& movielens_profiles() {
+  static const std::vector<MovieLensProfile> profiles = {
+      {"ML-10M", 71567, 10681, 10000054},
+      {"ML-25M", 162541, 62423, 25000095},
+      {"ML-50M", 229866, 88279, 50000190},    // fractal expansion of 25M
+      {"ML-100M", 325082, 124846, 100000380},  // fractal expansion of 25M
+  };
+  return profiles;
+}
+
+}  // namespace legate::apps

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace legate::apps {
+
+/// Host-side CSR triple shared by every system under test (Legate runtime,
+/// PETSc baseline, SciPy/CuPy baseline), so all systems solve bit-identical
+/// problems.
+struct HostProblem {
+  coord_t rows{0}, cols{0};
+  std::vector<coord_t> indptr, indices;
+  std::vector<double> values;
+  [[nodiscard]] coord_t nnz() const { return static_cast<coord_t>(values.size()); }
+};
+
+/// Banded SPD matrix for the SpMV microbenchmark (Fig. 8).
+HostProblem banded_matrix(coord_t n, coord_t half_bandwidth, double value = 1.0);
+
+/// 5-point 2-D Poisson operator on a grid x grid domain (Figs. 9 & 10).
+HostProblem poisson2d(coord_t grid);
+
+/// Rydberg-atom chain Hamiltonian for the quantum benchmark (Fig. 11).
+///
+/// States are the independent sets of an `atoms`-site path graph (nearest-
+/// neighbour blockade), so dim = Fibonacci(atoms+2). The Hamiltonian has
+/// Rabi off-diagonal terms (σx flips between adjacent excitation manifolds)
+/// and a diagonal detuning term. Returned as the real 2dim x 2dim block
+/// system [[0, H], [-H, 0]] so that dψ/dt = -iHψ becomes y' = B y for
+/// y = (Re ψ, Im ψ) — integrable with real RK kernels.
+///
+/// The flip terms connect states whose indices are far apart — the wide
+/// matrix bandwidth that drives the near-all-to-all communication the paper
+/// reports for this benchmark.
+struct RydbergSystem {
+  HostProblem hamiltonian;  ///< the 2dim x 2dim real block system
+  coord_t dim{0};           ///< number of blockade-allowed basis states
+  int atoms{0};
+  coord_t ground_state{0};  ///< index of |00...0>
+};
+RydbergSystem rydberg_chain(int atoms, double omega = 1.0, double delta = 0.5);
+
+/// Number of blockade-allowed states of an n-atom chain (Fibonacci(n+2)).
+coord_t rydberg_dim(int atoms);
+
+/// Synthetic MovieLens-like ratings (Fig. 12): Zipf-distributed item
+/// popularity, users with geometric-ish activity, ratings in {0.5..5.0}.
+/// Stored as user-major CSR (users x items).
+struct RatingsDataset {
+  coord_t users{0}, items{0};
+  std::vector<coord_t> indptr, indices;
+  std::vector<double> ratings;
+  [[nodiscard]] coord_t nnz() const { return static_cast<coord_t>(ratings.size()); }
+};
+RatingsDataset synthetic_movielens(coord_t users, coord_t items, coord_t nnz,
+                                   std::uint64_t seed);
+
+/// The dataset profiles used in Fig. 12 (50M/100M are fractal expansions of
+/// the real datasets' shapes). `scale` shrinks the generated nnz while
+/// keeping the shape, so functional runs stay fast; the capacity model uses
+/// the full-size byte counts.
+struct MovieLensProfile {
+  const char* name;
+  coord_t users, items, nnz;
+};
+const std::vector<MovieLensProfile>& movielens_profiles();
+
+}  // namespace legate::apps

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace legate::baselines::mpisim {
+
+/// SPMD rank simulator for the explicitly-parallel baselines (PETSc).
+///
+/// Ranks map one-to-one onto the processors of a Summit-like Machine (one
+/// rank per GPU in GPU mode, one per socket in CPU mode, the configurations
+/// the paper compares against). Leaf computation is executed sequentially on
+/// the host but charged to the owning rank's clock; point-to-point messages
+/// and collectives go through the same Engine link model as the runtime, so
+/// both systems see identical hardware.
+class MpiSim {
+ public:
+  MpiSim(sim::ProcKind kind, int nranks, const sim::PerfParams& pp);
+
+  [[nodiscard]] int nranks() const { return machine_.num_procs(); }
+  [[nodiscard]] sim::ProcKind kind() const { return machine_.target(); }
+  [[nodiscard]] const sim::Machine& machine() const { return machine_; }
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+
+  /// Charge a local kernel to `rank` (includes the per-op library overhead).
+  void compute(int rank, double bytes, double flops, double efficiency = 1.0);
+
+  /// Point-to-point exchange phase: `bytes[src][dst]` transferred between
+  /// rank pairs; all ranks synchronize at the end (a neighborhood
+  /// collective, like PETSc's VecScatter).
+  void exchange(const std::map<std::pair<int, int>, double>& bytes);
+
+  /// Small all-reduce (dot products): MPI log-tree cost; synchronizes ranks.
+  void allreduce_scalar();
+  /// All-reduce carrying a payload per rank (dense gradients).
+  void allreduce_bytes(double bytes);
+
+  /// Synchronize all rank clocks to the max (barrier).
+  void barrier();
+
+  /// Device-memory accounting per rank (GPU OOM behaviour).
+  void alloc(int rank, double bytes);
+  void free(int rank, double bytes);
+
+  [[nodiscard]] double now(int rank) const { return clock_[static_cast<std::size_t>(rank)]; }
+  [[nodiscard]] double makespan() const;
+
+ private:
+  sim::Machine machine_;
+  std::unique_ptr<sim::Engine> engine_;
+  sim::PerfParams pp_;
+  std::vector<double> clock_;
+};
+
+}  // namespace legate::baselines::mpisim

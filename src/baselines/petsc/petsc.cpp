@@ -1,0 +1,238 @@
+#include "baselines/petsc/petsc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace legate::baselines::petsc {
+
+namespace {
+
+std::vector<coord_t> even_offsets(coord_t n, int ranks) {
+  std::vector<coord_t> off(static_cast<std::size_t>(ranks) + 1, 0);
+  coord_t base = n / ranks, rem = n % ranks;
+  for (int r = 0; r < ranks; ++r) {
+    off[static_cast<std::size_t>(r) + 1] =
+        off[static_cast<std::size_t>(r)] + base + (r < rem ? 1 : 0);
+  }
+  return off;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Vec
+// ---------------------------------------------------------------------------
+
+Vec::Vec(mpisim::MpiSim& sim, coord_t n, double fill) : sim_(&sim), n_(n) {
+  offsets_ = even_offsets(n, sim.nranks());
+  local_.resize(static_cast<std::size_t>(sim.nranks()));
+  for (int r = 0; r < sim.nranks(); ++r) {
+    auto sz = static_cast<std::size_t>(row_hi(r) - row_lo(r));
+    local_[static_cast<std::size_t>(r)].assign(sz, fill);
+    sim.alloc(r, static_cast<double>(sz) * 8.0);
+  }
+}
+
+Vec::Vec(mpisim::MpiSim& sim, const std::vector<double>& global)
+    : Vec(sim, static_cast<coord_t>(global.size())) {
+  for (int r = 0; r < sim.nranks(); ++r) {
+    std::copy(global.begin() + row_lo(r), global.begin() + row_hi(r),
+              local_[static_cast<std::size_t>(r)].begin());
+  }
+}
+
+std::vector<double> Vec::gather() const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n_));
+  for (const auto& l : local_) out.insert(out.end(), l.begin(), l.end());
+  return out;
+}
+
+void Vec::axpy(double a, const Vec& x) {
+  for (int r = 0; r < sim_->nranks(); ++r) {
+    auto& y = local_[static_cast<std::size_t>(r)];
+    const auto& xs = x.local_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * xs[i];
+    sim_->compute(r, static_cast<double>(y.size()) * 24.0,
+                  2.0 * static_cast<double>(y.size()));
+  }
+}
+
+void Vec::xpay(double a, const Vec& x) {
+  for (int r = 0; r < sim_->nranks(); ++r) {
+    auto& y = local_[static_cast<std::size_t>(r)];
+    const auto& xs = x.local_[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = xs[i] + a * y[i];
+    sim_->compute(r, static_cast<double>(y.size()) * 24.0,
+                  2.0 * static_cast<double>(y.size()));
+  }
+}
+
+void Vec::scale(double a) {
+  for (int r = 0; r < sim_->nranks(); ++r) {
+    auto& y = local_[static_cast<std::size_t>(r)];
+    for (auto& v : y) v *= a;
+    sim_->compute(r, static_cast<double>(y.size()) * 16.0,
+                  static_cast<double>(y.size()));
+  }
+}
+
+void Vec::copy_from(const Vec& x) {
+  for (int r = 0; r < sim_->nranks(); ++r) {
+    local_[static_cast<std::size_t>(r)] = x.local_[static_cast<std::size_t>(r)];
+    sim_->compute(r, static_cast<double>(local_[static_cast<std::size_t>(r)].size()) * 16.0, 0);
+  }
+}
+
+double Vec::dot(const Vec& x) const {
+  double acc = 0;
+  for (int r = 0; r < sim_->nranks(); ++r) {
+    const auto& y = local_[static_cast<std::size_t>(r)];
+    const auto& xs = x.local_[static_cast<std::size_t>(r)];
+    double part = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) part += y[i] * xs[i];
+    acc += part;
+    sim_->compute(r, static_cast<double>(y.size()) * 16.0,
+                  2.0 * static_cast<double>(y.size()));
+  }
+  sim_->allreduce_scalar();
+  return acc;
+}
+
+double Vec::norm() const { return std::sqrt(dot(*this)); }
+
+// ---------------------------------------------------------------------------
+// Mat
+// ---------------------------------------------------------------------------
+
+Mat::Mat(mpisim::MpiSim& sim, coord_t rows, coord_t cols,
+         const std::vector<coord_t>& indptr, const std::vector<coord_t>& indices,
+         const std::vector<double>& values)
+    : sim_(&sim), rows_(rows), cols_(cols) {
+  int ranks = sim.nranks();
+  row_off_ = even_offsets(rows, ranks);
+  col_off_ = even_offsets(cols, ranks);
+  blocks_.resize(static_cast<std::size_t>(ranks));
+
+  auto col_owner = [&](coord_t c) {
+    int r = static_cast<int>(std::upper_bound(col_off_.begin(), col_off_.end(), c) -
+                             col_off_.begin()) -
+            1;
+    return r;
+  };
+
+  for (int r = 0; r < ranks; ++r) {
+    RankBlock& blk = blocks_[static_cast<std::size_t>(r)];
+    std::unordered_map<coord_t, coord_t> ghost_slot;
+    blk.dia_ptr.push_back(0);
+    blk.off_ptr.push_back(0);
+    for (coord_t i = row_off_[static_cast<std::size_t>(r)];
+         i < row_off_[static_cast<std::size_t>(r) + 1]; ++i) {
+      for (coord_t j = indptr[static_cast<std::size_t>(i)];
+           j < indptr[static_cast<std::size_t>(i) + 1]; ++j) {
+        coord_t c = indices[static_cast<std::size_t>(j)];
+        double v = values[static_cast<std::size_t>(j)];
+        if (col_owner(c) == r) {
+          blk.dia_idx.push_back(c - col_off_[static_cast<std::size_t>(r)]);
+          blk.dia_val.push_back(v);
+        } else {
+          auto [it, inserted] =
+              ghost_slot.emplace(c, static_cast<coord_t>(blk.ghosts.size()));
+          if (inserted) blk.ghosts.push_back(c);
+          blk.off_idx.push_back(it->second);
+          blk.off_val.push_back(v);
+        }
+      }
+      blk.dia_ptr.push_back(static_cast<coord_t>(blk.dia_idx.size()));
+      blk.off_ptr.push_back(static_cast<coord_t>(blk.off_idx.size()));
+    }
+    double bytes = static_cast<double>(blk.dia_idx.size() + blk.off_idx.size()) * 16.0 +
+                   static_cast<double>(blk.dia_ptr.size() + blk.off_ptr.size()) * 8.0;
+    sim.alloc(r, bytes);
+    // Scatter volume: ghosts grouped by owner rank.
+    for (coord_t g : blk.ghosts) {
+      scatter_bytes_[{col_owner(g), r}] += 8.0;
+    }
+  }
+}
+
+void Mat::mult(const Vec& x, Vec& y) const {
+  int ranks = sim_->nranks();
+  // VecScatter: gather ghost entries of x from their owners.
+  sim_->exchange(scatter_bytes_);
+  for (int r = 0; r < ranks; ++r) {
+    const RankBlock& blk = blocks_[static_cast<std::size_t>(r)];
+    const auto& xl = x.local(r);
+    auto& yl = y.local(r);
+    // Materialize ghost values (host-side: read directly from owner blocks).
+    std::vector<double> ghost_vals(blk.ghosts.size());
+    for (std::size_t g = 0; g < blk.ghosts.size(); ++g) {
+      coord_t c = blk.ghosts[g];
+      int owner = static_cast<int>(std::upper_bound(col_off_.begin(), col_off_.end(), c) -
+                                   col_off_.begin()) -
+                  1;
+      ghost_vals[g] = x.local(owner)[static_cast<std::size_t>(
+          c - col_off_[static_cast<std::size_t>(owner)])];
+    }
+    coord_t nrows = row_off_[static_cast<std::size_t>(r) + 1] -
+                    row_off_[static_cast<std::size_t>(r)];
+    for (coord_t i = 0; i < nrows; ++i) {
+      double acc = 0;
+      for (coord_t j = blk.dia_ptr[static_cast<std::size_t>(i)];
+           j < blk.dia_ptr[static_cast<std::size_t>(i) + 1]; ++j)
+        acc += blk.dia_val[static_cast<std::size_t>(j)] *
+               xl[static_cast<std::size_t>(blk.dia_idx[static_cast<std::size_t>(j)])];
+      for (coord_t j = blk.off_ptr[static_cast<std::size_t>(i)];
+           j < blk.off_ptr[static_cast<std::size_t>(i) + 1]; ++j)
+        acc += blk.off_val[static_cast<std::size_t>(j)] *
+               ghost_vals[static_cast<std::size_t>(blk.off_idx[static_cast<std::size_t>(j)])];
+      yl[static_cast<std::size_t>(i)] = acc;
+    }
+    double nnz = static_cast<double>(blk.dia_val.size() + blk.off_val.size());
+    sim_->compute(r, nnz * 16.0 + static_cast<double>(nrows) * 16.0, 2.0 * nnz);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KSP CG
+// ---------------------------------------------------------------------------
+
+KspResult ksp_cg(const Mat& A, const Vec& b, double tol, int maxiter) {
+  mpisim::MpiSim& sim = b.sim();
+  KspResult res;
+  Vec x(sim, b.size(), 0.0);
+  Vec r(sim, b.size());
+  r.copy_from(b);
+  Vec p(sim, b.size());
+  p.copy_from(r);
+  Vec Ap(sim, b.size());
+  double bnorm = b.norm();
+  if (bnorm == 0) bnorm = 1;
+  double rr = r.dot(r);
+  if (std::sqrt(rr) / bnorm < tol) {
+    res.converged = true;
+    res.x = x;
+    return res;
+  }
+  for (int it = 0; it < maxiter; ++it) {
+    A.mult(p, Ap);
+    double pAp = p.dot(Ap);
+    double alpha = rr / pAp;
+    x.axpy(alpha, p);
+    r.axpy(-alpha, Ap);
+    double rr_new = r.dot(r);
+    res.iterations = it + 1;
+    res.residual = std::sqrt(rr_new);
+    if (res.residual / bnorm < tol) {
+      res.converged = true;
+      break;
+    }
+    p.xpay(rr_new / rr, r);
+    rr = rr_new;
+  }
+  res.x = x;
+  return res;
+}
+
+}  // namespace legate::baselines::petsc

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "baselines/mpisim/mpisim.h"
+
+namespace legate::baselines::petsc {
+
+/// PETSc-style distributed vector: a contiguous row block per rank.
+class Vec {
+ public:
+  Vec() = default;
+  Vec(mpisim::MpiSim& sim, coord_t n, double fill = 0.0);
+  /// Scatter host data into rank-local blocks.
+  Vec(mpisim::MpiSim& sim, const std::vector<double>& global);
+
+  [[nodiscard]] coord_t size() const { return n_; }
+  [[nodiscard]] coord_t row_lo(int rank) const { return offsets_[static_cast<std::size_t>(rank)]; }
+  [[nodiscard]] coord_t row_hi(int rank) const { return offsets_[static_cast<std::size_t>(rank) + 1]; }
+  [[nodiscard]] std::vector<double>& local(int rank) { return local_[static_cast<std::size_t>(rank)]; }
+  [[nodiscard]] const std::vector<double>& local(int rank) const {
+    return local_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::vector<double> gather() const;
+
+  // BLAS-1, each charged per rank then (for reductions) all-reduced.
+  void axpy(double a, const Vec& x);
+  void xpay(double a, const Vec& x);  ///< this = x + a*this
+  void scale(double a);
+  void copy_from(const Vec& x);
+  [[nodiscard]] double dot(const Vec& x) const;
+  [[nodiscard]] double norm() const;
+
+  [[nodiscard]] mpisim::MpiSim& sim() const { return *sim_; }
+
+ private:
+  mpisim::MpiSim* sim_{nullptr};
+  coord_t n_{0};
+  std::vector<coord_t> offsets_;  // nranks+1
+  std::vector<std::vector<double>> local_;
+};
+
+/// PETSc MPIAIJ-style distributed CSR: each rank holds its row block split
+/// into a diagonal block (columns it owns) and an off-diagonal block whose
+/// columns are compacted through a column map; MatMult scatters the needed
+/// remote x entries first (VecScatter), exactly PETSc's structure.
+class Mat {
+ public:
+  Mat() = default;
+  /// Build from global host CSR arrays, partitioning rows evenly.
+  Mat(mpisim::MpiSim& sim, coord_t rows, coord_t cols,
+      const std::vector<coord_t>& indptr, const std::vector<coord_t>& indices,
+      const std::vector<double>& values);
+
+  [[nodiscard]] coord_t rows() const { return rows_; }
+  [[nodiscard]] coord_t cols() const { return cols_; }
+
+  /// y = A x with halo exchange.
+  void mult(const Vec& x, Vec& y) const;
+
+  /// Bytes moved per (src,dst) pair in one halo exchange (diagnostics).
+  [[nodiscard]] const std::map<std::pair<int, int>, double>& scatter_bytes() const {
+    return scatter_bytes_;
+  }
+
+ private:
+  struct RankBlock {
+    // Diagonal block: local columns, rebased.
+    std::vector<coord_t> dia_ptr, dia_idx;
+    std::vector<double> dia_val;
+    // Off-diagonal block: columns compacted via ghost list.
+    std::vector<coord_t> off_ptr, off_idx;
+    std::vector<double> off_val;
+    std::vector<coord_t> ghosts;  // global column id per compacted index
+  };
+
+  mpisim::MpiSim* sim_{nullptr};
+  coord_t rows_{0}, cols_{0};
+  std::vector<coord_t> row_off_, col_off_;
+  std::vector<RankBlock> blocks_;
+  std::map<std::pair<int, int>, double> scatter_bytes_;
+};
+
+/// KSP conjugate-gradient solve, the paper's PETSc comparison point.
+struct KspResult {
+  Vec x;
+  int iterations{0};
+  double residual{0};
+  bool converged{false};
+};
+KspResult ksp_cg(const Mat& A, const Vec& b, double tol = 1e-8, int maxiter = 1000);
+
+}  // namespace legate::baselines::petsc

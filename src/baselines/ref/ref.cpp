@@ -1,0 +1,392 @@
+#include "baselines/ref/ref.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace legate::baselines::ref {
+
+// ---------------------------------------------------------------------------
+// RefContext
+// ---------------------------------------------------------------------------
+
+RefContext::RefContext(Device dev, const sim::PerfParams& pp)
+    : dev_(dev), pp_(pp), cost_(pp) {
+  // CuPy gets the raw framebuffer minus CUDA context overhead; it does not
+  // pay Legate's Legion/NCCL reservation, which is why it can fit ML-25M
+  // on one GPU where Legate Sparse cannot (Section 6.2).
+  capacity_ = dev == Device::CupyGpu ? pp.gpu_fb_capacity - 0.7e9
+                                     : pp.sysmem_capacity;
+}
+
+void RefContext::charge(double bytes, double flops, double efficiency) {
+  // Near the memory limit CuPy's pooled allocator starts synchronizing and
+  // splitting blocks; the paper observes exactly this on ML-25M ("CuPy runs
+  // close to the GPU memory limit"). Model it as degraded efficiency and
+  // extra per-op overhead once usage crosses 85% of the framebuffer.
+  double pressure = used_ / capacity_;
+  bool thrashing = dev_ == Device::CupyGpu && pressure > 0.85;
+  if (thrashing) efficiency *= 0.25;
+  sim::Cost c{bytes * cost_scale_, flops * cost_scale_, efficiency};
+  if (dev_ == Device::ScipyCpu) {
+    clock_ += pp_.scipy_op_overhead +
+              cost_.kernel_seconds(sim::ProcKind::CPU, c, pp_.scipy_core_fraction);
+  } else {
+    clock_ += (thrashing ? 8.0 : 1.0) * pp_.cupy_op_overhead + pp_.gpu_kernel_launch +
+              cost_.kernel_seconds(sim::ProcKind::GPU, c);
+  }
+}
+
+void RefContext::alloc(double bytes) {
+  bytes *= cost_scale_;
+  if (used_ + bytes > capacity_) {
+    throw OutOfMemoryError("single-device baseline out of memory: " +
+                           std::to_string((used_ + bytes) / 1e9) + " GB of " +
+                           std::to_string(capacity_ / 1e9) + " GB");
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+}
+
+void RefContext::free(double bytes) { used_ -= bytes * cost_scale_; }
+
+// ---------------------------------------------------------------------------
+// RefVector
+// ---------------------------------------------------------------------------
+
+RefVector::RefVector(RefContext& ctx, std::vector<double> data) : ctx_(&ctx) {
+  // Account device capacity before touching host memory, so a modeled OOM
+  // fires before a real allocation failure.
+  ctx_->alloc(static_cast<double>(data.size()) * 8.0);
+  v_ = std::move(data);
+}
+
+RefVector::RefVector(RefContext& ctx, coord_t n, double fill) : ctx_(&ctx) {
+  ctx_->alloc(static_cast<double>(n) * 8.0);
+  v_.assign(static_cast<std::size_t>(n), fill);
+}
+
+RefVector::~RefVector() {
+  if (ctx_ != nullptr) ctx_->free(static_cast<double>(v_.size()) * 8.0);
+}
+
+RefVector::RefVector(const RefVector& o) : ctx_(o.ctx_), v_(o.v_) {
+  if (ctx_ != nullptr) ctx_->alloc(static_cast<double>(v_.size()) * 8.0);
+}
+
+RefVector& RefVector::operator=(const RefVector& o) {
+  if (this == &o) return *this;
+  if (ctx_ != nullptr) ctx_->free(static_cast<double>(v_.size()) * 8.0);
+  ctx_ = o.ctx_;
+  v_ = o.v_;
+  if (ctx_ != nullptr) ctx_->alloc(static_cast<double>(v_.size()) * 8.0);
+  return *this;
+}
+
+RefVector::RefVector(RefVector&& o) noexcept : ctx_(o.ctx_), v_(std::move(o.v_)) {
+  o.ctx_ = nullptr;
+  o.v_.clear();
+}
+
+RefVector& RefVector::operator=(RefVector&& o) noexcept {
+  if (this == &o) return *this;
+  if (ctx_ != nullptr) ctx_->free(static_cast<double>(v_.size()) * 8.0);
+  ctx_ = o.ctx_;
+  v_ = std::move(o.v_);
+  o.ctx_ = nullptr;
+  o.v_.clear();
+  return *this;
+}
+
+void RefVector::axpy(double a, const RefVector& x) {
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] += a * x.v_[i];
+  ctx_->charge(static_cast<double>(v_.size()) * 24.0, 2.0 * static_cast<double>(v_.size()));
+}
+
+void RefVector::xpay(double a, const RefVector& x) {
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] = x.v_[i] + a * v_[i];
+  ctx_->charge(static_cast<double>(v_.size()) * 24.0, 2.0 * static_cast<double>(v_.size()));
+}
+
+void RefVector::scale(double a) {
+  for (auto& e : v_) e *= a;
+  ctx_->charge(static_cast<double>(v_.size()) * 16.0, static_cast<double>(v_.size()));
+}
+
+void RefVector::iadd(const RefVector& x) {
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] += x.v_[i];
+  ctx_->charge(static_cast<double>(v_.size()) * 24.0, static_cast<double>(v_.size()));
+}
+
+void RefVector::isub(const RefVector& x) {
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] -= x.v_[i];
+  ctx_->charge(static_cast<double>(v_.size()) * 24.0, static_cast<double>(v_.size()));
+}
+
+void RefVector::imul(const RefVector& x) {
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] *= x.v_[i];
+  ctx_->charge(static_cast<double>(v_.size()) * 24.0, static_cast<double>(v_.size()));
+}
+
+double RefVector::dot(const RefVector& x) const {
+  double acc = 0;
+  for (std::size_t i = 0; i < v_.size(); ++i) acc += v_[i] * x.v_[i];
+  ctx_->charge(static_cast<double>(v_.size()) * 16.0, 2.0 * static_cast<double>(v_.size()));
+  return acc;
+}
+
+double RefVector::norm() const {
+  double acc = 0;
+  for (double e : v_) acc += e * e;
+  ctx_->charge(static_cast<double>(v_.size()) * 8.0, 2.0 * static_cast<double>(v_.size()));
+  return std::sqrt(acc);
+}
+
+RefVector RefVector::add(const RefVector& x) const {
+  RefVector r(*this);
+  r.iadd(x);
+  return r;
+}
+
+RefVector RefVector::sub(const RefVector& x) const {
+  RefVector r(*this);
+  r.isub(x);
+  return r;
+}
+
+RefVector RefVector::mul(const RefVector& x) const {
+  RefVector r(*this);
+  r.imul(x);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// RefCsr
+// ---------------------------------------------------------------------------
+
+RefCsr::RefCsr(RefContext& ctx, coord_t rows, coord_t cols,
+               std::vector<coord_t> indptr, std::vector<coord_t> indices,
+               std::vector<double> values)
+    : ctx_(&ctx),
+      rows_(rows),
+      cols_(cols),
+      indptr_(std::move(indptr)),
+      indices_(std::move(indices)),
+      values_(std::move(values)) {
+  ctx_->alloc(bytes());
+}
+
+RefCsr::~RefCsr() {
+  if (ctx_ != nullptr) ctx_->free(bytes());
+}
+
+RefCsr::RefCsr(const RefCsr& o)
+    : ctx_(o.ctx_),
+      rows_(o.rows_),
+      cols_(o.cols_),
+      indptr_(o.indptr_),
+      indices_(o.indices_),
+      values_(o.values_) {
+  if (ctx_ != nullptr) ctx_->alloc(bytes());
+}
+
+RefCsr& RefCsr::operator=(const RefCsr& o) {
+  if (this == &o) return *this;
+  if (ctx_ != nullptr) ctx_->free(bytes());
+  ctx_ = o.ctx_;
+  rows_ = o.rows_;
+  cols_ = o.cols_;
+  indptr_ = o.indptr_;
+  indices_ = o.indices_;
+  values_ = o.values_;
+  if (ctx_ != nullptr) ctx_->alloc(bytes());
+  return *this;
+}
+
+RefCsr::RefCsr(RefCsr&& o) noexcept
+    : ctx_(o.ctx_),
+      rows_(o.rows_),
+      cols_(o.cols_),
+      indptr_(std::move(o.indptr_)),
+      indices_(std::move(o.indices_)),
+      values_(std::move(o.values_)) {
+  o.ctx_ = nullptr;
+}
+
+RefCsr& RefCsr::operator=(RefCsr&& o) noexcept {
+  if (this == &o) return *this;
+  if (ctx_ != nullptr) ctx_->free(bytes());
+  ctx_ = o.ctx_;
+  rows_ = o.rows_;
+  cols_ = o.cols_;
+  indptr_ = std::move(o.indptr_);
+  indices_ = std::move(o.indices_);
+  values_ = std::move(o.values_);
+  o.ctx_ = nullptr;
+  return *this;
+}
+
+RefVector RefCsr::spmv(const RefVector& x) const {
+  RefVector y(*ctx_, rows_, 0.0);
+  for (coord_t i = 0; i < rows_; ++i) {
+    double acc = 0;
+    for (coord_t j = indptr_[static_cast<std::size_t>(i)];
+         j < indptr_[static_cast<std::size_t>(i) + 1]; ++j)
+      acc += values_[static_cast<std::size_t>(j)] *
+             x.data()[static_cast<std::size_t>(indices_[static_cast<std::size_t>(j)])];
+    y.data()[static_cast<std::size_t>(i)] = acc;
+  }
+  double n = static_cast<double>(values_.size());
+  ctx_->charge(n * 16.0 + static_cast<double>(rows_) * 16.0, 2.0 * n);
+  return y;
+}
+
+std::vector<double> RefCsr::spmm(const std::vector<double>& b, coord_t k) const {
+  std::vector<double> c(static_cast<std::size_t>(rows_ * k), 0.0);
+  ctx_->alloc(static_cast<double>(c.size()) * 8.0);
+  for (coord_t i = 0; i < rows_; ++i) {
+    for (coord_t j = indptr_[static_cast<std::size_t>(i)];
+         j < indptr_[static_cast<std::size_t>(i) + 1]; ++j) {
+      double a = values_[static_cast<std::size_t>(j)];
+      coord_t brow = indices_[static_cast<std::size_t>(j)];
+      for (coord_t l = 0; l < k; ++l)
+        c[static_cast<std::size_t>(i * k + l)] +=
+            a * b[static_cast<std::size_t>(brow * k + l)];
+    }
+  }
+  double n = static_cast<double>(values_.size());
+  ctx_->charge(n * (16.0 + 8.0 * static_cast<double>(k)),
+               2.0 * n * static_cast<double>(k));
+  ctx_->free(static_cast<double>(c.size()) * 8.0);
+  return c;
+}
+
+RefCsr RefCsr::sddmm(const std::vector<double>& b, const std::vector<double>& c,
+                     coord_t k) const {
+  std::vector<double> out(values_.size());
+  for (coord_t i = 0; i < rows_; ++i) {
+    for (coord_t j = indptr_[static_cast<std::size_t>(i)];
+         j < indptr_[static_cast<std::size_t>(i) + 1]; ++j) {
+      coord_t col = indices_[static_cast<std::size_t>(j)];
+      double acc = 0;
+      for (coord_t l = 0; l < k; ++l)
+        acc += b[static_cast<std::size_t>(i * k + l)] *
+               c[static_cast<std::size_t>(l * cols_ + col)];
+      out[static_cast<std::size_t>(j)] = values_[static_cast<std::size_t>(j)] * acc;
+    }
+  }
+  double n = static_cast<double>(values_.size());
+  // CuPy must call cuSPARSE's SDDMM, which the paper found far slower than
+  // the DISTAL-generated kernel.
+  double eff = ctx_->device() == Device::CupyGpu
+                   ? 1.0 / ctx_->params().cupy_sddmm_slowdown
+                   : 1.0;
+  ctx_->charge(n * (24.0 + 8.0 * static_cast<double>(k)),
+               2.0 * n * static_cast<double>(k), eff);
+  return RefCsr(*ctx_, rows_, cols_, indptr_, indices_, std::move(out));
+}
+
+RefCsr RefCsr::transpose() const {
+  std::vector<coord_t> counts(static_cast<std::size_t>(cols_) + 1, 0);
+  for (coord_t c : indices_) ++counts[static_cast<std::size_t>(c) + 1];
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  std::vector<coord_t> tind(indices_.size());
+  std::vector<double> tval(values_.size());
+  std::vector<coord_t> fill(counts.begin(), counts.end() - 1);
+  for (coord_t i = 0; i < rows_; ++i) {
+    for (coord_t j = indptr_[static_cast<std::size_t>(i)];
+         j < indptr_[static_cast<std::size_t>(i) + 1]; ++j) {
+      coord_t c = indices_[static_cast<std::size_t>(j)];
+      coord_t slot = fill[static_cast<std::size_t>(c)]++;
+      tind[static_cast<std::size_t>(slot)] = i;
+      tval[static_cast<std::size_t>(slot)] = values_[static_cast<std::size_t>(j)];
+    }
+  }
+  double n = static_cast<double>(values_.size());
+  ctx_->charge(n * 48.0, n);
+  return RefCsr(*ctx_, cols_, rows_, std::move(counts), std::move(tind),
+                std::move(tval));
+}
+
+RefCsr RefCsr::spgemm(const RefCsr& b) const {
+  std::vector<coord_t> indptr{0};
+  std::vector<coord_t> indices;
+  std::vector<double> values;
+  std::map<coord_t, double> acc;
+  double work = 0;
+  for (coord_t i = 0; i < rows_; ++i) {
+    acc.clear();
+    for (coord_t j = indptr_[static_cast<std::size_t>(i)];
+         j < indptr_[static_cast<std::size_t>(i) + 1]; ++j) {
+      coord_t brow = indices_[static_cast<std::size_t>(j)];
+      double av = values_[static_cast<std::size_t>(j)];
+      for (coord_t l = b.indptr_[static_cast<std::size_t>(brow)];
+           l < b.indptr_[static_cast<std::size_t>(brow) + 1]; ++l) {
+        acc[b.indices_[static_cast<std::size_t>(l)]] +=
+            av * b.values_[static_cast<std::size_t>(l)];
+        work += 1;
+      }
+    }
+    for (auto& [c, v] : acc) {
+      indices.push_back(c);
+      values.push_back(v);
+    }
+    indptr.push_back(static_cast<coord_t>(indices.size()));
+  }
+  ctx_->charge(work * 32.0, 2.0 * work);
+  return RefCsr(*ctx_, rows_, b.cols_, std::move(indptr), std::move(indices),
+                std::move(values));
+}
+
+RefVector RefCsr::diagonal() const {
+  RefVector d(*ctx_, rows_, 0.0);
+  for (coord_t i = 0; i < std::min(rows_, cols_); ++i)
+    for (coord_t j = indptr_[static_cast<std::size_t>(i)];
+         j < indptr_[static_cast<std::size_t>(i) + 1]; ++j)
+      if (indices_[static_cast<std::size_t>(j)] == i)
+        d.data()[static_cast<std::size_t>(i)] += values_[static_cast<std::size_t>(j)];
+  ctx_->charge(static_cast<double>(values_.size()) * 16.0,
+               static_cast<double>(values_.size()));
+  return d;
+}
+
+RefCsr RefCsr::scale(double a) const {
+  std::vector<double> out = values_;
+  for (auto& v : out) v *= a;
+  ctx_->charge(static_cast<double>(out.size()) * 16.0, static_cast<double>(out.size()));
+  return RefCsr(*ctx_, rows_, cols_, indptr_, indices_, std::move(out));
+}
+
+RefCsr RefCsr::add(const RefCsr& b) const {
+  std::vector<coord_t> indptr{0};
+  std::vector<coord_t> indices;
+  std::vector<double> values;
+  for (coord_t i = 0; i < rows_; ++i) {
+    coord_t ja = indptr_[static_cast<std::size_t>(i)],
+            jae = indptr_[static_cast<std::size_t>(i) + 1];
+    coord_t jb = b.indptr_[static_cast<std::size_t>(i)],
+            jbe = b.indptr_[static_cast<std::size_t>(i) + 1];
+    while (ja < jae || jb < jbe) {
+      coord_t ca = ja < jae ? indices_[static_cast<std::size_t>(ja)] : cols_;
+      coord_t cb = jb < jbe ? b.indices_[static_cast<std::size_t>(jb)] : cols_;
+      if (ca == cb) {
+        indices.push_back(ca);
+        values.push_back(values_[static_cast<std::size_t>(ja++)] +
+                         b.values_[static_cast<std::size_t>(jb++)]);
+      } else if (ca < cb) {
+        indices.push_back(ca);
+        values.push_back(values_[static_cast<std::size_t>(ja++)]);
+      } else {
+        indices.push_back(cb);
+        values.push_back(b.values_[static_cast<std::size_t>(jb++)]);
+      }
+    }
+    indptr.push_back(static_cast<coord_t>(indices.size()));
+  }
+  double n = static_cast<double>(values_.size() + b.values_.size());
+  ctx_->charge(n * 32.0, n);
+  return RefCsr(*ctx_, rows_, cols_, std::move(indptr), std::move(indices),
+                std::move(values));
+}
+
+}  // namespace legate::baselines::ref

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/common.h"
+
+namespace legate::baselines::ref {
+
+/// Which single-device system is being modeled.
+enum class Device {
+  ScipyCpu,  ///< standard SciPy: one CPU thread of a POWER9 socket
+  CupyGpu,   ///< CuPy: one V100, small per-op dispatch overhead
+};
+
+/// Sequential execution context for the SciPy/CuPy baselines. Kernels run
+/// for real; each operation charges a per-op dispatch overhead plus roofline
+/// kernel time, and allocations count against a single device's memory
+/// (CuPy's OOM behaviour on ML-50M/100M in Fig. 12 and Fig. 11's quantum
+/// footprints come from this capacity accounting).
+class RefContext {
+ public:
+  RefContext(Device dev, const sim::PerfParams& pp);
+
+  /// Charge one operation: dispatch overhead + kernel time.
+  void charge(double bytes, double flops, double efficiency = 1.0);
+  /// Account `bytes` of device memory; throws OutOfMemoryError when the
+  /// device is full.
+  void alloc(double bytes);
+  void free(double bytes);
+
+  [[nodiscard]] double now() const { return clock_; }
+  [[nodiscard]] double used_bytes() const { return used_; }
+  [[nodiscard]] double peak_bytes() const { return peak_; }
+  [[nodiscard]] Device device() const { return dev_; }
+  [[nodiscard]] const sim::PerfParams& params() const { return pp_; }
+
+  /// Workload scale factor (see sim::Engine::set_cost_scale).
+  void set_cost_scale(double s) { cost_scale_ = s; }
+  [[nodiscard]] double cost_scale() const { return cost_scale_; }
+
+ private:
+  Device dev_;
+  sim::PerfParams pp_;
+  sim::CostModel cost_;
+  double clock_{0};
+  double used_{0}, peak_{0}, capacity_{0};
+  double cost_scale_{1.0};
+};
+
+/// Device vector tracked by a RefContext.
+class RefVector {
+ public:
+  RefVector() = default;
+  RefVector(RefContext& ctx, std::vector<double> data);
+  RefVector(RefContext& ctx, coord_t n, double fill = 0.0);
+  ~RefVector();
+  RefVector(const RefVector& o);
+  RefVector& operator=(const RefVector& o);
+  RefVector(RefVector&& o) noexcept;
+  RefVector& operator=(RefVector&& o) noexcept;
+
+  [[nodiscard]] coord_t size() const { return static_cast<coord_t>(v_.size()); }
+  [[nodiscard]] const std::vector<double>& data() const { return v_; }
+  [[nodiscard]] std::vector<double>& data() { return v_; }
+
+  void axpy(double a, const RefVector& x);
+  void xpay(double a, const RefVector& x);
+  void scale(double a);
+  void iadd(const RefVector& x);
+  void isub(const RefVector& x);
+  void imul(const RefVector& x);
+  [[nodiscard]] double dot(const RefVector& x) const;
+  [[nodiscard]] double norm() const;
+  [[nodiscard]] RefVector add(const RefVector& x) const;
+  [[nodiscard]] RefVector sub(const RefVector& x) const;
+  [[nodiscard]] RefVector mul(const RefVector& x) const;
+
+ private:
+  RefContext* ctx_{nullptr};
+  std::vector<double> v_;
+};
+
+/// Device CSR matrix tracked by a RefContext.
+class RefCsr {
+ public:
+  RefCsr() = default;
+  RefCsr(RefContext& ctx, coord_t rows, coord_t cols, std::vector<coord_t> indptr,
+         std::vector<coord_t> indices, std::vector<double> values);
+  ~RefCsr();
+  RefCsr(const RefCsr&);
+  RefCsr& operator=(const RefCsr&);
+  RefCsr(RefCsr&&) noexcept;
+  RefCsr& operator=(RefCsr&&) noexcept;
+
+  [[nodiscard]] coord_t rows() const { return rows_; }
+  [[nodiscard]] coord_t cols() const { return cols_; }
+  [[nodiscard]] coord_t nnz() const { return static_cast<coord_t>(values_.size()); }
+
+  [[nodiscard]] RefVector spmv(const RefVector& x) const;
+  /// C = A @ B, B row-major dense (n x k); returns row-major (rows x k).
+  [[nodiscard]] std::vector<double> spmm(const std::vector<double>& b, coord_t k) const;
+  /// out_vals = A ⊙ (B Cᵀ-style product); see CsrMatrix::sddmm. CuPy charges
+  /// the cuSPARSE SDDMM inefficiency factor here (Section 6.2).
+  [[nodiscard]] RefCsr sddmm(const std::vector<double>& b, const std::vector<double>& c,
+                             coord_t k) const;
+  [[nodiscard]] RefCsr transpose() const;
+  [[nodiscard]] RefCsr spgemm(const RefCsr& b) const;
+  [[nodiscard]] RefVector diagonal() const;
+  [[nodiscard]] RefCsr scale(double a) const;
+  [[nodiscard]] RefCsr add(const RefCsr& b) const;
+
+  [[nodiscard]] const std::vector<coord_t>& indptr() const { return indptr_; }
+  [[nodiscard]] const std::vector<coord_t>& indices() const { return indices_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] RefContext& ctx() const { return *ctx_; }
+
+ private:
+  [[nodiscard]] double bytes() const {
+    return static_cast<double>(indptr_.size() + indices_.size()) * 8.0 +
+           static_cast<double>(values_.size()) * 8.0;
+  }
+
+  RefContext* ctx_{nullptr};
+  coord_t rows_{0}, cols_{0};
+  std::vector<coord_t> indptr_, indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace legate::baselines::ref

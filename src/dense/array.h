@@ -1,0 +1,116 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rt/runtime.h"
+#include "util/rng.h"
+
+namespace legate::dense {
+
+/// A scalar produced by a distributed reduction. Carries both the exact
+/// value and the simulated time at which it is available; operations that
+/// consume a Scalar register a future dependence instead of blocking the
+/// control lane, mirroring Legate's future plumbing.
+struct Scalar {
+  double value{0};
+  double ready{0};
+  Scalar() = default;
+  Scalar(double v) : value(v) {}  // NOLINT(google-explicit-constructor)
+  Scalar(double v, double r) : value(v), ready(r) {}
+  operator double() const { return value; }  // NOLINT
+};
+
+/// Distributed dense array (the cuNumeric analog): a 1-D vector or a 2-D
+/// row-major matrix backed by a runtime store. All operations are task
+/// launches through the constraint system, so partitions flow between this
+/// library and the sparse library without either knowing about the other.
+class DArray {
+ public:
+  DArray() = default;
+  DArray(rt::Runtime& rt, rt::Store store) : rt_(&rt), store_(std::move(store)) {}
+
+  // ---- constructors -------------------------------------------------------
+  static DArray zeros(rt::Runtime& rt, coord_t n);
+  static DArray zeros2d(rt::Runtime& rt, coord_t m, coord_t n);
+  static DArray full(rt::Runtime& rt, coord_t n, double v);
+  static DArray arange(rt::Runtime& rt, coord_t n);
+  /// Uniform [0,1) values, deterministic per (seed, index).
+  static DArray random(rt::Runtime& rt, coord_t n, std::uint64_t seed);
+  static DArray random2d(rt::Runtime& rt, coord_t m, coord_t n, std::uint64_t seed);
+  static DArray from_vector(rt::Runtime& rt, const std::vector<double>& v);
+
+  // ---- metadata -----------------------------------------------------------
+  [[nodiscard]] bool valid() const { return rt_ != nullptr; }
+  [[nodiscard]] coord_t size() const { return store_.volume(); }
+  [[nodiscard]] int dim() const { return store_.dim(); }
+  [[nodiscard]] coord_t rows() const { return store_.shape()[0]; }
+  [[nodiscard]] coord_t cols() const { return store_.shape().size() == 2 ? store_.shape()[1] : 1; }
+  [[nodiscard]] const rt::Store& store() const { return store_; }
+  [[nodiscard]] rt::Runtime& runtime() const { return *rt_; }
+
+  // ---- elementwise (new array) ---------------------------------------------
+  [[nodiscard]] DArray add(const DArray& o) const;
+  [[nodiscard]] DArray sub(const DArray& o) const;
+  [[nodiscard]] DArray mul(const DArray& o) const;
+  [[nodiscard]] DArray div(const DArray& o) const;
+  /// numpy.maximum / numpy.minimum (elementwise).
+  [[nodiscard]] DArray maximum(const DArray& o) const;
+  [[nodiscard]] DArray minimum(const DArray& o) const;
+  [[nodiscard]] DArray scale(Scalar a) const;
+  [[nodiscard]] DArray add_scalar(Scalar a) const;
+  [[nodiscard]] DArray abs() const;
+  [[nodiscard]] DArray sqrt() const;
+  [[nodiscard]] DArray exp() const;
+  [[nodiscard]] DArray log() const;
+  [[nodiscard]] DArray neg() const;
+  [[nodiscard]] DArray square() const;
+  [[nodiscard]] DArray reciprocal() const;
+  /// numpy.clip(lo, hi).
+  [[nodiscard]] DArray clip(double lo, double hi) const;
+  [[nodiscard]] DArray copy() const;
+  /// Contiguous 1-D slice [lo, hi) as a new array (numpy's a[lo:hi].copy()).
+  [[nodiscard]] DArray slice(coord_t lo, coord_t hi) const;
+
+  // ---- elementwise (in place) ----------------------------------------------
+  void iadd(const DArray& o);
+  void isub(const DArray& o);
+  void imul(const DArray& o);
+  void iscale(Scalar a);
+  /// this += a * x (the BLAS axpy; `a` may be an unready future).
+  void axpy(Scalar a, const DArray& x);
+  /// this = x + a * this (BLAS xpay, used by CG's direction update).
+  void xpay(Scalar a, const DArray& x);
+  void fill(Scalar v);
+
+  // ---- reductions ------------------------------------------------------------
+  [[nodiscard]] Scalar dot(const DArray& o) const;
+  [[nodiscard]] Scalar norm() const;  ///< 2-norm
+  [[nodiscard]] Scalar sum() const;
+  [[nodiscard]] Scalar max() const;
+  [[nodiscard]] Scalar min() const;
+
+  // ---- linear algebra ---------------------------------------------------------
+  /// 2-D matmul: this[m,k] @ b[k,n] -> [m,n]. Rows of the result align with
+  /// rows of `this`; `b` is broadcast (the Legate strategy for tall-skinny).
+  [[nodiscard]] DArray matmul(const DArray& b) const;
+  /// Distributed 2-D transpose (all-to-all shuffle).
+  [[nodiscard]] DArray transpose() const;
+
+  // ---- host access -------------------------------------------------------------
+  [[nodiscard]] std::vector<double> to_vector() const;
+  [[nodiscard]] double at(coord_t i) const { return store_.span<double>()[i]; }
+
+ private:
+  DArray binary(const DArray& o, const char* name,
+                double (*op)(double, double)) const;
+  DArray unary(const char* name, double (*op)(double)) const;
+  void inplace_binary(const DArray& o, const char* name, double (*op)(double, double));
+  Scalar reduce(const char* name, rt::ScalarRedop rop, double init,
+                double (*fold)(double, double), const DArray* other) const;
+
+  rt::Runtime* rt_{nullptr};
+  rt::Store store_;
+};
+
+}  // namespace legate::dense

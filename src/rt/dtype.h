@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/common.h"
+
+namespace legate::rt {
+
+/// A 1-D rectangle with *inclusive* bounds, mirroring Legion's Rect<1>.
+/// CSR/CSC `pos` arrays store one Rect1 per row/column (Fig. 3 of the paper):
+/// the nonzeros of row i live at crd/vals indices [lo, hi]. Empty when lo>hi.
+struct Rect1 {
+  coord_t lo{0};
+  coord_t hi{-1};
+
+  [[nodiscard]] constexpr bool empty() const { return lo > hi; }
+  [[nodiscard]] constexpr coord_t size() const { return empty() ? 0 : hi - lo + 1; }
+  friend constexpr bool operator==(Rect1 a, Rect1 b) = default;
+};
+
+enum class DType { F64, I64, Rect1 };
+
+[[nodiscard]] constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::F64: return sizeof(double);
+    case DType::I64: return sizeof(coord_t);
+    case DType::Rect1: return sizeof(Rect1);
+  }
+  return 0;
+}
+
+template <typename T>
+struct dtype_of;
+template <>
+struct dtype_of<double> {
+  static constexpr DType value = DType::F64;
+};
+template <>
+struct dtype_of<coord_t> {
+  static constexpr DType value = DType::I64;
+};
+template <>
+struct dtype_of<Rect1> {
+  static constexpr DType value = DType::Rect1;
+};
+
+}  // namespace legate::rt

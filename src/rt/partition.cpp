@@ -1,0 +1,20 @@
+#include "rt/partition.h"
+
+namespace legate::rt {
+
+std::shared_ptr<const Partition> Partition::equal(coord_t extent, int colors) {
+  LSR_CHECK(colors >= 1);
+  std::vector<Interval> subs;
+  subs.reserve(colors);
+  coord_t base = extent / colors;
+  coord_t rem = extent % colors;
+  coord_t lo = 0;
+  for (int c = 0; c < colors; ++c) {
+    coord_t len = base + (c < rem ? 1 : 0);
+    subs.emplace_back(lo, lo + len);
+    lo += len;
+  }
+  return std::make_shared<const Partition>(std::move(subs), /*disjoint=*/true);
+}
+
+}  // namespace legate::rt

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/interval.h"
+#include "util/interval_map.h"
+
+namespace legate::rt {
+
+/// A first-class partition: a mapping from colors to intervals of a store's
+/// *basis units* (rows of a 2-D store, elements of a 1-D store).
+///
+/// Image partitions are generally *aliased* (overlapping) and need not cover
+/// the basis (Section 2.2). Following Legion, each color's subspace has two
+/// views: the *bounding* interval, which is what rectangular instances
+/// allocate (this drives memory footprints, e.g. the quantum benchmark's
+/// 64-GPU OOM), and an optional *precise* set of touched intervals, which is
+/// what the copy engine actually moves (this keeps halo traffic at the
+/// data-dependent minimum).
+class Partition {
+ public:
+  Partition(std::vector<Interval> subs, bool disjoint)
+      : subs_(std::move(subs)), disjoint_(disjoint) {}
+  Partition(std::vector<Interval> subs, std::vector<IntervalSet> precise,
+            bool disjoint)
+      : subs_(std::move(subs)), precise_(std::move(precise)), disjoint_(disjoint) {}
+
+  [[nodiscard]] int colors() const { return static_cast<int>(subs_.size()); }
+  [[nodiscard]] Interval sub(int color) const { return subs_.at(color); }
+  [[nodiscard]] const std::vector<Interval>& subs() const { return subs_; }
+  [[nodiscard]] bool disjoint() const { return disjoint_; }
+
+  /// Precise touched set for a color, or nullptr when the bounding interval
+  /// is exact (equal partitions, contiguous images).
+  [[nodiscard]] const IntervalSet* precise(int color) const {
+    return precise_.empty() ? nullptr : &precise_.at(static_cast<std::size_t>(color));
+  }
+
+  /// Equal block partition of [0, extent) into `colors` pieces.
+  static std::shared_ptr<const Partition> equal(coord_t extent, int colors);
+
+  friend bool operator==(const Partition& a, const Partition& b) {
+    return a.subs_ == b.subs_;
+  }
+
+ private:
+  std::vector<Interval> subs_;
+  std::vector<IntervalSet> precise_;  ///< empty, or one set per color
+  bool disjoint_;
+};
+
+using PartitionRef = std::shared_ptr<const Partition>;
+
+}  // namespace legate::rt

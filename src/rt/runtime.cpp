@@ -1,0 +1,872 @@
+#include "rt/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace legate::rt {
+
+// ---------------------------------------------------------------------------
+// StoreImpl
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+StoreImpl::StoreImpl(Runtime* rt_, StoreId id_, DType dtype_,
+                     std::vector<coord_t> shape_)
+    : rt(rt_), id(id_), dtype(dtype_), shape(std::move(shape_)) {
+  LSR_CHECK(shape.size() == 1 || shape.size() == 2);
+  data.resize(static_cast<std::size_t>(volume()) * dtype_size(dtype));
+}
+
+StoreImpl::~StoreImpl() {
+  if (rt != nullptr) rt->on_store_destroyed(this);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Internal runtime state
+// ---------------------------------------------------------------------------
+
+/// Per-store dynamic analysis state. All interval maps are in *element*
+/// coordinates (2-D stores linearized row-major).
+struct Runtime::SyncState {
+  IntervalMap<double> last_write;  ///< completion time of the last writer
+  std::vector<std::pair<Interval, double>> readers;  ///< reads since last write
+  IntervalMap<std::uint64_t> version;  ///< data version (implicit 0)
+  IntervalMap<int> owner;              ///< memory holding the latest version
+  std::uint64_t version_counter{0};
+  std::uint64_t epoch{0};  ///< bumped on writes; invalidates image cache
+  PartitionRef key;        ///< last partition used to write (basis units)
+};
+
+/// One simulated allocation of (part of) a store in one memory.
+struct Runtime::Alloc {
+  Interval extent;  ///< element interval covered
+  IntervalMap<std::uint64_t> held;  ///< version of data held (implicit: none)
+  IntervalMap<double> ready;        ///< time the held data became valid
+};
+
+struct Runtime::MemState {
+  std::unordered_map<StoreId, std::vector<Alloc>> allocs;
+  /// Extents of allocations whose stores went out of scope. New requirements
+  /// matching a pooled extent reuse it directly — this is how the paper's
+  /// Fig. 5 steady state avoids per-iteration allocation resizing (x2 reuses
+  /// a slice of x0's old allocation).
+  std::vector<Interval> pool;
+};
+
+// ---------------------------------------------------------------------------
+// TaskContext
+// ---------------------------------------------------------------------------
+
+Interval TaskContext::interval(int arg) const { return (*arg_intervals_)[arg]; }
+
+Interval TaskContext::elem_interval(int arg) const {
+  Interval iv = (*arg_intervals_)[arg];
+  coord_t stride = launcher_->args_[arg].store.stride();
+  return {iv.lo * stride, iv.hi * stride};
+}
+
+const Store& TaskContext::store(int arg) const { return launcher_->args_[arg].store; }
+
+std::span<std::byte> TaskContext::arg_bytes(int arg) const {
+  if (reduce_bufs_ != nullptr && !(*reduce_bufs_)[arg].empty()) {
+    return {(*reduce_bufs_)[arg].data(), (*reduce_bufs_)[arg].size()};
+  }
+  // Access the raw buffer through the typed span of the store's real dtype.
+  const Store& s = launcher_->args_[arg].store;
+  switch (s.dtype()) {
+    case DType::F64: {
+      auto t = s.span<double>();
+      return {reinterpret_cast<std::byte*>(t.data()), t.size_bytes()};
+    }
+    case DType::I64: {
+      auto t = s.span<coord_t>();
+      return {reinterpret_cast<std::byte*>(t.data()), t.size_bytes()};
+    }
+    case DType::Rect1: {
+      auto t = s.span<Rect1>();
+      return {reinterpret_cast<std::byte*>(t.data()), t.size_bytes()};
+    }
+  }
+  return {};
+}
+
+void TaskContext::add_cost(double bytes, double flops, double efficiency) {
+  cost_.bytes += bytes;
+  cost_.flops += flops;
+  if (efficiency < cost_.efficiency) cost_.efficiency = efficiency;
+}
+
+void TaskContext::add_reshape_bytes(double bytes) { reshape_bytes_ += bytes; }
+
+void TaskContext::contribute(double v) {
+  partial_ = v;
+  contributed_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// TaskLauncher
+// ---------------------------------------------------------------------------
+
+TaskLauncher::TaskLauncher(Runtime& rt, std::string name)
+    : rt_(rt), name_(std::move(name)) {}
+
+int TaskLauncher::add_arg(const Store& s, Priv p) {
+  int idx = static_cast<int>(args_.size());
+  Arg a{};
+  a.store = s;
+  a.priv = p;
+  a.align_root = idx;
+  args_.push_back(std::move(a));
+  return idx;
+}
+
+int TaskLauncher::find_root(int a) {
+  int r = a;
+  while (args_[r].align_root != r) r = args_[r].align_root;
+  while (args_[a].align_root != r) {
+    int next = args_[a].align_root;
+    args_[a].align_root = r;
+    a = next;
+  }
+  return r;
+}
+
+void TaskLauncher::align(int a, int b) {
+  LSR_CHECK_MSG(args_[a].store.basis() == args_[b].store.basis(),
+                "aligned arguments must share a basis extent");
+  int ra = find_root(a), rb = find_root(b);
+  if (ra != rb) args_[rb].align_root = ra;
+}
+
+void TaskLauncher::image_rects(int src, int dst) {
+  LSR_CHECK(args_[src].store.dtype() == DType::Rect1);
+  args_[dst].ckind = ConstraintKind::ImageRects;
+  args_[dst].image_src = src;
+}
+
+void TaskLauncher::image_points(int src, int dst) {
+  LSR_CHECK(args_[src].store.dtype() == DType::I64);
+  args_[dst].ckind = ConstraintKind::ImagePoints;
+  args_[dst].image_src = src;
+}
+
+void TaskLauncher::halo(int src, int dst, coord_t lo_off, coord_t hi_off) {
+  args_[dst].ckind = ConstraintKind::Halo;
+  args_[dst].image_src = src;
+  args_[dst].halo_lo = lo_off;
+  args_[dst].halo_hi = hi_off;
+}
+
+void TaskLauncher::broadcast(int arg) { args_[arg].ckind = ConstraintKind::Broadcast; }
+
+Future TaskLauncher::execute() { return rt_.execute(*this); }
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
+    : machine_(machine), engine_(std::make_unique<sim::Engine>(machine_)), opts_(opts) {
+  const auto& pp = machine_.params();
+  task_overhead_ = opts.task_overhead >= 0 ? opts.task_overhead : pp.legate_task_overhead;
+  cpu_fraction_ =
+      opts.cpu_core_fraction > 0 ? opts.cpu_core_fraction : pp.legate_cpu_core_fraction;
+  mem_state_.reserve(machine_.memories().size());
+  for (std::size_t i = 0; i < machine_.memories().size(); ++i) {
+    mem_state_.push_back(std::make_unique<MemState>());
+  }
+}
+
+Runtime::~Runtime() {
+  for (auto* impl : live_stores_) impl->rt = nullptr;
+}
+
+Store Runtime::create_store(DType dtype, std::vector<coord_t> shape) {
+  auto impl =
+      std::make_shared<detail::StoreImpl>(this, next_store_id_++, dtype, std::move(shape));
+  live_stores_.insert(impl.get());
+  sync_.emplace(impl->id, std::make_unique<SyncState>());
+  return Store(std::move(impl));
+}
+
+void Runtime::mark_attached(const Store& s) {
+  auto& ss = sync(s.id());
+  ss.version_counter = 1;
+  ss.version.assign(s.extent(), 1);
+  ss.owner.assign(s.extent(), machine_.home_memory());
+  ss.last_write.assign(s.extent(), 0.0);
+  // Materialize the backing allocation in the home memory.
+  double bytes = static_cast<double>(s.volume()) * dtype_size(s.dtype());
+  engine_->alloc_bytes(machine_.home_memory(), bytes);
+  Alloc a{s.extent(), {}, {}};
+  a.held.assign(s.extent(), 1);
+  a.ready.assign(s.extent(), 0.0);
+  mem_state_[machine_.home_memory()]->allocs[s.id()].push_back(std::move(a));
+}
+
+void Runtime::on_store_destroyed(detail::StoreImpl* impl) {
+  live_stores_.erase(impl);
+  double esize = static_cast<double>(dtype_size(impl->dtype));
+  for (std::size_t mem = 0; mem < mem_state_.size(); ++mem) {
+    auto it = mem_state_[mem]->allocs.find(impl->id);
+    if (it == mem_state_[mem]->allocs.end()) continue;
+    for (auto& a : it->second) {
+      engine_->free_bytes(static_cast<int>(mem),
+                          static_cast<double>(a.extent.size()) * esize);
+      // Remember the extent so a future same-shaped requirement can reuse it.
+      auto& pool = mem_state_[mem]->pool;
+      pool.push_back(a.extent);
+      if (pool.size() > 64) pool.erase(pool.begin());
+    }
+    mem_state_[mem]->allocs.erase(it);
+  }
+  sync_.erase(impl->id);
+}
+
+Runtime::SyncState& Runtime::sync(StoreId id) {
+  auto it = sync_.find(id);
+  LSR_CHECK_MSG(it != sync_.end(), "unknown store");
+  return *it->second;
+}
+
+PartitionRef Runtime::key_partition(const Store& s) const {
+  auto it = sync_.find(s.id());
+  return it == sync_.end() ? nullptr : it->second->key;
+}
+
+PartitionRef Runtime::image_partition(const Store& src, const PartitionRef& src_part,
+                                      ConstraintKind kind) {
+  auto& ss = sync(src.id());
+  ImageKey key{src.id(), src_part.get(), kind, ss.epoch};
+  if (auto it = image_cache_.find(key); it != image_cache_.end()) return it->second;
+
+  // Dependent partitioning runs on the runtime's control path.
+  engine_->control_advance(5e-6);
+  std::vector<Interval> subs;
+  subs.reserve(src_part->colors());
+  if (kind == ConstraintKind::ImageRects) {
+    auto data = src.span<Rect1>();
+    for (int c = 0; c < src_part->colors(); ++c) {
+      Interval s = src_part->sub(c).intersect(src.extent());
+      coord_t lo = 0, hi = -1;
+      bool any = false;
+      for (coord_t i = s.lo; i < s.hi; ++i) {
+        const Rect1& r = data[static_cast<std::size_t>(i)];
+        if (r.empty()) continue;
+        if (!any) {
+          lo = r.lo;
+          hi = r.hi;
+          any = true;
+        } else {
+          lo = std::min(lo, r.lo);
+          hi = std::max(hi, r.hi);
+        }
+      }
+      subs.emplace_back(any ? Interval{lo, hi + 1} : Interval{});
+    }
+    auto part = std::make_shared<const Partition>(std::move(subs), /*disjoint=*/false);
+    ++partitions_created_;
+    image_cache_.emplace(key, part);
+    return part;
+  }
+
+  LSR_CHECK(kind == ConstraintKind::ImagePoints);
+  // Point images carry both views Legion maintains: the bounding interval
+  // (what a rectangular instance allocates) and the precise set of touched
+  // coordinates (what the copy engine moves). Sparse access patterns with
+  // wide bounding boxes — the quantum benchmark's flip terms — make the
+  // distinction matter: traffic stays data-dependent while allocations
+  // balloon (the paper's 64-GPU OOM).
+  auto data = src.span<coord_t>();
+  std::vector<IntervalSet> precise;
+  precise.reserve(static_cast<std::size_t>(src_part->colors()));
+  std::vector<coord_t> touched;
+  bool any_sparse = false;
+  for (int c = 0; c < src_part->colors(); ++c) {
+    Interval s = src_part->sub(c).intersect(src.extent());
+    coord_t lo = 0, hi = -1;
+    bool any = false;
+    touched.clear();
+    touched.reserve(static_cast<std::size_t>(s.size()));
+    for (coord_t i = s.lo; i < s.hi; ++i) {
+      coord_t v = data[static_cast<std::size_t>(i)];
+      touched.push_back(v);
+      if (!any) {
+        lo = hi = v;
+        any = true;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    subs.emplace_back(any ? Interval{lo, hi + 1} : Interval{});
+    // Coalesce the touched coordinates into maximal intervals.
+    IntervalSet set;
+    if (any) {
+      std::sort(touched.begin(), touched.end());
+      coord_t run_lo = touched.front(), run_hi = touched.front();
+      for (coord_t v : touched) {
+        if (v <= run_hi + 1) {
+          run_hi = std::max(run_hi, v);
+        } else {
+          set.add({run_lo, run_hi + 1});
+          run_lo = run_hi = v;
+        }
+      }
+      set.add({run_lo, run_hi + 1});
+      if (set.size_within({lo, hi + 1}) < (hi + 1 - lo) * 9 / 10) any_sparse = true;
+    }
+    precise.push_back(std::move(set));
+  }
+  PartitionRef part;
+  if (any_sparse) {
+    part = std::make_shared<const Partition>(std::move(subs), std::move(precise),
+                                             /*disjoint=*/false);
+  } else {
+    // Dense image: the bounding interval is (nearly) exact; skip the
+    // precise sets to keep validity bookkeeping cheap.
+    part = std::make_shared<const Partition>(std::move(subs), /*disjoint=*/false);
+  }
+  ++partitions_created_;
+  image_cache_.emplace(key, part);
+  return part;
+}
+
+Runtime::Alloc& Runtime::find_or_create_alloc(const Store& store, Interval elem,
+                                              int mem) {
+  auto& allocs = mem_state_[mem]->allocs[store.id()];
+  for (auto& a : allocs) {
+    if (a.extent.contains(elem)) return a;
+  }
+  double esize = static_cast<double>(dtype_size(store.dtype()));
+
+  if (!opts_.coalescing) {
+    // Ablation mode: exact-extent allocation per new requirement.
+    engine_->alloc_bytes(mem, static_cast<double>(elem.size()) * esize);
+    allocs.push_back(Alloc{elem, {}, {}});
+    return allocs.back();
+  }
+
+  // Recycle a pooled extent (from an out-of-scope store) when nothing
+  // overlaps the requirement; this is the Fig. 5 steady-state path.
+  bool any_overlap = false;
+  for (auto& a : allocs) any_overlap = any_overlap || a.extent.overlaps(elem);
+  if (!any_overlap) {
+    auto& pool = mem_state_[mem]->pool;
+    for (auto it = pool.begin(); it != pool.end(); ++it) {
+      if (it->contains(elem) && it->size() <= 2 * elem.size() + 64) {
+        Interval ext = *it;
+        pool.erase(it);
+        engine_->alloc_bytes(mem, static_cast<double>(ext.size()) * esize);
+        allocs.push_back(Alloc{ext, {}, {}});
+        return allocs.back();
+      }
+    }
+  }
+
+  // Coalescing (Section 4.2): grow a new allocation to the bounding union of
+  // the requirement and every existing overlapping allocation, migrating the
+  // valid data of the merged allocations (the paper's "resize RA1 to RA5").
+  Interval ext = elem;
+  std::vector<std::size_t> merged;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < allocs.size(); ++i) {
+      if (std::find(merged.begin(), merged.end(), i) != merged.end()) continue;
+      if (allocs[i].extent.overlaps(ext)) {
+        ext = ext.span_union(allocs[i].extent);
+        merged.push_back(i);
+        changed = true;
+      }
+    }
+  }
+
+  Alloc merged_alloc{ext, {}, {}};
+  engine_->alloc_bytes(mem, static_cast<double>(ext.size()) * esize);
+  for (std::size_t i : merged) {
+    Alloc& old = allocs[i];
+    // Intra-memory copy of the valid contents into the resized allocation.
+    coord_t valid_elems = old.held.covered_size(old.extent);
+    if (valid_elems > 0) {
+      double src_ready = 0;
+      old.ready.for_each_in(old.extent,
+                            [&](Interval, double t) { src_ready = std::max(src_ready, t); });
+      double done = engine_->copy(mem, mem, static_cast<double>(valid_elems) * esize,
+                                  src_ready);
+      old.held.for_each_in(old.extent, [&](Interval iv, std::uint64_t v) {
+        // Keep the newest version when merged allocations overlap.
+        merged_alloc.held.update(iv, [&](Interval, std::optional<std::uint64_t> prev) {
+          return prev ? std::max(*prev, v) : v;
+        });
+        merged_alloc.ready.update(iv, [&](Interval, std::optional<double> prev) {
+          return prev ? std::max(*prev, done) : done;
+        });
+      });
+    }
+    engine_->free_bytes(mem, static_cast<double>(old.extent.size()) * esize);
+  }
+  // Erase merged allocations (descending index order keeps indices valid).
+  std::sort(merged.rbegin(), merged.rend());
+  for (std::size_t i : merged) allocs.erase(allocs.begin() + static_cast<long>(i));
+  allocs.push_back(std::move(merged_alloc));
+  return allocs.back();
+}
+
+double Runtime::ensure_in_memory(const Store& store, Interval elem, int mem,
+                                 bool discard, const IntervalSet* precise) {
+  if (elem.empty()) return 0.0;
+  auto& ss = sync(store.id());
+  // The instance always covers the bounding interval (rectangular
+  // allocation), but when a precise image is available only the touched
+  // pieces are staged.
+  Alloc& alloc = find_or_create_alloc(store, elem, mem);
+  double esize = static_cast<double>(dtype_size(store.dtype()));
+
+  double data_ready = 0;
+  // Resize copies recorded their completion in `ready`; account for them.
+  alloc.ready.for_each_in(elem,
+                          [&](Interval, double t) { data_ready = std::max(data_ready, t); });
+  if (discard) return data_ready;
+
+  // Determine the required version per piece (implicit version 0 for
+  // never-written data, which needs no movement), restricted to the precise
+  // touched set when one exists.
+  std::vector<std::pair<Interval, std::uint64_t>> required;
+  auto collect = [&](Interval range) {
+    ss.version.for_each_in(
+        range, [&](Interval iv, std::uint64_t v) { required.emplace_back(iv, v); });
+  };
+  if (precise != nullptr) {
+    precise->for_each(elem, collect);
+  } else {
+    collect(elem);
+  }
+  for (auto& [iv, v] : required) {
+    if (v == 0) continue;
+    // Compare against what the allocation holds.
+    std::vector<Interval> stale;
+    alloc.held.for_each_in(iv, [&](Interval piece, std::uint64_t held_v) {
+      if (held_v < v) stale.push_back(piece);
+    });
+    alloc.held.for_each_gap(iv, [&](Interval gap) { stale.push_back(gap); });
+    for (Interval piece : stale) {
+      // Copy from the owner memory; a piece may have several owners.
+      std::vector<std::pair<Interval, int>> sources;
+      ss.owner.for_each_in(piece,
+                           [&](Interval p, int m) { sources.emplace_back(p, m); });
+      ss.owner.for_each_gap(piece, [&](Interval p) {
+        sources.emplace_back(p, machine_.home_memory());
+      });
+      for (auto& [p, src_mem] : sources) {
+        double src_ready = 0;
+        ss.last_write.for_each_in(
+            p, [&](Interval, double t) { src_ready = std::max(src_ready, t); });
+        double done =
+            engine_->copy(src_mem, mem, static_cast<double>(p.size()) * esize, src_ready);
+        alloc.held.assign(p, v);
+        alloc.ready.assign(p, done);
+        data_ready = std::max(data_ready, done);
+      }
+    }
+    // Up-to-date pieces still gate on when they arrived.
+    alloc.ready.for_each_in(iv, [&](Interval, double t) {
+      data_ready = std::max(data_ready, t);
+    });
+  }
+  return data_ready;
+}
+
+double Runtime::shuffle(const Store& in, const Store& out,
+                        const std::function<void()>& body) {
+  const int P = machine_.num_procs();
+  double t_launch = engine_->control_advance(task_overhead_);
+
+  auto& sin = sync(in.id());
+  double src_ready = t_launch;
+  sin.last_write.for_each_in(in.extent(),
+                             [&](Interval, double t) { src_ready = std::max(src_ready, t); });
+
+  body();  // real data movement on canonical buffers
+
+  double esize = static_cast<double>(dtype_size(out.dtype()));
+  double block_bytes =
+      static_cast<double>(in.volume()) * esize / (static_cast<double>(P) * P);
+  std::vector<double> dst_ready(static_cast<std::size_t>(P), src_ready);
+  for (int s = 0; s < P; ++s) {
+    for (int d = 0; d < P; ++d) {
+      int ms = machine_.proc(s).mem;
+      int md = machine_.proc(d).mem;
+      if (ms == md) continue;
+      double done = engine_->copy(ms, md, block_bytes, src_ready);
+      dst_ready[static_cast<std::size_t>(d)] =
+          std::max(dst_ready[static_cast<std::size_t>(d)], done);
+    }
+  }
+
+  // Each destination runs a local repack kernel and then owns its block.
+  auto part = Partition::equal(out.basis(), P);
+  auto& sout = sync(out.id());
+  ++sout.version_counter;
+  ++sout.epoch;
+  double max_done = t_launch;
+  for (int d = 0; d < P; ++d) {
+    Interval iv = part->sub(d);
+    Interval elem{iv.lo * out.stride(), iv.hi * out.stride()};
+    if (elem.empty()) continue;
+    const auto& proc = machine_.proc(d);
+    sim::Cost cost{2.0 * static_cast<double>(elem.size()) * esize * engine_->cost_scale(),
+                   0, 1.0};
+    double dur = engine_->cost_model().kernel_seconds(
+        proc.kind, cost, proc.kind == sim::ProcKind::CPU ? cpu_fraction_ : 1.0);
+    if (proc.kind == sim::ProcKind::GPU) dur += machine_.params().gpu_kernel_launch;
+    engine_->note_task();
+    double done = engine_->busy_proc(d, dst_ready[static_cast<std::size_t>(d)], dur);
+    sout.version.assign(elem, sout.version_counter);
+    sout.owner.assign(elem, proc.mem);
+    sout.last_write.assign(elem, done);
+    Alloc& alloc = find_or_create_alloc(out, elem, proc.mem);
+    alloc.held.assign(elem, sout.version_counter);
+    alloc.ready.assign(elem, done);
+    max_done = std::max(max_done, done);
+  }
+  sout.key = part;
+  sout.readers.clear();
+  sin.readers.emplace_back(in.extent(), max_done);
+  return max_done;
+}
+
+Future Runtime::execute(TaskLauncher& L) {
+  const auto& pp = machine_.params();
+  double t_launch = engine_->control_advance(task_overhead_);
+
+  const int nargs = static_cast<int>(L.args_.size());
+  LSR_CHECK_MSG(L.leaf_ != nullptr, "task has no leaf function");
+
+  // ---- 1. Choose the color count ----------------------------------------
+  int colors = L.forced_colors_ > 0 ? L.forced_colors_ : default_colors();
+  coord_t primary_basis = 0;
+  for (const auto& a : L.args_) {
+    if (a.ckind == ConstraintKind::None && a.priv != Priv::Reduce) {
+      primary_basis = std::max(primary_basis, a.store.basis());
+    }
+  }
+  if (primary_basis > 0) {
+    colors = static_cast<int>(
+        std::min<coord_t>(colors, std::max<coord_t>(1, primary_basis)));
+  }
+
+  // ---- 2. Solve partitioning constraints (Section 4.1) -------------------
+  std::vector<PartitionRef> parts(nargs);
+  // Alignment groups first: reuse a key partition of the largest member when
+  // it satisfies the constraints, else make a fresh equal partition.
+  std::unordered_map<int, std::vector<int>> groups;
+  for (int i = 0; i < nargs; ++i) {
+    auto& a = L.args_[i];
+    if (a.ckind == ConstraintKind::None && a.priv != Priv::Reduce) {
+      groups[L.find_root(i)].push_back(i);
+    }
+  }
+  for (auto& [root, members] : groups) {
+    coord_t basis = L.args_[members[0]].store.basis();
+    PartitionRef chosen;
+    if (opts_.partition_reuse) {
+      // Prefer the key partition of the largest store in the group
+      // ("keep the largest region in place").
+      std::vector<int> order = members;
+      std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return L.args_[x].store.volume() > L.args_[y].store.volume();
+      });
+      for (int m : order) {
+        auto key = sync(L.args_[m].store.id()).key;
+        if (key && key->colors() == colors && key->disjoint()) {
+          // The key partition must cover this basis exactly.
+          coord_t hi = 0;
+          for (auto& iv : key->subs()) hi = std::max(hi, iv.hi);
+          if (hi == basis) {
+            chosen = key;
+            break;
+          }
+        }
+      }
+    }
+    if (!chosen) {
+      chosen = Partition::equal(basis, colors);
+      ++partitions_created_;
+    }
+    for (int m : members) parts[m] = chosen;
+  }
+  // Broadcast & reduce arguments see the whole store from every point.
+  for (int i = 0; i < nargs; ++i) {
+    auto& a = L.args_[i];
+    if (a.ckind == ConstraintKind::Broadcast || a.priv == Priv::Reduce) {
+      std::vector<Interval> whole(static_cast<std::size_t>(colors),
+                                  Interval{0, a.store.basis()});
+      parts[i] = std::make_shared<const Partition>(std::move(whole), false);
+    }
+  }
+  // Image/halo constraints, iterated to handle chains (pos -> crd -> x).
+  for (int pass = 0; pass < nargs; ++pass) {
+    bool progress = false, pending = false;
+    for (int i = 0; i < nargs; ++i) {
+      auto& a = L.args_[i];
+      if (a.ckind != ConstraintKind::ImageRects &&
+          a.ckind != ConstraintKind::ImagePoints && a.ckind != ConstraintKind::Halo)
+        continue;
+      if (parts[i]) continue;
+      if (!parts[a.image_src]) {
+        pending = true;
+        continue;
+      }
+      if (a.ckind == ConstraintKind::Halo) {
+        std::vector<Interval> subs;
+        subs.reserve(parts[a.image_src]->colors());
+        for (const Interval& s : parts[a.image_src]->subs()) {
+          if (s.empty()) {
+            subs.emplace_back();
+            continue;
+          }
+          Interval expanded{s.lo + a.halo_lo, s.hi + a.halo_hi};
+          subs.push_back(expanded.intersect({0, a.store.basis()}));
+        }
+        parts[i] = std::make_shared<const Partition>(std::move(subs), false);
+        ++partitions_created_;
+      } else {
+        parts[i] =
+            image_partition(L.args_[a.image_src].store, parts[a.image_src], a.ckind);
+      }
+      progress = true;
+    }
+    if (!pending) break;
+    LSR_CHECK_MSG(progress || !pending, "cyclic image constraints");
+  }
+  for (int i = 0; i < nargs; ++i) LSR_CHECK_MSG(parts[i] != nullptr, "unsolved arg");
+
+  // ---- 3. Pass A: dependence analysis against pre-launch state -----------
+  double t_base = std::max(t_launch, L.future_dep_);
+  std::vector<double> dep_time(static_cast<std::size_t>(colors), t_base);
+  for (int c = 0; c < colors; ++c) {
+    double t = t_base;
+    for (int i = 0; i < nargs; ++i) {
+      auto& a = L.args_[i];
+      Interval iv = parts[i]->sub(c).intersect({0, a.store.basis()});
+      Interval elem{iv.lo * a.store.stride(), iv.hi * a.store.stride()};
+      if (elem.empty()) continue;
+      auto& ss = sync(a.store.id());
+      if (a.priv != Priv::WriteDiscard) {
+        // RAW: wait for writers of data we read (also ReadWrite/Reduce).
+        ss.last_write.for_each_in(elem,
+                                  [&](Interval, double w) { t = std::max(t, w); });
+      }
+      if (a.priv != Priv::Read) {
+        // WAW + WAR.
+        ss.last_write.for_each_in(elem,
+                                  [&](Interval, double w) { t = std::max(t, w); });
+        for (auto& [riv, rt_] : ss.readers) {
+          if (riv.overlaps(elem)) t = std::max(t, rt_);
+        }
+      }
+    }
+    dep_time[c] = t;
+  }
+
+  // ---- 4. Pass B: map, move data, and execute ----------------------------
+  std::vector<double> completion(static_cast<std::size_t>(colors), t_launch);
+  std::vector<std::vector<Interval>> point_ivs(static_cast<std::size_t>(colors));
+  std::vector<int> point_mem(static_cast<std::size_t>(colors), machine_.home_memory());
+
+  // Reduction partial buffers (zero-initialized per point) + accumulators.
+  std::vector<std::vector<std::byte>> reduce_bufs(static_cast<std::size_t>(nargs));
+  std::vector<std::vector<double>> reduce_acc(static_cast<std::size_t>(nargs));
+  for (int i = 0; i < nargs; ++i) {
+    if (L.args_[i].priv == Priv::Reduce) {
+      LSR_CHECK_MSG(L.args_[i].store.dtype() == DType::F64,
+                    "store reductions support f64 only");
+      reduce_acc[i].assign(static_cast<std::size_t>(L.args_[i].store.volume()), 0.0);
+    }
+  }
+
+  std::vector<double> partials;
+  double max_completion = t_launch;
+
+  for (int c = 0; c < colors; ++c) {
+    // Mapper: consistent color -> processor assignment across libraries.
+    int proc_id = c % machine_.num_procs();
+    const auto& proc = machine_.proc(proc_id);
+    point_mem[static_cast<std::size_t>(c)] = proc.mem;
+
+    // Compute per-arg basis intervals; skip fully-empty points.
+    std::vector<Interval> ivs(static_cast<std::size_t>(nargs));
+    bool all_empty = true;
+    for (int i = 0; i < nargs; ++i) {
+      ivs[i] = parts[i]->sub(c).intersect({0, L.args_[i].store.basis()});
+      if (!ivs[i].empty() && L.args_[i].ckind != ConstraintKind::Broadcast)
+        all_empty = false;
+    }
+    point_ivs[static_cast<std::size_t>(c)] = ivs;
+    if (all_empty) {
+      completion[static_cast<std::size_t>(c)] = dep_time[static_cast<std::size_t>(c)];
+      continue;
+    }
+
+    // Stage the data (allocation + validity machinery).
+    double data_ready = dep_time[static_cast<std::size_t>(c)];
+    for (int i = 0; i < nargs; ++i) {
+      auto& a = L.args_[i];
+      if (a.priv == Priv::Reduce) continue;  // partials live in temp buffers
+      Interval elem{ivs[i].lo * a.store.stride(), ivs[i].hi * a.store.stride()};
+      bool discard = a.priv == Priv::WriteDiscard;
+      const IntervalSet* precise =
+          a.store.stride() == 1 ? parts[i]->precise(c) : nullptr;
+      data_ready = std::max(
+          data_ready, ensure_in_memory(a.store, elem, proc.mem, discard, precise));
+    }
+
+    // Execute the leaf for real.
+    TaskContext ctx;
+    ctx.color_ = c;
+    ctx.colors_ = colors;
+    ctx.launcher_ = &L;
+    ctx.arg_intervals_ = &point_ivs[static_cast<std::size_t>(c)];
+    for (int i = 0; i < nargs; ++i) {
+      if (L.args_[i].priv == Priv::Reduce) {
+        reduce_bufs[i].assign(
+            static_cast<std::size_t>(L.args_[i].store.volume()) * sizeof(double),
+            std::byte{0});
+      }
+    }
+    ctx.reduce_bufs_ = &reduce_bufs;
+    L.leaf_(ctx);
+
+    // Fold reduction partials into the accumulators.
+    for (int i = 0; i < nargs; ++i) {
+      if (L.args_[i].priv != Priv::Reduce) continue;
+      const double* src = reinterpret_cast<const double*>(reduce_bufs[i].data());
+      for (std::size_t k = 0; k < reduce_acc[i].size(); ++k) reduce_acc[i][k] += src[k];
+      reduce_bufs[i].clear();
+    }
+    if (ctx.contributed_) partials.push_back(ctx.partial_);
+
+    // Charge simulated time.
+    sim::Cost cost = ctx.cost_;
+    if (opts_.model_reshape && proc.kind == sim::ProcKind::GPU) {
+      cost.bytes += ctx.reshape_bytes_ * pp.legate_csr_reshape_fraction;
+    }
+    cost.bytes *= engine_->cost_scale();
+    cost.flops *= engine_->cost_scale();
+    double duration = engine_->cost_model().kernel_seconds(
+        proc.kind, cost, proc.kind == sim::ProcKind::CPU ? cpu_fraction_ : 1.0);
+    if (proc.kind == sim::ProcKind::GPU) duration += pp.gpu_kernel_launch;
+    engine_->note_task();
+    double done = engine_->busy_proc(proc_id, data_ready, duration);
+    completion[static_cast<std::size_t>(c)] = done;
+    max_completion = std::max(max_completion, done);
+  }
+
+  // ---- 5. Pass C: publish writes into the dependence state ---------------
+  for (int i = 0; i < nargs; ++i) {
+    auto& a = L.args_[i];
+    if (a.priv == Priv::Read) continue;
+    auto& ss = sync(a.store.id());
+    if (a.priv == Priv::Reduce) continue;  // handled below
+    ++ss.version_counter;
+    ++ss.epoch;
+    for (int c = 0; c < colors; ++c) {
+      Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
+      Interval elem{iv.lo * a.store.stride(), iv.hi * a.store.stride()};
+      if (elem.empty()) continue;
+      int mem = point_mem[static_cast<std::size_t>(c)];
+      double done = completion[static_cast<std::size_t>(c)];
+      ss.version.assign(elem, ss.version_counter);
+      ss.owner.assign(elem, mem);
+      ss.last_write.assign(elem, done);
+      // The writer's allocation now holds the fresh data.
+      Alloc& alloc = find_or_create_alloc(a.store, elem, mem);
+      alloc.held.assign(elem, ss.version_counter);
+      alloc.ready.assign(elem, done);
+    }
+    // Writes clear the reader set they superseded.
+    std::erase_if(ss.readers, [&](const std::pair<Interval, double>& r) {
+      for (int c = 0; c < colors; ++c) {
+        Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
+        Interval elem{iv.lo * a.store.stride(), iv.hi * a.store.stride()};
+        if (r.first.overlaps(elem)) return true;
+      }
+      return false;
+    });
+    // Track the key partition of written stores for future reuse.
+    if (a.ckind == ConstraintKind::None) ss.key = parts[i];
+  }
+  // Reads register for WAR tracking; read-only stores also adopt the
+  // partition they were last used with as their key partition, so future
+  // launches (and their cached images) can align with them — read-mostly
+  // data like a solver's matrix would otherwise never anchor reuse.
+  for (int i = 0; i < nargs; ++i) {
+    auto& a = L.args_[i];
+    if (a.priv != Priv::Read) continue;
+    auto& ss = sync(a.store.id());
+    for (int c = 0; c < colors; ++c) {
+      Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
+      Interval elem{iv.lo * a.store.stride(), iv.hi * a.store.stride()};
+      if (!elem.empty())
+        ss.readers.emplace_back(elem, completion[static_cast<std::size_t>(c)]);
+    }
+    if (a.ckind == ConstraintKind::None && !ss.key) ss.key = parts[i];
+  }
+
+  // ---- 6. Store reductions: write-back + all-reduce + replication --------
+  for (int i = 0; i < nargs; ++i) {
+    auto& a = L.args_[i];
+    if (a.priv != Priv::Reduce) continue;
+    auto dst = a.store.span<double>();
+    std::copy(reduce_acc[i].begin(), reduce_acc[i].end(), dst.begin());
+    double bytes = static_cast<double>(a.store.volume()) * sizeof(double);
+    double t_red = engine_->allreduce_bytes(colors, bytes, max_completion, true);
+    auto& ss = sync(a.store.id());
+    ++ss.version_counter;
+    ++ss.epoch;
+    ss.version.assign(a.store.extent(), ss.version_counter);
+    ss.last_write.assign(a.store.extent(), t_red);
+    ss.readers.clear();
+    // After the all-reduce every participating memory holds the result.
+    bool first = true;
+    for (const auto& proc : machine_.procs()) {
+      Alloc& alloc = find_or_create_alloc(a.store, a.store.extent(), proc.mem);
+      alloc.held.assign(a.store.extent(), ss.version_counter);
+      alloc.ready.assign(a.store.extent(), t_red);
+      if (first) {
+        ss.owner.assign(a.store.extent(), proc.mem);
+        first = false;
+      }
+    }
+    max_completion = std::max(max_completion, t_red);
+  }
+
+  // ---- 7. Scalar reduction future -----------------------------------------
+  Future fut;
+  if (L.has_redop_) {
+    double v = 0;
+    bool first = true;
+    for (double p : partials) {
+      if (first) {
+        v = p;
+        first = false;
+        continue;
+      }
+      switch (*L.redop_) {
+        case ScalarRedop::Sum: v += p; break;
+        case ScalarRedop::Max: v = std::max(v, p); break;
+        case ScalarRedop::Min: v = std::min(v, p); break;
+      }
+    }
+    fut.value = v;
+    fut.ready = engine_->allreduce(colors, max_completion, true);
+    fut.valid = true;
+  }
+  return fut;
+}
+
+}  // namespace legate::rt

@@ -1,0 +1,264 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rt/partition.h"
+#include "rt/store.h"
+#include "sim/engine.h"
+#include "util/interval_map.h"
+
+namespace legate::rt {
+
+class Runtime;
+class TaskLauncher;
+
+/// Access privilege of a task argument.
+enum class Priv {
+  Read,          ///< read-only
+  WriteDiscard,  ///< whole sub-interval overwritten; prior contents dead
+  ReadWrite,     ///< in-place update
+  Reduce,        ///< every point produces a full-store partial, summed
+};
+
+/// How an argument's partition is constrained (Section 4.1).
+enum class ConstraintKind {
+  None,
+  Broadcast,    ///< whole store visible to every point task
+  ImageRects,   ///< partition = image of a Rect1-typed source argument
+  ImagePoints,  ///< partition = image of an i64 coordinate source argument
+  Halo,         ///< partition = source partition expanded by fixed offsets
+};
+
+enum class ScalarRedop { Sum, Max, Min };
+
+/// Result of a scalar reduction (dot, norm, ...). `value` is exact (computed
+/// for real); `ready` is the simulated completion time including the
+/// all-reduce model.
+struct Future {
+  double value{0};
+  double ready{0};
+  bool valid{false};
+};
+
+/// Per-point view handed to leaf task bodies. Mirrors the paper's Fig. 7
+/// tasks: leaves index the *global* store span within their assigned bounds.
+class TaskContext {
+ public:
+  [[nodiscard]] int color() const { return color_; }
+  [[nodiscard]] int colors() const { return colors_; }
+
+  /// Basis-unit interval assigned to this point for argument `arg`
+  /// (rows of a 2-D store, elements of a 1-D store).
+  [[nodiscard]] Interval interval(int arg) const;
+  /// Element interval (basis interval scaled by the row stride).
+  [[nodiscard]] Interval elem_interval(int arg) const;
+
+  /// Typed view of argument `arg`. For Reduce arguments this is a private
+  /// zero-initialized partial buffer; otherwise the canonical store data.
+  template <typename T>
+  [[nodiscard]] std::span<T> full(int arg) const {
+    auto bytes = arg_bytes(arg);
+    return {reinterpret_cast<T*>(bytes.data()), bytes.size() / sizeof(T)};
+  }
+  [[nodiscard]] const Store& store(int arg) const;
+
+  /// Charge roofline work to this point task. Leaves report the bytes and
+  /// flops they actually touched, so simulated time tracks real work.
+  void add_cost(double bytes, double flops, double efficiency = 1.0);
+  /// Charge the Section-3 penalty of reshaping a global-CSR piece into a
+  /// local matrix before calling an external (cuSPARSE-style) kernel.
+  void add_reshape_bytes(double bytes);
+  /// Contribute a partial value to the launch's scalar reduction.
+  void contribute(double v);
+
+ private:
+  friend class Runtime;
+  [[nodiscard]] std::span<std::byte> arg_bytes(int arg) const;
+
+  int color_{0};
+  int colors_{1};
+  const TaskLauncher* launcher_{nullptr};
+  const std::vector<Interval>* arg_intervals_{nullptr};  // basis units, per arg
+  std::vector<std::vector<std::byte>>* reduce_bufs_{nullptr};  // per arg; empty if none
+  sim::Cost cost_;
+  double reshape_bytes_{0};
+  double partial_{0};
+  bool contributed_{false};
+};
+
+/// Declarative task launch: stores + privileges + partitioning constraints.
+/// The runtime's constraint solver picks concrete partitions at execute()
+/// time, reusing existing ("key") partitions whenever they satisfy the
+/// constraints — the mechanism that lets Legate Sparse and the dense library
+/// compose without knowing about each other (Section 4.1).
+class TaskLauncher {
+ public:
+  TaskLauncher(Runtime& rt, std::string name);
+
+  int add_input(const Store& s) { return add_arg(s, Priv::Read); }
+  int add_output(const Store& s) { return add_arg(s, Priv::WriteDiscard); }
+  int add_inout(const Store& s) { return add_arg(s, Priv::ReadWrite); }
+  int add_reduction(const Store& s) { return add_arg(s, Priv::Reduce); }
+
+  /// Constrain two arguments to use aligned partitions of their bases.
+  void align(int a, int b);
+  /// Constrain dst's partition to the image of src's (Rect1 entries).
+  void image_rects(int src, int dst);
+  /// Constrain dst's partition to the image of src's (i64 coordinates).
+  void image_points(int src, int dst);
+  /// Constrain dst's partition to src's expanded by [lo_off, hi_off] basis
+  /// units and clipped (stencil/banded access patterns).
+  void halo(int src, int dst, coord_t lo_off, coord_t hi_off);
+  /// Replicate the whole argument to every point task.
+  void broadcast(int arg);
+
+  /// Request a scalar reduction combined across point tasks.
+  void reduce_scalar(ScalarRedop op) {
+    redop_ = op;
+    has_redop_ = true;
+  }
+
+  void set_leaf(std::function<void(TaskContext&)> fn) { leaf_ = std::move(fn); }
+  /// Force the number of point tasks (e.g. 1 for sequential glue work).
+  void require_colors(int n) { forced_colors_ = n; }
+  /// Add a dependence on a scalar future (tasks consume futures without
+  /// blocking the control lane, like Legate's scalar plumbing).
+  void depend_on(double future_ready) {
+    future_dep_ = std::max(future_dep_, future_ready);
+  }
+
+  Future execute();
+
+ private:
+  friend class Runtime;
+  friend class TaskContext;
+  struct Arg {
+    Store store;
+    Priv priv;
+    ConstraintKind ckind{ConstraintKind::None};
+    int image_src{-1};
+    coord_t halo_lo{0}, halo_hi{0};
+    int align_root{-1};  // union-find parent (index into args_)
+  };
+  int add_arg(const Store& s, Priv p);
+  int find_root(int a);
+
+  Runtime& rt_;
+  std::string name_;
+  std::vector<Arg> args_;
+  std::function<void(TaskContext&)> leaf_;
+  std::optional<ScalarRedop> redop_;
+  bool has_redop_{false};
+  int forced_colors_{-1};
+  double future_dep_{0};
+};
+
+/// Behaviour toggles, used by the ablation benchmarks.
+struct RuntimeOptions {
+  bool coalescing = true;       ///< Section 4.2 allocation coalescing
+  bool partition_reuse = true;  ///< Section 4.1 key-partition reuse
+  bool model_reshape = true;    ///< Section 3 local-reshape penalty
+  double task_overhead = -1;    ///< control-lane seconds/launch; <0 = default
+  /// Core fraction for CPU leaf tasks (Legate reserves runtime cores).
+  double cpu_core_fraction = -1;  ///< <0 = params default
+};
+
+/// The Legion-model runtime: dynamic dependence analysis over the task
+/// stream, constraint solving, mapping, allocation management with
+/// coalescing, and discrete-event time accounting. Leaf tasks execute for
+/// real on canonical host buffers; only wall-clock time is simulated.
+class Runtime {
+ public:
+  explicit Runtime(const sim::Machine& machine, RuntimeOptions opts = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  Store create_store(DType dtype, std::vector<coord_t> shape);
+
+  /// Create a 1-D store initialized from host data (lives in the home
+  /// system memory, like a NumPy array handed to Legate).
+  template <typename T>
+  Store attach(const std::vector<T>& data) {
+    Store s = create_store(dtype_of<T>::value, {static_cast<coord_t>(data.size())});
+    auto dst = s.span<T>();
+    std::copy(data.begin(), data.end(), dst.begin());
+    mark_attached(s);
+    return s;
+  }
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] const sim::Machine& machine() const { return machine_; }
+  [[nodiscard]] const RuntimeOptions& options() const { return opts_; }
+  [[nodiscard]] int default_colors() const { return machine_.num_procs(); }
+  [[nodiscard]] double sim_time() const { return engine_->makespan(); }
+
+  /// Key partition currently tracked for a store (may be null).
+  [[nodiscard]] PartitionRef key_partition(const Store& s) const;
+
+  /// Number of partitions materialized so far (ablation metric).
+  [[nodiscard]] long partitions_created() const { return partitions_created_; }
+
+  /// All-to-all repartitioning primitive (distributed transpose & friends):
+  /// every processor's block of `out` draws on every block of `in`. `body`
+  /// performs the real data movement on the canonical buffers; the engine is
+  /// charged one copy per (src, dst) processor pair of volume/P² bytes —
+  /// the communication pattern the paper cites for the factorization's dense
+  /// transposes (Section 6.2).
+  double shuffle(const Store& in, const Store& out,
+                 const std::function<void()>& body);
+
+  // -- internal API (used by TaskLauncher / StoreImpl) --
+  Future execute(TaskLauncher& launcher);
+  void on_store_destroyed(detail::StoreImpl* impl);
+  void mark_attached(const Store& s);
+
+ private:
+  struct SyncState;
+  struct Alloc;
+  struct MemState;
+
+  PartitionRef image_partition(const Store& src, const PartitionRef& src_part,
+                               ConstraintKind kind);
+  /// Ensure `elem` of `store` is materialized in memory `mem`; returns the
+  /// simulated time at which the data is valid there. `discard` skips
+  /// staleness copies (write-only outputs); `precise`, when given, restricts
+  /// staleness copies to the touched subset of `elem` (precise images).
+  double ensure_in_memory(const Store& store, Interval elem, int mem, bool discard,
+                          const IntervalSet* precise = nullptr);
+  Alloc& find_or_create_alloc(const Store& store, Interval elem, int mem);
+  SyncState& sync(StoreId id);
+
+  sim::Machine machine_;
+  std::unique_ptr<sim::Engine> engine_;
+  RuntimeOptions opts_;
+  double task_overhead_;
+  double cpu_fraction_;
+
+  StoreId next_store_id_{1};
+  std::unordered_set<detail::StoreImpl*> live_stores_;
+  std::unordered_map<StoreId, std::unique_ptr<SyncState>> sync_;
+  std::vector<std::unique_ptr<MemState>> mem_state_;  // per memory
+
+  struct ImageKey {
+    StoreId src;
+    const Partition* part;
+    ConstraintKind kind;
+    std::uint64_t epoch;
+    bool operator<(const ImageKey& o) const {
+      return std::tie(src, part, kind, epoch) <
+             std::tie(o.src, o.part, o.kind, o.epoch);
+    }
+  };
+  std::map<ImageKey, PartitionRef> image_cache_;
+  long partitions_created_{0};
+};
+
+}  // namespace legate::rt

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rt/dtype.h"
+#include "util/interval.h"
+
+namespace legate::rt {
+
+class Runtime;
+using StoreId = std::uint64_t;
+
+namespace detail {
+/// Backing state of a store. The canonical data always lives in this host
+/// buffer (leaf tasks compute on it directly and bit-exactly); the runtime's
+/// allocation/validity machinery models where copies of it live on the
+/// simulated machine. On destruction the runtime is notified so simulated
+/// allocations are released (this is what lets the mapper reuse the
+/// out-of-scope x0 allocations in the paper's Fig. 5 walk-through).
+struct StoreImpl {
+  StoreImpl(Runtime* rt_, StoreId id_, DType dtype_, std::vector<coord_t> shape_);
+  ~StoreImpl();
+  StoreImpl(const StoreImpl&) = delete;
+  StoreImpl& operator=(const StoreImpl&) = delete;
+
+  Runtime* rt;
+  StoreId id;
+  DType dtype;
+  std::vector<coord_t> shape;  ///< 1 or 2 dims; 2-D is row-major
+  std::vector<std::byte> data;
+
+  [[nodiscard]] coord_t volume() const {
+    coord_t v = 1;
+    for (auto s : shape) v *= s;
+    return v;
+  }
+};
+}  // namespace detail
+
+/// Lightweight handle to a region-backed array (a Legate "store").
+/// Copies share the same underlying data, like Legion region handles.
+class Store {
+ public:
+  Store() = default;
+  explicit Store(std::shared_ptr<detail::StoreImpl> impl) : impl_(std::move(impl)) {}
+
+  [[nodiscard]] bool valid() const { return impl_ != nullptr; }
+  [[nodiscard]] StoreId id() const { return impl_->id; }
+  [[nodiscard]] DType dtype() const { return impl_->dtype; }
+  [[nodiscard]] const std::vector<coord_t>& shape() const { return impl_->shape; }
+  [[nodiscard]] int dim() const { return static_cast<int>(impl_->shape.size()); }
+  [[nodiscard]] coord_t volume() const { return impl_->volume(); }
+  /// Number of partitionable basis units: rows for 2-D, elements for 1-D.
+  [[nodiscard]] coord_t basis() const { return impl_->shape[0]; }
+  /// Elements per basis unit (row length for 2-D, 1 for 1-D).
+  [[nodiscard]] coord_t stride() const {
+    return dim() == 2 ? impl_->shape[1] : 1;
+  }
+  [[nodiscard]] Interval extent() const { return {0, volume()}; }
+  [[nodiscard]] Runtime& runtime() const { return *impl_->rt; }
+
+  /// Typed view of the whole canonical buffer.
+  template <typename T>
+  [[nodiscard]] std::span<T> span() const {
+    LSR_CHECK(dtype_of<T>::value == impl_->dtype);
+    return {reinterpret_cast<T*>(impl_->data.data()),
+            static_cast<std::size_t>(volume())};
+  }
+
+  [[nodiscard]] bool same_as(const Store& o) const { return impl_ == o.impl_; }
+
+ private:
+  std::shared_ptr<detail::StoreImpl> impl_;
+};
+
+}  // namespace legate::rt

@@ -1,0 +1,146 @@
+#include "sim/engine.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace legate::sim {
+
+Engine::Engine(const Machine& machine)
+    : machine_(machine), cost_model_(machine.params()), pp_(machine.params()) {
+  proc_clock_.assign(machine.num_procs(), 0.0);
+  const auto n_mems = machine.memories().size();
+  mem_copy_clock_.assign(n_mems, 0.0);
+  mem_used_.assign(n_mems, 0.0);
+  mem_peak_.assign(n_mems, 0.0);
+  nic_in_.assign(machine.nodes(), 0.0);
+  nic_out_.assign(machine.nodes(), 0.0);
+}
+
+double Engine::control_advance(double overhead) {
+  control_clock_ += overhead;
+  bump(control_clock_);
+  return control_clock_;
+}
+
+double Engine::busy_proc(int proc, double ready, double duration) {
+  double& clk = proc_clock_.at(proc);
+  double start = std::max(clk, ready);
+  clk = start + duration;
+  bump(clk);
+  return clk;
+}
+
+double& Engine::pair_link(int src_mem, int dst_mem) {
+  auto key = std::minmax(src_mem, dst_mem);
+  return pair_links_[{key.first, key.second}];
+}
+
+double Engine::copy(int src, int dst, double bytes, double ready) {
+  ++stats_.copies;
+  bytes *= cost_scale_;
+  const auto& sm = machine_.memory(src);
+  const auto& dm = machine_.memory(dst);
+  double done;
+  if (src == dst) {
+    // Intra-memory movement: allocation resizing, local reshape.
+    double bw = sm.kind == MemKind::Frame ? pp_.gpu_mem_bw : pp_.sysmem_bw;
+    double& clk = mem_copy_clock_.at(src);
+    double start = std::max(clk, ready);
+    done = start + pp_.sysmem_lat + bytes / bw;
+    clk = done;
+    stats_.bytes_intra += bytes;
+  } else if (sm.node == dm.node) {
+    // Intra-node: NVLink-class point-to-point link per memory pair.
+    double& clk = pair_link(src, dst);
+    double start = std::max(clk, ready);
+    done = start + pp_.nvlink_lat + bytes / pp_.nvlink_bw;
+    clk = done;
+    stats_.bytes_nvlink += bytes;
+  } else {
+    // Inter-node: the transfer occupies the source NIC-out and destination
+    // NIC-in queues independently (LogGP-style). Each side serializes its
+    // own traffic — the bottleneck that throttles the quantum simulation's
+    // near-all-to-all pattern — without coupling unrelated transfers
+    // through each other's completion times.
+    double& out = nic_out_.at(sm.node);
+    double& in = nic_in_.at(dm.node);
+    double tx = bytes / pp_.ib_bw;
+    out = std::max(out, ready) + tx;
+    in = std::max(in, ready) + tx;
+    done = std::max(out, in) + pp_.ib_lat;
+    stats_.bytes_ib += bytes;
+  }
+  bump(done);
+  return done;
+}
+
+double Engine::allreduce(int nprocs, double ready, bool legate_style) {
+  ++stats_.allreduces;
+  if (nprocs <= 1) return ready;
+  double hops = std::ceil(std::log2(static_cast<double>(nprocs)));
+  double t;
+  if (legate_style) {
+    t = ready + hops * pp_.legate_allreduce_alpha +
+        nprocs * pp_.legate_allreduce_linear;
+  } else {
+    t = ready + hops * pp_.mpi_allreduce_alpha;
+  }
+  bump(t);
+  return t;
+}
+
+double Engine::allreduce_bytes(int nprocs, double bytes, double ready,
+                               bool legate_style) {
+  bytes *= cost_scale_;
+  double t = allreduce(nprocs, ready, legate_style);
+  if (nprocs > 1 && bytes > 0) {
+    // Bottleneck link of the ring: Infiniband once multiple nodes are
+    // involved, NVLink (GPU) or system memory (CPU) within one node.
+    double bw;
+    if (machine_.nodes() > 1) {
+      bw = pp_.ib_bw;
+    } else if (machine_.target() == ProcKind::GPU) {
+      bw = pp_.nvlink_bw;
+    } else {
+      bw = pp_.sysmem_bw;
+    }
+    double p = static_cast<double>(nprocs);
+    t += 2.0 * bytes * ((p - 1.0) / p) / bw;
+    stats_.bytes_ib += machine_.nodes() > 1 ? 2.0 * bytes : 0.0;
+    bump(t);
+  }
+  return t;
+}
+
+void Engine::alloc_bytes(int mem, double bytes) {
+  bytes *= cost_scale_;
+  double& used = mem_used_.at(mem);
+  used += bytes;
+  const auto& m = machine_.memory(mem);
+  if (used > m.capacity) {
+    std::ostringstream os;
+    os << "memory " << mem << " (node " << m.node << ", "
+       << (m.kind == MemKind::Frame ? "framebuffer" : "sysmem") << ") over capacity: "
+       << used / 1e9 << " GB used of " << m.capacity / 1e9 << " GB";
+    throw OutOfMemoryError(os.str());
+  }
+  mem_peak_.at(mem) = std::max(mem_peak_.at(mem), used);
+}
+
+void Engine::free_bytes(int mem, double bytes) {
+  bytes *= cost_scale_;
+  double& used = mem_used_.at(mem);
+  used -= bytes;
+  LSR_CHECK_MSG(used > -1.0, "memory accounting went negative");
+}
+
+std::string Engine::report() const {
+  std::ostringstream os;
+  os << "makespan=" << makespan_ << "s tasks=" << stats_.tasks
+     << " copies=" << stats_.copies << " allreduces=" << stats_.allreduces
+     << " bytes{intra=" << stats_.bytes_intra / 1e6 << "MB, nvlink="
+     << stats_.bytes_nvlink / 1e6 << "MB, ib=" << stats_.bytes_ib / 1e6 << "MB}";
+  return os.str();
+}
+
+}  // namespace legate::sim

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.h"
+#include "util/common.h"
+
+namespace legate::sim {
+
+/// Roofline work descriptor for one leaf task / kernel invocation.
+struct Cost {
+  double bytes{0};       ///< bytes moved through the memory system
+  double flops{0};       ///< floating point operations
+  double efficiency{1};  ///< multiplier < 1 slows the kernel down
+};
+
+/// Traffic & activity counters, reported with every benchmark run.
+struct Stats {
+  double bytes_intra{0};   ///< intra-memory copies (allocation resizing)
+  double bytes_nvlink{0};  ///< intra-node inter-memory traffic
+  double bytes_ib{0};      ///< inter-node traffic
+  long copies{0};
+  long tasks{0};
+  long allreduces{0};
+};
+
+/// Turns a roofline Cost into seconds on a given processor kind.
+/// Callers select the core fraction (Legate reserves runtime cores; SciPy is
+/// single-threaded) so the same model serves the runtime and all baselines.
+class CostModel {
+ public:
+  explicit CostModel(const PerfParams& pp) : pp_(pp) {}
+
+  [[nodiscard]] double kernel_seconds(ProcKind kind, const Cost& c,
+                                      double core_fraction = 1.0) const {
+    double bw = 0, fl = 0;
+    switch (kind) {
+      case ProcKind::CPU:
+        bw = pp_.cpu_mem_bw * core_fraction;
+        fl = pp_.cpu_flops * core_fraction;
+        break;
+      case ProcKind::GPU:
+        bw = pp_.gpu_mem_bw;
+        fl = pp_.gpu_flops;
+        break;
+    }
+    double t = std::max(c.bytes / bw, c.flops / fl);
+    return t / (c.efficiency > 0 ? c.efficiency : 1.0);
+  }
+
+ private:
+  PerfParams pp_;
+};
+
+/// Discrete-event accounting for one program run.
+///
+/// The runtime executes leaf tasks for real and, in parallel, asks the engine
+/// when each task/copy/collective would complete on the modeled machine.
+/// Because the task stream is processed in order and every dependence is
+/// already resolved to a completion time, no event queue is needed: each
+/// resource (processor, copy link, NIC, control lane) is a monotone clock.
+class Engine {
+ public:
+  explicit Engine(const Machine& machine);
+
+  /// Occupy the sequential launch path (Python / library op dispatch) for
+  /// `overhead` seconds; returns the time the launch is finished.
+  double control_advance(double overhead);
+
+  /// Occupy processor `proc` starting no earlier than `ready` for `duration`
+  /// seconds; returns completion time.
+  double busy_proc(int proc, double ready, double duration);
+
+  /// Model a copy of `bytes` from memory `src` to memory `dst` whose source
+  /// data is available at `ready`; returns completion time. `src == dst`
+  /// models intra-memory movement (allocation resizing / reshape).
+  double copy(int src, int dst, double bytes, double ready);
+
+  /// Model an all-reduce across `nprocs` processors whose inputs are ready at
+  /// `ready`. Legate-style carries a linear per-processor term (the Legion
+  /// issue exposed in Fig. 9); MPI-style is a clean log tree.
+  double allreduce(int nprocs, double ready, bool legate_style);
+
+  /// All-reduce carrying `bytes` of payload per processor (dense partial
+  /// sums). Adds a ring term 2·b·(p−1)/p over the bottleneck link.
+  double allreduce_bytes(int nprocs, double bytes, double ready, bool legate_style);
+
+  /// Capacity accounting: reserve / release application bytes in a memory.
+  /// Throws OutOfMemoryError when a memory would exceed capacity.
+  void alloc_bytes(int mem, double bytes);
+  void free_bytes(int mem, double bytes);
+  [[nodiscard]] double used_bytes(int mem) const { return mem_used_.at(mem); }
+  [[nodiscard]] double peak_bytes(int mem) const { return mem_peak_.at(mem); }
+
+  void note_task() { ++stats_.tasks; }
+
+  /// Workload scale factor S: benchmarks execute a 1/S functional sample of
+  /// the modeled problem and charge S x the bytes/flops/capacity, which is
+  /// exact whenever every cost scales linearly with rows/nnz (true for all
+  /// paper workloads; see DESIGN.md). Affects copies, payload collectives
+  /// and capacity accounting; kernel durations are scaled by the callers.
+  void set_cost_scale(double s) { cost_scale_ = s; }
+  [[nodiscard]] double cost_scale() const { return cost_scale_; }
+  [[nodiscard]] double makespan() const { return makespan_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_model_; }
+
+  [[nodiscard]] std::string report() const;
+
+ private:
+  double& pair_link(int src_mem, int dst_mem);
+  void bump(double t) { makespan_ = std::max(makespan_, t); }
+
+  const Machine& machine_;
+  CostModel cost_model_;
+  PerfParams pp_;
+
+  double control_clock_{0};
+  std::vector<double> proc_clock_;
+  std::vector<double> mem_copy_clock_;  ///< per-memory intra-copy engine
+  std::vector<double> nic_in_, nic_out_;
+  std::map<std::pair<int, int>, double> pair_links_;
+
+  std::vector<double> mem_used_, mem_peak_;
+  Stats stats_;
+  double makespan_{0};
+  double cost_scale_{1.0};
+};
+
+}  // namespace legate::sim

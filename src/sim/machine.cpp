@@ -1,0 +1,53 @@
+#include "sim/machine.h"
+
+#include <sstream>
+
+namespace legate::sim {
+
+Machine Machine::gpus(int n, const PerfParams& pp, int gpus_per_node) {
+  LSR_CHECK(n >= 1);
+  int per_node = gpus_per_node > 0 ? gpus_per_node : pp.gpus_per_node;
+  Machine m(pp, ProcKind::GPU);
+  m.nodes_ = (n + per_node - 1) / per_node;
+  int made = 0;
+  for (int node = 0; node < m.nodes_; ++node) {
+    int sys = static_cast<int>(m.mems_.size());
+    m.mems_.push_back(Memory{sys, MemKind::Sys, node, pp.sysmem_capacity});
+    if (node == 0) m.home_mem_ = sys;
+    for (int g = 0; g < per_node && made < n; ++g, ++made) {
+      int fb = static_cast<int>(m.mems_.size());
+      m.mems_.push_back(
+          Memory{fb, MemKind::Frame, node, pp.gpu_fb_capacity - pp.legate_fb_reserved});
+      int pid = static_cast<int>(m.procs_.size());
+      m.procs_.push_back(Processor{pid, ProcKind::GPU, node, fb});
+    }
+  }
+  return m;
+}
+
+Machine Machine::sockets(int n, const PerfParams& pp) {
+  LSR_CHECK(n >= 1);
+  int per_node = pp.sockets_per_node;
+  Machine m(pp, ProcKind::CPU);
+  m.nodes_ = (n + per_node - 1) / per_node;
+  int made = 0;
+  for (int node = 0; node < m.nodes_; ++node) {
+    int sys = static_cast<int>(m.mems_.size());
+    m.mems_.push_back(Memory{sys, MemKind::Sys, node, pp.sysmem_capacity});
+    if (node == 0) m.home_mem_ = sys;
+    for (int s = 0; s < per_node && made < n; ++s, ++made) {
+      int pid = static_cast<int>(m.procs_.size());
+      m.procs_.push_back(Processor{pid, ProcKind::CPU, node, sys});
+    }
+  }
+  return m;
+}
+
+std::string Machine::describe() const {
+  std::ostringstream os;
+  os << nodes_ << " node(s), " << procs_.size()
+     << (target_ == ProcKind::GPU ? " GPU(s)" : " CPU socket(s)");
+  return os.str();
+}
+
+}  // namespace legate::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/perf_params.h"
+#include "util/common.h"
+
+namespace legate::sim {
+
+/// Processor varieties; one CPU processor models a whole socket running an
+/// OpenMP-parallel leaf task (the granularity Legate uses), one GPU processor
+/// models a V100.
+enum class ProcKind { CPU, GPU };
+
+enum class MemKind { Sys, Frame };
+
+struct Processor {
+  int id{};
+  ProcKind kind{};
+  int node{};
+  int mem{};  ///< id of the memory this processor computes out of
+};
+
+struct Memory {
+  int id{};
+  MemKind kind{};
+  int node{};
+  double capacity{};  ///< bytes usable by application data
+};
+
+/// A Summit-like machine instance: `nodes` nodes, each with
+/// `sockets_per_node` CPU sockets sharing one system memory and
+/// `gpus_per_node` GPUs each with a private framebuffer.
+///
+/// Only the first `target_procs` processors of kind `target` are enumerated
+/// as compute processors (matching the paper's 1/1, 1/3, 2/6, ... sweeps).
+class Machine {
+ public:
+  /// Machine with `n` GPUs, packing `gpus_per_node` per node.
+  static Machine gpus(int n, const PerfParams& pp, int gpus_per_node = -1);
+  /// Machine with `n` CPU sockets, packing `sockets_per_node` per node.
+  static Machine sockets(int n, const PerfParams& pp);
+
+  [[nodiscard]] const std::vector<Processor>& procs() const { return procs_; }
+  [[nodiscard]] const std::vector<Memory>& memories() const { return mems_; }
+  [[nodiscard]] const Processor& proc(int id) const { return procs_.at(id); }
+  [[nodiscard]] const Memory& memory(int id) const { return mems_.at(id); }
+  [[nodiscard]] int num_procs() const { return static_cast<int>(procs_.size()); }
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] ProcKind target() const { return target_; }
+  [[nodiscard]] const PerfParams& params() const { return pp_; }
+
+  /// The node-0 system memory, where freshly attached host data lives.
+  [[nodiscard]] int home_memory() const { return home_mem_; }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  Machine(const PerfParams& pp, ProcKind target) : pp_(pp), target_(target) {}
+
+  PerfParams pp_;
+  ProcKind target_;
+  int nodes_{0};
+  int home_mem_{0};
+  std::vector<Processor> procs_;
+  std::vector<Memory> mems_;
+};
+
+}  // namespace legate::sim

@@ -1,0 +1,336 @@
+#include "solve/krylov.h"
+
+#include <cmath>
+#include <vector>
+
+namespace legate::solve {
+
+using dense::DArray;
+using dense::Scalar;
+
+namespace {
+
+/// Combine two scalar futures; the result is ready when both inputs are.
+Scalar fdiv(Scalar a, Scalar b) { return {a.value / b.value, std::max(a.ready, b.ready)}; }
+Scalar fneg(Scalar a) { return {-a.value, a.ready}; }
+
+}  // namespace
+
+SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter,
+               const Precond& M) {
+  rt::Runtime& rt = A.runtime();
+  coord_t n = A.rows();
+  DArray x = DArray::zeros(rt, n);
+  DArray r = b.copy();
+  DArray z = M ? M(r) : r.copy();
+  DArray p = z.copy();
+  Scalar rz = r.dot(z);
+  double bnorm = b.norm().value;
+  if (bnorm == 0) bnorm = 1;
+
+  SolveResult res;
+  {
+    double r0 = r.norm().value;
+    if (r0 / bnorm < tol) {
+      res.converged = true;
+      res.residual = r0;
+      res.x = x;
+      return res;
+    }
+  }
+  for (int it = 0; it < maxiter; ++it) {
+    DArray Ap = A.spmv(p);
+    Scalar pAp = p.dot(Ap);
+    Scalar alpha = fdiv(rz, pAp);
+    x.axpy(alpha, p);
+    r.axpy(fneg(alpha), Ap);
+    Scalar rnorm = r.norm();
+    res.iterations = it + 1;
+    res.residual = rnorm.value;
+    if (rnorm.value / bnorm < tol) {
+      res.converged = true;
+      break;
+    }
+    if (M) z = M(r);
+    Scalar rz_new = M ? r.dot(z) : Scalar{rnorm.value * rnorm.value, rnorm.ready};
+    Scalar beta = fdiv(rz_new, rz);
+    if (M) {
+      p.xpay(beta, z);  // p = z + beta p
+    } else {
+      p.xpay(beta, r);  // unpreconditioned: z == r
+    }
+    rz = rz_new;
+  }
+  res.x = x;
+  return res;
+}
+
+SolveResult cgs(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter) {
+  rt::Runtime& rt = A.runtime();
+  coord_t n = A.rows();
+  DArray x = DArray::zeros(rt, n);
+  DArray r = b.copy();
+  DArray rtilde = r.copy();
+  DArray u = r.copy();
+  DArray p = r.copy();
+  Scalar rho = rtilde.dot(r);
+  double bnorm = b.norm().value;
+  if (bnorm == 0) bnorm = 1;
+
+  SolveResult res;
+  {
+    double r0 = r.norm().value;
+    if (r0 / bnorm < tol) {
+      res.converged = true;
+      res.residual = r0;
+      res.x = x;
+      return res;
+    }
+  }
+  for (int it = 0; it < maxiter; ++it) {
+    DArray Ap = A.spmv(p);
+    Scalar sigma = rtilde.dot(Ap);
+    Scalar alpha = fdiv(rho, sigma);
+    DArray q = u.copy();
+    q.axpy(fneg(alpha), Ap);  // q = u - alpha A p
+    DArray uq = u.add(q);
+    x.axpy(alpha, uq);
+    DArray Auq = A.spmv(uq);
+    r.axpy(fneg(alpha), Auq);
+    Scalar rnorm = r.norm();
+    res.iterations = it + 1;
+    res.residual = rnorm.value;
+    if (rnorm.value / bnorm < tol) {
+      res.converged = true;
+      break;
+    }
+    Scalar rho_new = rtilde.dot(r);
+    Scalar beta = fdiv(rho_new, rho);
+    u = r.copy();
+    u.axpy(beta, q);  // u = r + beta q
+    // p = u + beta (q + beta p)
+    DArray tmp = q.copy();
+    tmp.axpy(beta, p);
+    p = u.copy();
+    p.axpy(beta, tmp);
+    rho = rho_new;
+  }
+  res.x = x;
+  return res;
+}
+
+SolveResult bicg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter) {
+  rt::Runtime& rt = A.runtime();
+  coord_t n = A.rows();
+  sparse::CsrMatrix At = A.transpose();
+  DArray x = DArray::zeros(rt, n);
+  DArray r = b.copy();
+  DArray rtilde = r.copy();
+  DArray p = r.copy();
+  DArray ptilde = r.copy();
+  Scalar rho = rtilde.dot(r);
+  double bnorm = b.norm().value;
+  if (bnorm == 0) bnorm = 1;
+
+  SolveResult res;
+  {
+    double r0 = r.norm().value;
+    if (r0 / bnorm < tol) {
+      res.converged = true;
+      res.residual = r0;
+      res.x = x;
+      return res;
+    }
+  }
+  for (int it = 0; it < maxiter; ++it) {
+    DArray Ap = A.spmv(p);
+    DArray Atp = At.spmv(ptilde);
+    Scalar denom = ptilde.dot(Ap);
+    Scalar alpha = fdiv(rho, denom);
+    x.axpy(alpha, p);
+    r.axpy(fneg(alpha), Ap);
+    rtilde.axpy(fneg(alpha), Atp);
+    Scalar rnorm = r.norm();
+    res.iterations = it + 1;
+    res.residual = rnorm.value;
+    if (rnorm.value / bnorm < tol) {
+      res.converged = true;
+      break;
+    }
+    Scalar rho_new = rtilde.dot(r);
+    Scalar beta = fdiv(rho_new, rho);
+    p.xpay(beta, r);
+    ptilde.xpay(beta, rtilde);
+    rho = rho_new;
+  }
+  res.x = x;
+  return res;
+}
+
+SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
+                     int maxiter) {
+  rt::Runtime& rt = A.runtime();
+  coord_t n = A.rows();
+  DArray x = DArray::zeros(rt, n);
+  DArray r = b.copy();
+  DArray rtilde = r.copy();
+  DArray p = r.copy();
+  Scalar rho = rtilde.dot(r);
+  double bnorm = b.norm().value;
+  if (bnorm == 0) bnorm = 1;
+
+  SolveResult res;
+  {
+    double r0 = r.norm().value;
+    if (r0 / bnorm < tol) {
+      res.converged = true;
+      res.residual = r0;
+      res.x = x;
+      return res;
+    }
+  }
+  for (int it = 0; it < maxiter; ++it) {
+    DArray v = A.spmv(p);
+    Scalar denom = rtilde.dot(v);
+    Scalar alpha = fdiv(rho, denom);
+    DArray s = r.copy();
+    s.axpy(fneg(alpha), v);
+    Scalar snorm = s.norm();
+    if (snorm.value / bnorm < tol) {
+      x.axpy(alpha, p);
+      res.iterations = it + 1;
+      res.residual = snorm.value;
+      res.converged = true;
+      break;
+    }
+    DArray t = A.spmv(s);
+    Scalar ts = t.dot(s);
+    Scalar tt = t.dot(t);
+    Scalar omega = fdiv(ts, tt);
+    x.axpy(alpha, p);
+    x.axpy(omega, s);
+    r = s;
+    r.axpy(fneg(omega), t);
+    Scalar rnorm = r.norm();
+    res.iterations = it + 1;
+    res.residual = rnorm.value;
+    if (rnorm.value / bnorm < tol) {
+      res.converged = true;
+      break;
+    }
+    Scalar rho_new = rtilde.dot(r);
+    Scalar beta = {rho_new.value / rho.value * alpha.value / omega.value,
+                   std::max({rho_new.ready, alpha.ready, omega.ready})};
+    // p = r + beta (p - omega v)
+    p.axpy(fneg(omega), v);
+    p.xpay(beta, r);
+    rho = rho_new;
+  }
+  res.x = x;
+  return res;
+}
+
+SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
+                  double tol, int maxiter) {
+  rt::Runtime& rt = A.runtime();
+  coord_t n = A.rows();
+  DArray x = DArray::zeros(rt, n);
+  double bnorm = b.norm().value;
+  if (bnorm == 0) bnorm = 1;
+
+  SolveResult res;
+  int total_iters = 0;
+  const int m = restart;
+
+  while (total_iters < maxiter) {
+    DArray r = b.sub(A.spmv(x));
+    double beta = r.norm().value;
+    res.residual = beta;
+    if (beta / bnorm < tol) {
+      res.converged = true;
+      break;
+    }
+    // Arnoldi basis (distributed vectors) + host-side Hessenberg/Givens.
+    std::vector<DArray> V;
+    V.push_back(r.scale(1.0 / beta));
+    std::vector<double> H(static_cast<std::size_t>((m + 1) * m), 0.0);
+    std::vector<double> cs(static_cast<std::size_t>(m), 0.0),
+        sn(static_cast<std::size_t>(m), 0.0),
+        g(static_cast<std::size_t>(m) + 1, 0.0);
+    g[0] = beta;
+    int k = 0;
+    for (; k < m && total_iters < maxiter; ++k, ++total_iters) {
+      DArray w = A.spmv(V[static_cast<std::size_t>(k)]);
+      for (int i = 0; i <= k; ++i) {
+        Scalar h = w.dot(V[static_cast<std::size_t>(i)]);
+        H[static_cast<std::size_t>(i * m + k)] = h.value;
+        w.axpy(fneg(h), V[static_cast<std::size_t>(i)]);
+      }
+      double hk1 = w.norm().value;
+      if (hk1 > 0) V.push_back(w.scale(1.0 / hk1));
+      // Apply accumulated Givens rotations to the new column.
+      double hik;
+      for (int i = 0; i < k; ++i) {
+        hik = H[static_cast<std::size_t>(i * m + k)];
+        double hik1 = H[static_cast<std::size_t>((i + 1) * m + k)];
+        H[static_cast<std::size_t>(i * m + k)] =
+            cs[static_cast<std::size_t>(i)] * hik + sn[static_cast<std::size_t>(i)] * hik1;
+        H[static_cast<std::size_t>((i + 1) * m + k)] =
+            -sn[static_cast<std::size_t>(i)] * hik + cs[static_cast<std::size_t>(i)] * hik1;
+      }
+      double hkk = H[static_cast<std::size_t>(k * m + k)];
+      double denom = std::sqrt(hkk * hkk + hk1 * hk1);
+      if (denom == 0) denom = 1e-300;
+      cs[static_cast<std::size_t>(k)] = hkk / denom;
+      sn[static_cast<std::size_t>(k)] = hk1 / denom;
+      H[static_cast<std::size_t>(k * m + k)] = denom;
+      g[static_cast<std::size_t>(k) + 1] = -sn[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
+      g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
+      res.residual = std::fabs(g[static_cast<std::size_t>(k) + 1]);
+      if (res.residual / bnorm < tol || hk1 == 0) {
+        ++k;
+        break;
+      }
+    }
+    // Back-substitute y and update x += V y.
+    std::vector<double> y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double sum = g[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j)
+        sum -= H[static_cast<std::size_t>(i * m + j)] * y[static_cast<std::size_t>(j)];
+      y[static_cast<std::size_t>(i)] = sum / H[static_cast<std::size_t>(i * m + i)];
+    }
+    for (int i = 0; i < k; ++i)
+      x.axpy(y[static_cast<std::size_t>(i)], V[static_cast<std::size_t>(i)]);
+    res.iterations = total_iters;
+    if (res.residual / bnorm < tol) {
+      // Recompute the true residual before declaring victory.
+      double true_res = b.sub(A.spmv(x)).norm().value;
+      res.residual = true_res;
+      if (true_res / bnorm < tol * 10) {
+        res.converged = true;
+        break;
+      }
+    }
+  }
+  res.iterations = total_iters;
+  res.x = x;
+  return res;
+}
+
+EigenResult power_iteration(const sparse::CsrMatrix& A, int iters, std::uint64_t seed) {
+  rt::Runtime& rt = A.runtime();
+  DArray x = DArray::random(rt, A.rows(), seed);
+  for (int i = 0; i < iters; ++i) {
+    x = A.spmv(x);
+    Scalar nrm = x.norm();
+    x.iscale({1.0 / nrm.value, nrm.ready});
+  }
+  EigenResult r;
+  r.iterations = iters;
+  r.eigenvalue = x.dot(A.spmv(x)).value;
+  r.eigenvector = x;
+  return r;
+}
+
+}  // namespace legate::solve

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+
+#include "dense/array.h"
+#include "sparse/csr.h"
+
+namespace legate::solve {
+
+/// Result of an iterative solve.
+struct SolveResult {
+  dense::DArray x;
+  int iterations{0};
+  double residual{0};  ///< final ‖b − Ax‖₂
+  bool converged{false};
+};
+
+/// Optional preconditioner: z = M⁻¹ r.
+using Precond = std::function<dense::DArray(const dense::DArray&)>;
+
+/// Conjugate gradient for SPD systems — the Fig. 9 benchmark kernel. Ported
+/// from the SciPy implementation: every operation is a dense-library or
+/// sparse-library call, so futures (dot products) chain through the task
+/// graph exactly as in Legate.
+SolveResult cg(const sparse::CsrMatrix& A, const dense::DArray& b,
+               double tol = 1e-8, int maxiter = 1000, const Precond& M = nullptr);
+
+/// Conjugate gradient squared.
+SolveResult cgs(const sparse::CsrMatrix& A, const dense::DArray& b,
+                double tol = 1e-8, int maxiter = 1000);
+
+/// Bi-conjugate gradient (uses Aᵀ, materialized once at entry).
+SolveResult bicg(const sparse::CsrMatrix& A, const dense::DArray& b,
+                 double tol = 1e-8, int maxiter = 1000);
+
+/// Stabilized bi-conjugate gradient.
+SolveResult bicgstab(const sparse::CsrMatrix& A, const dense::DArray& b,
+                     double tol = 1e-8, int maxiter = 1000);
+
+/// Restarted GMRES(m) for general systems.
+SolveResult gmres(const sparse::CsrMatrix& A, const dense::DArray& b,
+                  int restart = 30, double tol = 1e-8, int maxiter = 1000);
+
+/// Largest-magnitude eigenvalue estimate by power iteration with a Rayleigh
+/// quotient — the paper's Fig. 1 example program.
+struct EigenResult {
+  double eigenvalue{0};
+  dense::DArray eigenvector;
+  int iterations{0};
+};
+EigenResult power_iteration(const sparse::CsrMatrix& A, int iters,
+                            std::uint64_t seed = 1);
+
+}  // namespace legate::solve

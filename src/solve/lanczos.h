@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "solve/krylov.h"
+
+namespace legate::solve {
+
+/// Extreme eigenvalues of a symmetric matrix by the Lanczos process with
+/// full reorthogonalization (the scipy.sparse.linalg.eigsh work-horse for
+/// small Krylov dimensions). Distributed vectors; the tridiagonal
+/// eigenproblem is solved on the host by bisection + inverse iteration on
+/// the Sturm sequence (dimension = iterations, tiny).
+struct LanczosResult {
+  std::vector<double> eigenvalues;  ///< all Ritz values, ascending; with
+                                    ///< max_iter >> k the first/last k are
+                                    ///< converged extreme eigenvalues
+  int iterations{0};
+};
+
+LanczosResult lanczos(const sparse::CsrMatrix& A, int k, int max_iter = 80,
+                      std::uint64_t seed = 1);
+
+}  // namespace legate::solve

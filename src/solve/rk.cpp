@@ -1,0 +1,186 @@
+#include "solve/rk.h"
+
+#include <cmath>
+
+namespace legate::solve {
+
+using dense::DArray;
+
+namespace {
+
+ButcherTableau make_rk4() {
+  ButcherTableau t;
+  t.stages = 4;
+  t.a.assign(16, 0.0);
+  t.a[1 * 4 + 0] = 0.5;
+  t.a[2 * 4 + 1] = 0.5;
+  t.a[3 * 4 + 2] = 1.0;
+  t.b = {1.0 / 6, 1.0 / 3, 1.0 / 3, 1.0 / 6};
+  t.c = {0, 0.5, 0.5, 1.0};
+  return t;
+}
+
+/// Cooper-Verner 11-stage, order 8 (coefficients in terms of √21).
+ButcherTableau make_rk8() {
+  const double s = std::sqrt(21.0);
+  ButcherTableau t;
+  t.stages = 11;
+  t.a.assign(121, 0.0);
+  auto A = [&](int i, int j) -> double& {
+    return t.a[static_cast<std::size_t>(i * 11 + j)];
+  };
+  A(1, 0) = 1.0 / 2;
+  A(2, 0) = 1.0 / 4;
+  A(2, 1) = 1.0 / 4;
+  A(3, 0) = 1.0 / 7;
+  A(3, 1) = (-7 - 3 * s) / 98;
+  A(3, 2) = (21 + 5 * s) / 49;
+  A(4, 0) = (11 + s) / 84;
+  A(4, 2) = (18 + 4 * s) / 63;
+  A(4, 3) = (21 - s) / 252;
+  A(5, 0) = (5 + s) / 48;
+  A(5, 2) = (9 + s) / 36;
+  A(5, 3) = (-231 + 14 * s) / 360;
+  A(5, 4) = (63 - 7 * s) / 80;
+  A(6, 0) = (10 - s) / 42;
+  A(6, 2) = (-432 + 92 * s) / 315;
+  A(6, 3) = (633 - 145 * s) / 90;
+  A(6, 4) = (-504 + 115 * s) / 70;
+  A(6, 5) = (63 - 13 * s) / 35;
+  A(7, 0) = 1.0 / 14;
+  A(7, 4) = (14 - 3 * s) / 126;
+  A(7, 5) = (13 - 3 * s) / 63;
+  A(7, 6) = 1.0 / 9;
+  A(8, 0) = 1.0 / 32;
+  A(8, 4) = (91 - 21 * s) / 576;
+  A(8, 5) = 11.0 / 72;
+  A(8, 6) = (-385 - 75 * s) / 1152;
+  A(8, 7) = (63 + 13 * s) / 128;
+  A(9, 0) = 1.0 / 14;
+  A(9, 4) = 1.0 / 9;
+  A(9, 5) = (-733 - 147 * s) / 2205;
+  A(9, 6) = (515 + 111 * s) / 504;
+  A(9, 7) = (-51 - 11 * s) / 56;
+  A(9, 8) = (132 + 28 * s) / 245;
+  A(10, 4) = (-42 + 7 * s) / 18;
+  A(10, 5) = (-18 + 28 * s) / 45;
+  A(10, 6) = (-273 - 53 * s) / 72;
+  A(10, 7) = (301 + 53 * s) / 72;
+  A(10, 8) = (28 - 28 * s) / 45;
+  A(10, 9) = (49 - 7 * s) / 18;
+  t.b = {1.0 / 20, 0, 0, 0, 0, 0, 0, 49.0 / 180, 16.0 / 45, 49.0 / 180, 1.0 / 20};
+  t.c = {0,
+         1.0 / 2,
+         1.0 / 2,
+         (7 + s) / 14,
+         (7 + s) / 14,
+         1.0 / 2,
+         (7 - s) / 14,
+         (7 - s) / 14,
+         1.0 / 2,
+         (7 + s) / 14,
+         1.0};
+  return t;
+}
+
+}  // namespace
+
+const ButcherTableau& ButcherTableau::rk4() {
+  static const ButcherTableau t = make_rk4();
+  return t;
+}
+
+const ButcherTableau& ButcherTableau::rk8() {
+  static const ButcherTableau t = make_rk8();
+  return t;
+}
+
+OdeResult integrate(const ButcherTableau& tab, const OdeRhs& f, const DArray& y0,
+                    double t0, double t1, int steps) {
+  LSR_CHECK(steps > 0);
+  double h = (t1 - t0) / steps;
+  DArray y = y0.copy();
+  OdeResult res;
+  for (int step = 0; step < steps; ++step) {
+    double t = t0 + h * step;
+    std::vector<DArray> k;
+    k.reserve(static_cast<std::size_t>(tab.stages));
+    for (int i = 0; i < tab.stages; ++i) {
+      DArray yi = y.copy();
+      for (int j = 0; j < i; ++j) {
+        double aij = tab.at(i, j);
+        if (aij != 0.0) yi.axpy(h * aij, k[static_cast<std::size_t>(j)]);
+      }
+      k.push_back(f(t + tab.c[static_cast<std::size_t>(i)] * h, yi));
+      ++res.rhs_evaluations;
+    }
+    for (int i = 0; i < tab.stages; ++i) {
+      double bi = tab.b[static_cast<std::size_t>(i)];
+      if (bi != 0.0) y.axpy(h * bi, k[static_cast<std::size_t>(i)]);
+    }
+    ++res.steps;
+  }
+  res.y = y;
+  return res;
+}
+
+OdeResult rk45(const OdeRhs& f, const DArray& y0, double t0, double t1, double rtol,
+               double atol, double initial_step) {
+  // Dormand-Prince 5(4) coefficients.
+  constexpr int S = 7;
+  static const double A[S][S] = {
+      {0, 0, 0, 0, 0, 0, 0},
+      {1.0 / 5, 0, 0, 0, 0, 0, 0},
+      {3.0 / 40, 9.0 / 40, 0, 0, 0, 0, 0},
+      {44.0 / 45, -56.0 / 15, 32.0 / 9, 0, 0, 0, 0},
+      {19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729, 0, 0, 0},
+      {9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656, 0, 0},
+      {35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}};
+  static const double B5[S] = {35.0 / 384, 0, 500.0 / 1113, 125.0 / 192,
+                               -2187.0 / 6784, 11.0 / 84, 0};
+  static const double B4[S] = {5179.0 / 57600,    0,           7571.0 / 16695,
+                               393.0 / 640,       -92097.0 / 339200,
+                               187.0 / 2100,      1.0 / 40};
+  static const double C[S] = {0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1.0, 1.0};
+
+  DArray y = y0.copy();
+  double t = t0;
+  double h = initial_step;
+  OdeResult res;
+  double ynorm = y.norm().value;
+  while (t < t1) {
+    if (t + h > t1) h = t1 - t;
+    std::vector<DArray> k;
+    k.reserve(S);
+    for (int i = 0; i < S; ++i) {
+      DArray yi = y.copy();
+      for (int j = 0; j < i; ++j) {
+        if (A[i][j] != 0.0) yi.axpy(h * A[i][j], k[static_cast<std::size_t>(j)]);
+      }
+      k.push_back(f(t + C[i] * h, yi));
+      ++res.rhs_evaluations;
+    }
+    // 5th-order solution and embedded error estimate.
+    DArray y5 = y.copy();
+    DArray err = y.scale(0.0);
+    for (int i = 0; i < S; ++i) {
+      if (B5[i] != 0.0) y5.axpy(h * B5[i], k[static_cast<std::size_t>(i)]);
+      double d = B5[i] - B4[i];
+      if (d != 0.0) err.axpy(h * d, k[static_cast<std::size_t>(i)]);
+    }
+    double scale = atol + rtol * std::max(ynorm, y5.norm().value);
+    double enorm = err.norm().value / scale;
+    if (enorm <= 1.0 || h <= 1e-14 * (t1 - t0)) {
+      t += h;
+      y = y5;
+      ynorm = y.norm().value;
+      ++res.steps;
+    }
+    double factor = enorm > 0 ? 0.9 * std::pow(enorm, -0.2) : 5.0;
+    h *= std::min(5.0, std::max(0.2, factor));
+  }
+  res.y = y;
+  return res;
+}
+
+}  // namespace legate::solve

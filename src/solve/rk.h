@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dense/array.h"
+
+namespace legate::solve {
+
+/// Right-hand side of dy/dt = f(t, y).
+using OdeRhs = std::function<dense::DArray(double, const dense::DArray&)>;
+
+/// Explicit Runge-Kutta Butcher tableau.
+struct ButcherTableau {
+  int stages{0};
+  std::vector<double> a;  ///< stages x stages, lower triangular, row-major
+  std::vector<double> b;  ///< stage weights
+  std::vector<double> c;  ///< stage times
+
+  [[nodiscard]] double at(int i, int j) const {
+    return a[static_cast<std::size_t>(i * stages + j)];
+  }
+
+  static const ButcherTableau& rk4();
+  /// Cooper-Verner 11-stage 8th-order method — the integrator class used by
+  /// the paper's quantum simulation ("8th-order Runge-Kutta", Section 6.1).
+  static const ButcherTableau& rk8();
+};
+
+struct OdeResult {
+  dense::DArray y;
+  int steps{0};
+  int rhs_evaluations{0};
+};
+
+/// Fixed-step explicit RK integration from t0 to t1 in `steps` steps.
+OdeResult integrate(const ButcherTableau& tab, const OdeRhs& f,
+                    const dense::DArray& y0, double t0, double t1, int steps);
+
+/// Adaptive Dormand-Prince RK45 (SciPy's solve_ivp default).
+OdeResult rk45(const OdeRhs& f, const dense::DArray& y0, double t0, double t1,
+               double rtol = 1e-6, double atol = 1e-9,
+               double initial_step = 1e-3);
+
+}  // namespace legate::solve

@@ -1,0 +1,109 @@
+// Matrix constructors (scipy.sparse.eye / diags / random / kron).
+// Assembly happens on host arrays and enters the runtime via attach() — the
+// same path a NumPy-built matrix takes into Legate — so construction is
+// excluded from simulated compute time (benchmarks time the solve loops, as
+// the paper does).
+#include <algorithm>
+#include <vector>
+
+#include "sparse/formats.h"
+#include "util/rng.h"
+
+namespace legate::sparse {
+
+CsrMatrix eye(rt::Runtime& rt, coord_t n, double value) {
+  std::vector<coord_t> indptr(static_cast<std::size_t>(n) + 1), indices(
+      static_cast<std::size_t>(n));
+  std::vector<double> values(static_cast<std::size_t>(n), value);
+  for (coord_t i = 0; i <= n; ++i) indptr[static_cast<std::size_t>(i)] = i;
+  for (coord_t i = 0; i < n; ++i) indices[static_cast<std::size_t>(i)] = i;
+  return CsrMatrix::from_host(rt, n, n, indptr, indices, values);
+}
+
+CsrMatrix banded(rt::Runtime& rt, coord_t n, coord_t half_bandwidth, double value) {
+  std::vector<coord_t> indptr, indices;
+  std::vector<double> values;
+  indptr.reserve(static_cast<std::size_t>(n) + 1);
+  indptr.push_back(0);
+  for (coord_t i = 0; i < n; ++i) {
+    coord_t lo = std::max<coord_t>(0, i - half_bandwidth);
+    coord_t hi = std::min<coord_t>(n - 1, i + half_bandwidth);
+    for (coord_t j = lo; j <= hi; ++j) {
+      indices.push_back(j);
+      values.push_back(value);
+    }
+    indptr.push_back(static_cast<coord_t>(indices.size()));
+  }
+  return CsrMatrix::from_host(rt, n, n, indptr, indices, values);
+}
+
+CsrMatrix diags(rt::Runtime& rt, coord_t n,
+                const std::vector<std::pair<coord_t, double>>& diagonals) {
+  std::vector<std::pair<coord_t, double>> sorted = diagonals;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<coord_t> indptr, indices;
+  std::vector<double> values;
+  indptr.push_back(0);
+  for (coord_t i = 0; i < n; ++i) {
+    for (auto& [off, v] : sorted) {
+      coord_t j = i + off;
+      if (j < 0 || j >= n) continue;
+      indices.push_back(j);
+      values.push_back(v);
+    }
+    indptr.push_back(static_cast<coord_t>(indices.size()));
+  }
+  return CsrMatrix::from_host(rt, n, n, indptr, indices, values);
+}
+
+CsrMatrix random_csr(rt::Runtime& rt, coord_t rows, coord_t cols, double density,
+                     std::uint64_t seed) {
+  LSR_CHECK(density > 0.0 && density <= 1.0);
+  Rng rng(seed);
+  // Per-row Bernoulli column selection keeps rows sorted and duplicate-free;
+  // expected nnz matches rows*cols*density like scipy.sparse.random.
+  std::vector<coord_t> indptr, indices;
+  std::vector<double> values;
+  indptr.push_back(0);
+  for (coord_t i = 0; i < rows; ++i) {
+    for (coord_t j = 0; j < cols; ++j) {
+      if (rng.next_double() < density) {
+        indices.push_back(j);
+        values.push_back(rng.next_double());
+      }
+    }
+    indptr.push_back(static_cast<coord_t>(indices.size()));
+  }
+  return CsrMatrix::from_host(rt, rows, cols, indptr, indices, values);
+}
+
+CsrMatrix kron(const CsrMatrix& a, const CsrMatrix& b) {
+  rt::Runtime& rt = a.runtime();
+  std::vector<coord_t> pa, ia, pb, ib;
+  std::vector<double> va, vb;
+  a.to_host(pa, ia, va);
+  b.to_host(pb, ib, vb);
+  coord_t rows = a.rows() * b.rows();
+  coord_t cols = a.cols() * b.cols();
+  std::vector<coord_t> indptr, indices;
+  std::vector<double> values;
+  indptr.reserve(static_cast<std::size_t>(rows) + 1);
+  indptr.push_back(0);
+  for (coord_t i = 0; i < rows; ++i) {
+    coord_t ar = i / b.rows(), br = i % b.rows();
+    for (coord_t ja = pa[static_cast<std::size_t>(ar)];
+         ja < pa[static_cast<std::size_t>(ar) + 1]; ++ja) {
+      for (coord_t jb = pb[static_cast<std::size_t>(br)];
+           jb < pb[static_cast<std::size_t>(br) + 1]; ++jb) {
+        indices.push_back(ia[static_cast<std::size_t>(ja)] * b.cols() +
+                          ib[static_cast<std::size_t>(jb)]);
+        values.push_back(va[static_cast<std::size_t>(ja)] *
+                         vb[static_cast<std::size_t>(jb)]);
+      }
+    }
+    indptr.push_back(static_cast<coord_t>(indices.size()));
+  }
+  return CsrMatrix::from_host(rt, rows, cols, indptr, indices, values);
+}
+
+}  // namespace legate::sparse

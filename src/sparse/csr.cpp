@@ -1,0 +1,424 @@
+#include "sparse/csr.h"
+
+#include <cmath>
+
+#include "sparse/formats.h"
+
+namespace legate::sparse {
+
+using dense::DArray;
+using dense::Scalar;
+using rt::Rect1;
+using rt::TaskContext;
+using rt::TaskLauncher;
+
+CsrMatrix CsrMatrix::from_host(rt::Runtime& rt, coord_t rows, coord_t cols,
+                               const std::vector<coord_t>& indptr,
+                               const std::vector<coord_t>& indices,
+                               const std::vector<double>& values) {
+  LSR_CHECK(static_cast<coord_t>(indptr.size()) == rows + 1);
+  LSR_CHECK(indices.size() == values.size());
+  rt::Store pos = rt.create_store(rt::DType::Rect1, {rows});
+  auto pv = pos.span<Rect1>();
+  for (coord_t i = 0; i < rows; ++i) {
+    pv[i] = Rect1{indptr[static_cast<std::size_t>(i)],
+                  indptr[static_cast<std::size_t>(i) + 1] - 1};
+  }
+  rt.mark_attached(pos);
+  // Keep stores non-empty so partitioning logic stays uniform.
+  rt::Store crd, vals;
+  if (indices.empty()) {
+    crd = rt.create_store(rt::DType::I64, {1});
+    crd.span<coord_t>()[0] = 0;
+    rt.mark_attached(crd);
+    vals = rt.create_store(rt::DType::F64, {1});
+    vals.span<double>()[0] = 0;
+    rt.mark_attached(vals);
+    // pos rects are all empty, so the placeholder entry is never read; but
+    // nnz() must report 0, so remember emptiness via an empty-shaped wrapper.
+    CsrMatrix m(rt, rows, cols, pos, crd, vals);
+    m.empty_ = true;
+    return m;
+  }
+  crd = rt.attach(indices);
+  vals = rt.attach(values);
+  return CsrMatrix(rt, rows, cols, std::move(pos), std::move(crd), std::move(vals));
+}
+
+// ---------------------------------------------------------------------------
+// SpMV (DISTAL-generated structure; cf. Fig. 7 of the paper)
+// ---------------------------------------------------------------------------
+
+DArray CsrMatrix::spmv(const DArray& x) const {
+  LSR_CHECK_MSG(x.size() == cols_, "spmv dimension mismatch");
+  DArray y(*rt_, rt_->create_store(rt::DType::F64, {rows_}));
+  TaskLauncher launch(*rt_, "csr_spmv");
+  int iy = launch.add_output(y.store());
+  int ip = launch.add_input(pos_);
+  int ic = launch.add_input(crd_);
+  int iv = launch.add_input(vals_);
+  int ix = launch.add_input(x.store());
+  launch.align(iy, ip);
+  launch.image_rects(ip, ic);
+  launch.image_rects(ip, iv);
+  launch.image_points(ic, ix);
+  launch.set_leaf([=](TaskContext& ctx) {
+    auto yv = ctx.full<double>(iy);
+    auto pv = ctx.full<Rect1>(ip);
+    auto cv = ctx.full<coord_t>(ic);
+    auto vv = ctx.full<double>(iv);
+    auto xv = ctx.full<double>(ix);
+    Interval rows = ctx.elem_interval(iy);
+    double local_nnz = 0;
+    for (coord_t i = rows.lo; i < rows.hi; ++i) {
+      double acc = 0;
+      for (coord_t j = pv[i].lo; j <= pv[i].hi; ++j) acc += vv[j] * xv[cv[j]];
+      yv[i] = acc;
+      local_nnz += static_cast<double>(pv[i].size());
+    }
+    double touched_x = static_cast<double>(ctx.elem_interval(ix).size());
+    ctx.add_cost(static_cast<double>(rows.size()) * 24.0 + local_nnz * 16.0 +
+                     touched_x * 8.0,
+                 2.0 * local_nnz);
+    // Global-CSR pieces are rebased into a local matrix before the
+    // cuSPARSE-style call (Section 3).
+    ctx.add_reshape_bytes(local_nnz * 8.0 + static_cast<double>(rows.size()) * 16.0);
+  });
+  launch.execute();
+  return y;
+}
+
+// ---------------------------------------------------------------------------
+// SpMM: C[m,k] = A @ B, B dense (row gather through the crd image)
+// ---------------------------------------------------------------------------
+
+DArray CsrMatrix::spmm(const DArray& b) const {
+  LSR_CHECK_MSG(b.dim() == 2 && b.rows() == cols_, "spmm dimension mismatch");
+  coord_t k = b.cols();
+  DArray c(*rt_, rt_->create_store(rt::DType::F64, {rows_, k}));
+  TaskLauncher launch(*rt_, "csr_spmm");
+  int ic_out = launch.add_output(c.store());
+  int ip = launch.add_input(pos_);
+  int icrd = launch.add_input(crd_);
+  int iv = launch.add_input(vals_);
+  int ib = launch.add_input(b.store());
+  launch.align(ic_out, ip);
+  launch.image_rects(ip, icrd);
+  launch.image_rects(ip, iv);
+  launch.image_points(icrd, ib);
+  launch.set_leaf([=](TaskContext& ctx) {
+    auto C = ctx.full<double>(ic_out);
+    auto pv = ctx.full<Rect1>(ip);
+    auto cv = ctx.full<coord_t>(icrd);
+    auto vv = ctx.full<double>(iv);
+    auto B = ctx.full<double>(ib);
+    Interval rows = ctx.interval(ic_out);
+    double local_nnz = 0;
+    for (coord_t i = rows.lo; i < rows.hi; ++i) {
+      for (coord_t col = 0; col < k; ++col) C[i * k + col] = 0;
+      for (coord_t j = pv[i].lo; j <= pv[i].hi; ++j) {
+        double a = vv[j];
+        coord_t brow = cv[j];
+        for (coord_t col = 0; col < k; ++col) C[i * k + col] += a * B[brow * k + col];
+      }
+      local_nnz += static_cast<double>(pv[i].size());
+    }
+    double touched_b = static_cast<double>(ctx.elem_interval(ib).size());
+    ctx.add_cost(static_cast<double>(rows.size()) * (16.0 + 8.0 * k) +
+                     local_nnz * 16.0 + touched_b * 8.0,
+                 2.0 * local_nnz * static_cast<double>(k));
+    ctx.add_reshape_bytes(local_nnz * 8.0);
+  });
+  launch.execute();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// SDDMM: out = A ⊙ (B @ C) — the factorization kernel (Section 6.2)
+// ---------------------------------------------------------------------------
+
+CsrMatrix CsrMatrix::sddmm(const DArray& b, const DArray& c) const {
+  LSR_CHECK_MSG(b.dim() == 2 && c.dim() == 2, "sddmm needs 2-D operands");
+  LSR_CHECK_MSG(b.rows() == rows_ && c.cols() == cols_ && b.cols() == c.rows(),
+                "sddmm dimension mismatch");
+  coord_t k = b.cols(), n = c.cols();
+  rt::Store out_vals = rt_->create_store(rt::DType::F64, {nnz_store_len()});
+  TaskLauncher launch(*rt_, "csr_sddmm");
+  int io = launch.add_output(out_vals);
+  int ip = launch.add_input(pos_);
+  int icrd = launch.add_input(crd_);
+  int iv = launch.add_input(vals_);
+  int ib = launch.add_input(b.store());
+  int icd = launch.add_input(c.store());
+  launch.align(ip, ib);
+  launch.image_rects(ip, icrd);
+  launch.image_rects(ip, iv);
+  launch.image_rects(ip, io);
+  launch.broadcast(icd);
+  launch.set_leaf([=](TaskContext& ctx) {
+    auto O = ctx.full<double>(io);
+    auto pv = ctx.full<Rect1>(ip);
+    auto cv = ctx.full<coord_t>(icrd);
+    auto vv = ctx.full<double>(iv);
+    auto B = ctx.full<double>(ib);
+    auto C = ctx.full<double>(icd);
+    Interval rows = ctx.interval(ip);
+    double local_nnz = 0;
+    for (coord_t i = rows.lo; i < rows.hi; ++i) {
+      for (coord_t j = pv[i].lo; j <= pv[i].hi; ++j) {
+        coord_t col = cv[j];
+        double acc = 0;
+        for (coord_t l = 0; l < k; ++l) acc += B[i * k + l] * C[l * n + col];
+        O[j] = vv[j] * acc;
+      }
+      local_nnz += static_cast<double>(pv[i].size());
+    }
+    ctx.add_cost(local_nnz * (24.0 + 8.0 * static_cast<double>(k)) +
+                     static_cast<double>(rows.size()) * (16.0 + 8.0 * k),
+                 2.0 * local_nnz * static_cast<double>(k));
+  });
+  launch.execute();
+  CsrMatrix r(*rt_, rows_, cols_, pos_, crd_, out_vals);
+  r.empty_ = empty_;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Value-space operations (the "ported to NumPy ops" group, Section 5.2):
+// non-zero-preserving unary/scaling operations reuse the dense library on
+// the vals store, sharing pos/crd with this matrix.
+// ---------------------------------------------------------------------------
+
+CsrMatrix CsrMatrix::with_vals(rt::Store vals) const {
+  CsrMatrix r(*rt_, rows_, cols_, pos_, crd_, std::move(vals));
+  r.empty_ = empty_;
+  return r;
+}
+
+CsrMatrix CsrMatrix::scale(Scalar a) const {
+  return with_vals(DArray(*rt_, vals_).scale(a).store());
+}
+
+CsrMatrix CsrMatrix::abs_values() const {
+  return with_vals(DArray(*rt_, vals_).abs().store());
+}
+
+CsrMatrix CsrMatrix::power_values(double p) const {
+  DArray v(*rt_, vals_);
+  // Reuse the dense task machinery with a custom unary body.
+  rt::Store out = rt_->create_store(rt::DType::F64, {vals_.volume()});
+  TaskLauncher launch(*rt_, "csr_power");
+  int ia = launch.add_input(vals_);
+  int ic = launch.add_output(out);
+  launch.align(ia, ic);
+  launch.set_leaf([=](TaskContext& ctx) {
+    auto x = ctx.full<double>(ia);
+    auto y = ctx.full<double>(ic);
+    Interval iv = ctx.elem_interval(ic);
+    for (coord_t i = iv.lo; i < iv.hi; ++i) y[i] = std::pow(x[i], p);
+    ctx.add_cost(static_cast<double>(iv.size()) * 16.0,
+                 static_cast<double>(iv.size()) * 10.0);
+  });
+  launch.execute();
+  return with_vals(out);
+}
+
+CsrMatrix CsrMatrix::copy() const {
+  return with_vals(DArray(*rt_, vals_).copy().store());
+}
+
+CsrMatrix CsrMatrix::scale_rows(const DArray& d) const {
+  LSR_CHECK_MSG(d.size() == rows_, "scale_rows dimension mismatch");
+  rt::Store out = rt_->create_store(rt::DType::F64, {vals_.volume()});
+  TaskLauncher launch(*rt_, "csr_scale_rows");
+  int ip = launch.add_input(pos_);
+  int id = launch.add_input(d.store());
+  int iv = launch.add_input(vals_);
+  int io = launch.add_output(out);
+  launch.align(ip, id);
+  launch.image_rects(ip, iv);
+  launch.image_rects(ip, io);
+  launch.set_leaf([=](TaskContext& ctx) {
+    auto pv = ctx.full<Rect1>(ip);
+    auto dv = ctx.full<double>(id);
+    auto vv = ctx.full<double>(iv);
+    auto ov = ctx.full<double>(io);
+    Interval rows = ctx.interval(ip);
+    double local_nnz = 0;
+    for (coord_t i = rows.lo; i < rows.hi; ++i) {
+      for (coord_t j = pv[i].lo; j <= pv[i].hi; ++j) ov[j] = vv[j] * dv[i];
+      local_nnz += static_cast<double>(pv[i].size());
+    }
+    ctx.add_cost(local_nnz * 24.0 + static_cast<double>(rows.size()) * 24.0,
+                 local_nnz);
+  });
+  launch.execute();
+  return with_vals(out);
+}
+
+CsrMatrix CsrMatrix::scale_cols(const DArray& d) const {
+  LSR_CHECK_MSG(d.size() == cols_, "scale_cols dimension mismatch");
+  rt::Store out = rt_->create_store(rt::DType::F64, {vals_.volume()});
+  TaskLauncher launch(*rt_, "csr_scale_cols");
+  int ip = launch.add_input(pos_);
+  int ic = launch.add_input(crd_);
+  int id = launch.add_input(d.store());
+  int iv = launch.add_input(vals_);
+  int io = launch.add_output(out);
+  launch.image_rects(ip, ic);
+  launch.image_rects(ip, iv);
+  launch.image_rects(ip, io);
+  launch.image_points(ic, id);
+  launch.set_leaf([=](TaskContext& ctx) {
+    auto pv = ctx.full<Rect1>(ip);
+    auto cv = ctx.full<coord_t>(ic);
+    auto dv = ctx.full<double>(id);
+    auto vv = ctx.full<double>(iv);
+    auto ov = ctx.full<double>(io);
+    Interval rows = ctx.interval(ip);
+    double local_nnz = 0;
+    for (coord_t i = rows.lo; i < rows.hi; ++i) {
+      for (coord_t j = pv[i].lo; j <= pv[i].hi; ++j) ov[j] = vv[j] * dv[cv[j]];
+      local_nnz += static_cast<double>(pv[i].size());
+    }
+    ctx.add_cost(local_nnz * 32.0 + static_cast<double>(rows.size()) * 16.0,
+                 local_nnz);
+  });
+  launch.execute();
+  return with_vals(out);
+}
+
+// ---------------------------------------------------------------------------
+// Reductions & extraction
+// ---------------------------------------------------------------------------
+
+DArray CsrMatrix::diagonal() const {
+  coord_t n = std::min(rows_, cols_);
+  DArray d(*rt_, rt_->create_store(rt::DType::F64, {rows_}));
+  TaskLauncher launch(*rt_, "csr_diagonal");
+  int id = launch.add_output(d.store());
+  int ip = launch.add_input(pos_);
+  int ic = launch.add_input(crd_);
+  int iv = launch.add_input(vals_);
+  launch.align(id, ip);
+  launch.image_rects(ip, ic);
+  launch.image_rects(ip, iv);
+  launch.set_leaf([=](TaskContext& ctx) {
+    auto dv = ctx.full<double>(id);
+    auto pv = ctx.full<Rect1>(ip);
+    auto cv = ctx.full<coord_t>(ic);
+    auto vv = ctx.full<double>(iv);
+    Interval rows = ctx.interval(ip);
+    double local_nnz = 0;
+    for (coord_t i = rows.lo; i < rows.hi; ++i) {
+      double diag = 0;
+      if (i < n) {
+        for (coord_t j = pv[i].lo; j <= pv[i].hi; ++j) {
+          if (cv[j] == i) diag += vv[j];
+        }
+      }
+      dv[i] = diag;
+      local_nnz += static_cast<double>(pv[i].size());
+    }
+    ctx.add_cost(local_nnz * 16.0 + static_cast<double>(rows.size()) * 24.0,
+                 local_nnz);
+  });
+  launch.execute();
+  return d;
+}
+
+DArray CsrMatrix::row_nnz() const {
+  DArray d(*rt_, rt_->create_store(rt::DType::F64, {rows_}));
+  TaskLauncher launch(*rt_, "csr_row_nnz");
+  int id = launch.add_output(d.store());
+  int ip = launch.add_input(pos_);
+  launch.align(id, ip);
+  launch.set_leaf([=](TaskContext& ctx) {
+    auto dv = ctx.full<double>(id);
+    auto pv = ctx.full<Rect1>(ip);
+    Interval rows = ctx.interval(ip);
+    for (coord_t i = rows.lo; i < rows.hi; ++i)
+      dv[i] = static_cast<double>(pv[i].size());
+    ctx.add_cost(static_cast<double>(rows.size()) * 24.0, 0);
+  });
+  launch.execute();
+  return d;
+}
+
+DArray CsrMatrix::sum(int axis) const {
+  LSR_CHECK_MSG(axis == 0 || axis == 1, "axis must be 0 or 1");
+  if (axis == 1) {
+    // Row sums: aligned row-split.
+    DArray d(*rt_, rt_->create_store(rt::DType::F64, {rows_}));
+    TaskLauncher launch(*rt_, "csr_row_sum");
+    int id = launch.add_output(d.store());
+    int ip = launch.add_input(pos_);
+    int iv = launch.add_input(vals_);
+    launch.align(id, ip);
+    launch.image_rects(ip, iv);
+    launch.set_leaf([=](TaskContext& ctx) {
+      auto dv = ctx.full<double>(id);
+      auto pv = ctx.full<Rect1>(ip);
+      auto vv = ctx.full<double>(iv);
+      Interval rows = ctx.interval(ip);
+      double local_nnz = 0;
+      for (coord_t i = rows.lo; i < rows.hi; ++i) {
+        double acc = 0;
+        for (coord_t j = pv[i].lo; j <= pv[i].hi; ++j) acc += vv[j];
+        dv[i] = acc;
+        local_nnz += static_cast<double>(pv[i].size());
+      }
+      ctx.add_cost(local_nnz * 8.0 + static_cast<double>(rows.size()) * 24.0,
+                   local_nnz);
+    });
+    launch.execute();
+    return d;
+  }
+  // Column sums: scatter partials, combined by a store reduction.
+  DArray d(*rt_, rt_->create_store(rt::DType::F64, {cols_}));
+  TaskLauncher launch(*rt_, "csr_col_sum");
+  int id = launch.add_reduction(d.store());
+  int ip = launch.add_input(pos_);
+  int ic = launch.add_input(crd_);
+  int iv = launch.add_input(vals_);
+  launch.image_rects(ip, ic);
+  launch.image_rects(ip, iv);
+  launch.set_leaf([=](TaskContext& ctx) {
+    auto dv = ctx.full<double>(id);
+    auto pv = ctx.full<Rect1>(ip);
+    auto cv = ctx.full<coord_t>(ic);
+    auto vv = ctx.full<double>(iv);
+    Interval rows = ctx.interval(ip);
+    double local_nnz = 0;
+    for (coord_t i = rows.lo; i < rows.hi; ++i) {
+      for (coord_t j = pv[i].lo; j <= pv[i].hi; ++j) dv[cv[j]] += vv[j];
+      local_nnz += static_cast<double>(pv[i].size());
+    }
+    ctx.add_cost(local_nnz * 24.0 + static_cast<double>(rows.size()) * 16.0,
+                 local_nnz);
+  });
+  launch.execute();
+  return d;
+}
+
+Scalar CsrMatrix::sum_all() const { return DArray(*rt_, vals_).sum(); }
+
+void CsrMatrix::to_host(std::vector<coord_t>& indptr, std::vector<coord_t>& indices,
+                        std::vector<double>& values) const {
+  auto pv = pos_.span<Rect1>();
+  indptr.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  indices.clear();
+  values.clear();
+  if (empty_) return;
+  auto cv = crd_.span<coord_t>();
+  auto vv = vals_.span<double>();
+  for (coord_t i = 0; i < rows_; ++i) {
+    for (coord_t j = pv[i].lo; j <= pv[i].hi; ++j) {
+      indices.push_back(cv[j]);
+      values.push_back(vv[j]);
+    }
+    indptr[static_cast<std::size_t>(i) + 1] = static_cast<coord_t>(indices.size());
+  }
+}
+
+}  // namespace legate::sparse

@@ -1,0 +1,141 @@
+#pragma once
+
+#include "dense/array.h"
+#include "rt/runtime.h"
+
+namespace legate::sparse {
+
+class CooMatrix;
+class CscMatrix;
+class DiaMatrix;
+
+/// Distributed CSR sparse matrix in the paper's region-backed encoding
+/// (Fig. 3): a `pos` store of one inclusive Rect1 per row pointing into
+/// parallel `crd` (column) and `vals` stores. Partitions of `crd`/`vals` are
+/// always derived from a row partition of `pos` via image constraints, and
+/// partitions of dense operands via an image of `crd` — so distributed
+/// kernels never name concrete partitions (Section 4.1).
+///
+/// Kernel provenance mirrors Section 5: tensor-algebra kernels (spmv, spmm,
+/// spgemm, sddmm) follow the DISTAL-generated structure of Fig. 7;
+/// element-wise and reduction operations are "ports" built on the dense
+/// library; sorts/conversions are the hand-written group.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(rt::Runtime& rt, coord_t rows, coord_t cols, rt::Store pos,
+            rt::Store crd, rt::Store vals)
+      : rt_(&rt),
+        rows_(rows),
+        cols_(cols),
+        pos_(std::move(pos)),
+        crd_(std::move(crd)),
+        vals_(std::move(vals)) {}
+
+  /// Build from host-side CSR triples (indptr has rows+1 entries).
+  static CsrMatrix from_host(rt::Runtime& rt, coord_t rows, coord_t cols,
+                             const std::vector<coord_t>& indptr,
+                             const std::vector<coord_t>& indices,
+                             const std::vector<double>& values);
+
+  // ---- metadata -----------------------------------------------------------
+  [[nodiscard]] bool valid() const { return rt_ != nullptr; }
+  [[nodiscard]] coord_t rows() const { return rows_; }
+  [[nodiscard]] coord_t cols() const { return cols_; }
+  [[nodiscard]] coord_t nnz() const { return empty_ ? 0 : crd_.volume(); }
+  [[nodiscard]] const rt::Store& pos() const { return pos_; }
+  [[nodiscard]] const rt::Store& crd() const { return crd_; }
+  [[nodiscard]] const rt::Store& vals() const { return vals_; }
+  [[nodiscard]] rt::Runtime& runtime() const { return *rt_; }
+
+  // ---- tensor algebra (DISTAL-generated kernel group) ----------------------
+  /// y = A @ x — the row-split SpMV of Fig. 4/7.
+  [[nodiscard]] dense::DArray spmv(const dense::DArray& x) const;
+  /// C = A @ B with dense B[n,k]: row-split, B rows gathered by image.
+  [[nodiscard]] dense::DArray spmm(const dense::DArray& b) const;
+  /// C = A @ B with sparse B (two-phase symbolic/numeric SpGEMM).
+  [[nodiscard]] CsrMatrix spgemm(const CsrMatrix& b) const;
+  /// out = A ⊙ (B @ C): sampled dense-dense matmul, B[m,k], C[k,n].
+  /// The key factorization-benchmark kernel (Section 6.2).
+  [[nodiscard]] CsrMatrix sddmm(const dense::DArray& b, const dense::DArray& c) const;
+
+  // ---- element-wise & structural (ported group) ------------------------------
+  [[nodiscard]] CsrMatrix add(const CsrMatrix& b) const;
+  [[nodiscard]] CsrMatrix sub(const CsrMatrix& b) const;
+  /// Element-wise (Hadamard) product; result keeps the intersection pattern.
+  [[nodiscard]] CsrMatrix multiply(const CsrMatrix& b) const;
+  [[nodiscard]] CsrMatrix scale(dense::Scalar a) const;
+  [[nodiscard]] CsrMatrix neg() const { return scale(-1.0); }
+  [[nodiscard]] CsrMatrix abs_values() const;
+  [[nodiscard]] CsrMatrix power_values(double p) const;
+  [[nodiscard]] CsrMatrix copy() const;
+  /// Drop stored zeros (SciPy's eliminate_zeros).
+  [[nodiscard]] CsrMatrix prune(double tol = 0.0) const;
+
+  /// Scale row i by d[i] (diag(d) @ A) — used by the Jacobi smoother.
+  [[nodiscard]] CsrMatrix scale_rows(const dense::DArray& d) const;
+  /// Scale column j by d[j] (A @ diag(d)); d gathered through the crd image.
+  [[nodiscard]] CsrMatrix scale_cols(const dense::DArray& d) const;
+
+  // ---- reductions & extraction ----------------------------------------------
+  [[nodiscard]] dense::DArray diagonal() const;
+  /// axis 0: column sums (length cols); axis 1: row sums (length rows).
+  [[nodiscard]] dense::DArray sum(int axis) const;
+  [[nodiscard]] dense::Scalar sum_all() const;
+  /// axis 0/1 means like scipy's A.mean(axis).
+  [[nodiscard]] dense::DArray mean(int axis) const;
+  /// Count of stored entries per row.
+  [[nodiscard]] dense::DArray row_nnz() const;
+  /// Entries with value != 0 (scipy.count_nonzero vs nnz).
+  [[nodiscard]] dense::Scalar count_nonzero() const;
+  /// Frobenius norm sqrt(sum v^2).
+  [[nodiscard]] dense::Scalar norm_fro() const;
+  /// max_j sum_i |a_ij| (1-norm) / max_i sum_j |a_ij| (inf-norm).
+  [[nodiscard]] dense::Scalar norm_1() const;
+  [[nodiscard]] dense::Scalar norm_inf() const;
+  /// Largest / smallest stored value (scipy's max()/min() on data).
+  [[nodiscard]] dense::Scalar max_value() const;
+  [[nodiscard]] dense::Scalar min_value() const;
+
+  // ---- structure ---------------------------------------------------------------
+  /// Keep entries on/below the k-th diagonal (scipy.sparse.tril).
+  [[nodiscard]] CsrMatrix tril(coord_t k = 0) const;
+  /// Keep entries on/above the k-th diagonal (scipy.sparse.triu).
+  [[nodiscard]] CsrMatrix triu(coord_t k = 0) const;
+  /// Row i as a dense vector of length cols (scipy's getrow().todense()).
+  [[nodiscard]] dense::DArray getrow(coord_t i) const;
+  /// Column j as a dense vector of length rows.
+  [[nodiscard]] dense::DArray getcol(coord_t j) const;
+  /// Single element lookup (0 when not stored).
+  [[nodiscard]] double get(coord_t i, coord_t j) const;
+  /// Set the main diagonal to d (scipy's setdiag; pattern must contain it).
+  [[nodiscard]] CsrMatrix with_diagonal(const dense::DArray& d) const;
+
+  // ---- format conversions ------------------------------------------------------
+  [[nodiscard]] CooMatrix tocoo() const;
+  [[nodiscard]] CscMatrix tocsc() const;
+  [[nodiscard]] DiaMatrix todia() const;
+  [[nodiscard]] CsrMatrix transpose() const;
+  [[nodiscard]] dense::DArray todense() const;  ///< row-major (rows, cols)
+
+  // ---- slicing -----------------------------------------------------------------
+  /// Rows [lo, hi) as a new matrix (SciPy A[lo:hi]).
+  [[nodiscard]] CsrMatrix row_slice(coord_t lo, coord_t hi) const;
+
+  /// Read back as host triples (testing / small matrices).
+  void to_host(std::vector<coord_t>& indptr, std::vector<coord_t>& indices,
+               std::vector<double>& values) const;
+
+ private:
+  /// New matrix sharing this one's pos/crd (non-zero-preserving value ops).
+  [[nodiscard]] CsrMatrix with_vals(rt::Store vals) const;
+  /// Length of the crd/vals stores (1-element placeholder when nnz == 0).
+  [[nodiscard]] coord_t nnz_store_len() const { return crd_.volume(); }
+
+  rt::Runtime* rt_{nullptr};
+  coord_t rows_{0}, cols_{0};
+  bool empty_{false};  ///< true when the matrix has no stored entries
+  rt::Store pos_, crd_, vals_;
+};
+
+}  // namespace legate::sparse

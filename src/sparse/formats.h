@@ -1,0 +1,181 @@
+#pragma once
+
+#include "sparse/csr.h"
+
+namespace legate::sparse {
+
+/// Coordinate-format sparse matrix: parallel row/col/vals stores
+/// (Section 3). The natural construction and interchange format.
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(rt::Runtime& rt, coord_t rows, coord_t cols, rt::Store row,
+            rt::Store col, rt::Store vals)
+      : rt_(&rt),
+        rows_(rows),
+        cols_(cols),
+        row_(std::move(row)),
+        col_(std::move(col)),
+        vals_(std::move(vals)) {}
+
+  static CooMatrix from_host(rt::Runtime& rt, coord_t rows, coord_t cols,
+                             const std::vector<coord_t>& row,
+                             const std::vector<coord_t>& col,
+                             const std::vector<double>& vals);
+
+  [[nodiscard]] bool valid() const { return rt_ != nullptr; }
+  [[nodiscard]] coord_t rows() const { return rows_; }
+  [[nodiscard]] coord_t cols() const { return cols_; }
+  [[nodiscard]] coord_t nnz() const { return vals_.volume(); }
+  [[nodiscard]] const rt::Store& row() const { return row_; }
+  [[nodiscard]] const rt::Store& col() const { return col_; }
+  [[nodiscard]] const rt::Store& vals() const { return vals_; }
+  [[nodiscard]] rt::Runtime& runtime() const { return *rt_; }
+
+  /// Sort-based conversion (hand-written group, Section 5.3). Duplicate
+  /// coordinates are summed, matching SciPy's tocsr semantics.
+  [[nodiscard]] CsrMatrix tocsr() const;
+  [[nodiscard]] dense::DArray spmv(const dense::DArray& x) const;
+  [[nodiscard]] CooMatrix transpose() const;
+
+ private:
+  rt::Runtime* rt_{nullptr};
+  coord_t rows_{0}, cols_{0};
+  rt::Store row_, col_, vals_;
+};
+
+/// Compressed sparse columns: `pos` indexed by column, `crd` holds rows.
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+  CscMatrix(rt::Runtime& rt, coord_t rows, coord_t cols, rt::Store pos,
+            rt::Store crd, rt::Store vals)
+      : rt_(&rt),
+        rows_(rows),
+        cols_(cols),
+        pos_(std::move(pos)),
+        crd_(std::move(crd)),
+        vals_(std::move(vals)) {}
+
+  [[nodiscard]] bool valid() const { return rt_ != nullptr; }
+  [[nodiscard]] coord_t rows() const { return rows_; }
+  [[nodiscard]] coord_t cols() const { return cols_; }
+  [[nodiscard]] coord_t nnz() const { return crd_.volume(); }
+  [[nodiscard]] const rt::Store& pos() const { return pos_; }
+  [[nodiscard]] const rt::Store& crd() const { return crd_; }
+  [[nodiscard]] const rt::Store& vals() const { return vals_; }
+  [[nodiscard]] rt::Runtime& runtime() const { return *rt_; }
+
+  /// Column-split SpMV: partials scattered into y via a store reduction.
+  [[nodiscard]] dense::DArray spmv(const dense::DArray& x) const;
+  [[nodiscard]] CsrMatrix tocsr() const;
+  /// Aᵀ as CSR shares this matrix's arrays (free relabeling).
+  [[nodiscard]] CsrMatrix transpose_as_csr() const;
+
+ private:
+  rt::Runtime* rt_{nullptr};
+  coord_t rows_{0}, cols_{0};
+  rt::Store pos_, crd_, vals_;
+};
+
+/// Diagonal format: `offsets` (small host metadata) plus a dense data store
+/// of shape (n, ndiag) — transposed from SciPy's layout so that a row block
+/// of the data aligns with a block of the output vector.
+class DiaMatrix {
+ public:
+  DiaMatrix() = default;
+  DiaMatrix(rt::Runtime& rt, coord_t rows, coord_t cols,
+            std::vector<coord_t> offsets, rt::Store data)
+      : rt_(&rt),
+        rows_(rows),
+        cols_(cols),
+        offsets_(std::move(offsets)),
+        data_(std::move(data)) {}
+
+  [[nodiscard]] bool valid() const { return rt_ != nullptr; }
+  [[nodiscard]] coord_t rows() const { return rows_; }
+  [[nodiscard]] coord_t cols() const { return cols_; }
+  [[nodiscard]] const std::vector<coord_t>& offsets() const { return offsets_; }
+  [[nodiscard]] const rt::Store& data() const { return data_; }
+  [[nodiscard]] rt::Runtime& runtime() const { return *rt_; }
+
+  [[nodiscard]] dense::DArray spmv(const dense::DArray& x) const;
+  [[nodiscard]] CsrMatrix tocsr() const;
+
+ private:
+  rt::Runtime* rt_{nullptr};
+  coord_t rows_{0}, cols_{0};
+  std::vector<coord_t> offsets_;
+  rt::Store data_;  // (rows, ndiag); entry (i, d) is A(i, i + offsets[d])
+};
+
+// ---- constructors (SciPy sparse module functions) ---------------------------
+
+/// Identity (scipy.sparse.eye).
+CsrMatrix eye(rt::Runtime& rt, coord_t n, double value = 1.0);
+/// Banded matrix of given half-bandwidth with constant values — the SpMV
+/// microbenchmark workload (Fig. 8).
+CsrMatrix banded(rt::Runtime& rt, coord_t n, coord_t half_bandwidth,
+                 double value = 1.0);
+/// scipy.sparse.diags: one diagonal per (offset, value).
+CsrMatrix diags(rt::Runtime& rt, coord_t n,
+                const std::vector<std::pair<coord_t, double>>& diagonals);
+/// Uniform random CSR (scipy.sparse.random with format='csr').
+CsrMatrix random_csr(rt::Runtime& rt, coord_t rows, coord_t cols, double density,
+                     std::uint64_t seed);
+/// Kronecker product (setup-time host construction; used to assemble the
+/// 2-D Poisson operator as kron(I,T) + kron(T,I)).
+CsrMatrix kron(const CsrMatrix& a, const CsrMatrix& b);
+/// Dense row-major (rows, cols) array -> CSR, dropping zeros.
+CsrMatrix csr_from_dense(const dense::DArray& a);
+/// Stack matrices vertically (scipy.sparse.vstack); column counts must match.
+CsrMatrix vstack(const std::vector<CsrMatrix>& mats);
+/// Stack matrices horizontally (scipy.sparse.hstack); row counts must match.
+CsrMatrix hstack(const std::vector<CsrMatrix>& mats);
+/// Block-diagonal assembly (scipy.sparse.block_diag).
+CsrMatrix block_diag(const std::vector<CsrMatrix>& mats);
+
+/// Block sparse rows — the format the paper lists as the next target
+/// (Section 5.4: "72 of the remaining functions are defined on the BSR
+/// format, which we plan to support"). Square bs x bs dense blocks; `pos`
+/// indexes block rows, `crd` holds block-column ids, and `data` is a 2-D
+/// store of shape (nblocks, bs*bs) so a block-row split aligns blocks with
+/// their pos entries through the same image constraints as CSR.
+class BsrMatrix {
+ public:
+  BsrMatrix() = default;
+  BsrMatrix(rt::Runtime& rt, coord_t rows, coord_t cols, coord_t block,
+            rt::Store pos, rt::Store crd, rt::Store data)
+      : rt_(&rt),
+        rows_(rows),
+        cols_(cols),
+        block_(block),
+        pos_(std::move(pos)),
+        crd_(std::move(crd)),
+        data_(std::move(data)) {}
+
+  /// Convert a CSR matrix into BSR with block size `bs` (rows/cols must be
+  /// divisible by bs; zero-fill inside partially-occupied blocks).
+  static BsrMatrix from_csr(const CsrMatrix& a, coord_t bs);
+
+  [[nodiscard]] bool valid() const { return rt_ != nullptr; }
+  [[nodiscard]] coord_t rows() const { return rows_; }
+  [[nodiscard]] coord_t cols() const { return cols_; }
+  [[nodiscard]] coord_t block_size() const { return block_; }
+  [[nodiscard]] coord_t block_rows() const { return rows_ / block_; }
+  [[nodiscard]] coord_t nnz_blocks() const { return crd_.volume(); }
+  [[nodiscard]] rt::Runtime& runtime() const { return *rt_; }
+
+  /// Block-row-split SpMV (the DISTAL-generated kernel family).
+  [[nodiscard]] dense::DArray spmv(const dense::DArray& x) const;
+  [[nodiscard]] CsrMatrix tocsr() const;
+
+ private:
+  rt::Runtime* rt_{nullptr};
+  coord_t rows_{0}, cols_{0}, block_{0};
+  rt::Store pos_;   ///< Rect1 per block row
+  rt::Store crd_;   ///< block-column index per block
+  rt::Store data_;  ///< (nblocks, bs*bs) row-major block values
+};
+
+}  // namespace legate::sparse

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace legate {
+
+/// Coordinate type used for all index spaces, matching Legion's 64-bit coords.
+using coord_t = std::int64_t;
+
+/// Thrown when a simulated memory would exceed its capacity (models a real OOM
+/// on the target machine, e.g. a V100 framebuffer).
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::string full = std::string("check failed: ") + cond + " at " + file + ":" +
+                     std::to_string(line) + (msg.empty() ? "" : (": " + msg));
+  throw std::logic_error(full);
+}
+}  // namespace detail
+
+}  // namespace legate
+
+/// Internal invariant check; active in all build types. These guard runtime
+/// metadata invariants (partition bounds, version monotonicity, ...) whose
+/// violation would silently corrupt the simulation, so they stay on in release.
+#define LSR_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) ::legate::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define LSR_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::legate::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/common.h"
+
+namespace legate {
+
+/// Half-open 1-D coordinate range [lo, hi). Empty when lo >= hi.
+///
+/// All runtime metadata (partitions, dependence records, validity maps) is
+/// expressed in terms of these ranges; 2-D dense stores are linearized
+/// row-major so a row block is a single Interval.
+struct Interval {
+  coord_t lo{0};
+  coord_t hi{0};
+
+  constexpr Interval() = default;
+  constexpr Interval(coord_t lo_, coord_t hi_) : lo(lo_), hi(hi_) {}
+
+  [[nodiscard]] constexpr bool empty() const { return lo >= hi; }
+  [[nodiscard]] constexpr coord_t size() const { return empty() ? 0 : hi - lo; }
+  [[nodiscard]] constexpr bool contains(coord_t p) const { return p >= lo && p < hi; }
+  [[nodiscard]] constexpr bool contains(Interval o) const {
+    return o.empty() || (o.lo >= lo && o.hi <= hi);
+  }
+  [[nodiscard]] constexpr bool overlaps(Interval o) const {
+    return std::max(lo, o.lo) < std::min(hi, o.hi);
+  }
+  [[nodiscard]] constexpr Interval intersect(Interval o) const {
+    Interval r{std::max(lo, o.lo), std::min(hi, o.hi)};
+    return r.empty() ? Interval{} : r;
+  }
+  /// Smallest interval containing both (the "bounding" union used by image
+  /// approximations and allocation coalescing).
+  [[nodiscard]] constexpr Interval span_union(Interval o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  friend constexpr bool operator==(Interval a, Interval b) {
+    if (a.empty() && b.empty()) return true;
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Interval iv) {
+  return os << "[" << iv.lo << "," << iv.hi << ")";
+}
+
+}  // namespace legate

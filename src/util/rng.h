@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace legate {
+
+/// Deterministic, seedable RNG (xoshiro256** seeded via splitmix64).
+///
+/// Used everywhere instead of <random> engines so that test oracles and
+/// benchmark workloads are bit-reproducible across platforms and runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) word = splitmix64(x);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    LSR_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform coordinate in [lo, hi).
+  coord_t next_coord(coord_t lo, coord_t hi) {
+    LSR_CHECK(lo < hi);
+    return lo + static_cast<coord_t>(next_below(static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  /// Standard normal via Box-Muller.
+  double next_normal() {
+    double u1 = next_double();
+    double u2 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// Zipf-distributed integer in [0, n) with exponent `s` (used by the
+  /// synthetic MovieLens generator). Uses inverse-CDF on a precomputed-free
+  /// approximation (rejection-inversion is overkill at our sizes).
+  coord_t next_zipf(coord_t n, double s) {
+    // Approximate inverse CDF of the Zipf distribution via the continuous
+    // bounded Pareto; adequate for workload shaping.
+    double u = next_double();
+    double h = std::pow(static_cast<double>(n), 1.0 - s);
+    double x = std::pow(u * (h - 1.0) + 1.0, 1.0 / (1.0 - s));
+    coord_t k = static_cast<coord_t>(x) - 1;
+    if (k < 0) k = 0;
+    if (k >= n) k = n - 1;
+    return k;
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace legate

@@ -1,0 +1,136 @@
+#include "baselines/petsc/petsc.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "apps/workloads.h"
+
+namespace legate::baselines::petsc {
+namespace {
+
+class PetscTest : public ::testing::Test {
+ protected:
+  sim::PerfParams pp_;
+};
+
+TEST_F(PetscTest, VecScatterGatherRoundTrip) {
+  mpisim::MpiSim sim(sim::ProcKind::GPU, 3, pp_);
+  std::vector<double> data{1, 2, 3, 4, 5, 6, 7};
+  Vec v(sim, data);
+  EXPECT_EQ(v.gather(), data);
+  EXPECT_EQ(v.local(0).size() + v.local(1).size() + v.local(2).size(), 7u);
+}
+
+TEST_F(PetscTest, VecBlas) {
+  mpisim::MpiSim sim(sim::ProcKind::GPU, 2, pp_);
+  Vec a(sim, {1, 2, 3, 4});
+  Vec b(sim, {1, 1, 1, 1});
+  a.axpy(2.0, b);
+  EXPECT_EQ(a.gather(), (std::vector<double>{3, 4, 5, 6}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 18.0);
+  Vec c(sim, {3, 4, 0, 0});
+  EXPECT_DOUBLE_EQ(c.norm(), 5.0);
+}
+
+TEST_F(PetscTest, MatMultMatchesSequential) {
+  auto prob = apps::poisson2d(8);
+  for (int ranks : {1, 2, 4}) {
+    mpisim::MpiSim sim(sim::ProcKind::GPU, ranks, pp_);
+    Mat A(sim, prob.rows, prob.cols, prob.indptr, prob.indices, prob.values);
+    std::vector<double> xh(static_cast<std::size_t>(prob.rows));
+    for (std::size_t i = 0; i < xh.size(); ++i) xh[i] = std::sin(static_cast<double>(i));
+    Vec x(sim, xh);
+    Vec y(sim, prob.rows);
+    A.mult(x, y);
+    // Sequential oracle.
+    std::vector<double> ref(xh.size(), 0.0);
+    for (coord_t i = 0; i < prob.rows; ++i)
+      for (coord_t j = prob.indptr[static_cast<std::size_t>(i)];
+           j < prob.indptr[static_cast<std::size_t>(i) + 1]; ++j)
+        ref[static_cast<std::size_t>(i)] +=
+            prob.values[static_cast<std::size_t>(j)] *
+            xh[static_cast<std::size_t>(prob.indices[static_cast<std::size_t>(j)])];
+    auto got = y.gather();
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_NEAR(got[i], ref[i], 1e-12) << "ranks=" << ranks << " i=" << i;
+  }
+}
+
+TEST_F(PetscTest, ScatterBytesOnlyForOffDiagonal) {
+  // Banded matrix: each rank needs only a halo from its neighbours.
+  auto prob = apps::banded_matrix(1000, 1);
+  mpisim::MpiSim sim(sim::ProcKind::GPU, 4, pp_);
+  Mat A(sim, prob.rows, prob.cols, prob.indptr, prob.indices, prob.values);
+  double total = 0;
+  for (auto& [pair, b] : A.scatter_bytes()) {
+    EXPECT_EQ(std::abs(pair.first - pair.second), 1);  // neighbours only
+    total += b;
+  }
+  EXPECT_DOUBLE_EQ(total, 6 * 8.0);  // one element per direction per cut
+}
+
+TEST_F(PetscTest, KspCgSolvesPoisson) {
+  auto prob = apps::poisson2d(12);
+  mpisim::MpiSim sim(sim::ProcKind::GPU, 3, pp_);
+  Mat A(sim, prob.rows, prob.cols, prob.indptr, prob.indices, prob.values);
+  std::vector<double> bh(static_cast<std::size_t>(prob.rows), 1.0);
+  Vec b(sim, bh);
+  auto res = ksp_cg(A, b, 1e-10, 2000);
+  EXPECT_TRUE(res.converged);
+  // Verify residual with the sequential oracle.
+  auto x = res.x.gather();
+  double rnorm = 0;
+  for (coord_t i = 0; i < prob.rows; ++i) {
+    double ax = 0;
+    for (coord_t j = prob.indptr[static_cast<std::size_t>(i)];
+         j < prob.indptr[static_cast<std::size_t>(i) + 1]; ++j)
+      ax += prob.values[static_cast<std::size_t>(j)] *
+            x[static_cast<std::size_t>(prob.indices[static_cast<std::size_t>(j)])];
+    rnorm += (1.0 - ax) * (1.0 - ax);
+  }
+  EXPECT_LT(std::sqrt(rnorm), 1e-7);
+}
+
+TEST_F(PetscTest, CgIterationCountIndependentOfRanks) {
+  auto prob = apps::poisson2d(10);
+  std::vector<double> bh(static_cast<std::size_t>(prob.rows), 1.0);
+  int iters1 = 0;
+  for (int ranks : {1, 2, 6}) {
+    mpisim::MpiSim sim(sim::ProcKind::GPU, ranks, pp_);
+    Mat A(sim, prob.rows, prob.cols, prob.indptr, prob.indices, prob.values);
+    Vec b(sim, bh);
+    auto res = ksp_cg(A, b, 1e-10, 2000);
+    EXPECT_TRUE(res.converged);
+    if (ranks == 1) {
+      iters1 = res.iterations;
+    } else {
+      EXPECT_EQ(res.iterations, iters1);  // same arithmetic at any rank count
+    }
+  }
+}
+
+TEST_F(PetscTest, WeakScalingIsFlatForBandedSpmv) {
+  // PETSc achieves near-perfect weak scaling on the microbenchmark (Fig. 8).
+  auto time_per_iter = [&](int ranks) {
+    auto prob = apps::banded_matrix(200000 * ranks, 5);
+    mpisim::MpiSim sim(sim::ProcKind::GPU, ranks, pp_);
+    Mat A(sim, prob.rows, prob.cols, prob.indptr, prob.indices, prob.values);
+    Vec x(sim, std::vector<double>(static_cast<std::size_t>(prob.rows), 1.0));
+    Vec y(sim, prob.rows);
+    double t0 = sim.makespan();
+    for (int i = 0; i < 5; ++i) A.mult(x, y);
+    return (sim.makespan() - t0) / 5;
+  };
+  double t1 = time_per_iter(1);
+  double t12 = time_per_iter(12);
+  EXPECT_LT(t12, t1 * 1.5);
+}
+
+TEST_F(PetscTest, CpuModeUsesSockets) {
+  mpisim::MpiSim sim(sim::ProcKind::CPU, 4, pp_);
+  EXPECT_EQ(sim.kind(), sim::ProcKind::CPU);
+  EXPECT_EQ(sim.machine().nodes(), 2);
+}
+
+}  // namespace
+}  // namespace legate::baselines::petsc

@@ -1,0 +1,127 @@
+#include "baselines/ref/ref.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/workloads.h"
+
+namespace legate::baselines::ref {
+namespace {
+
+class RefTest : public ::testing::Test {
+ protected:
+  sim::PerfParams pp_;
+};
+
+TEST_F(RefTest, VectorOps) {
+  RefContext ctx(Device::ScipyCpu, pp_);
+  RefVector a(ctx, {1, 2, 3});
+  RefVector b(ctx, {1, 1, 1});
+  a.axpy(2.0, b);
+  EXPECT_EQ(a.data(), (std::vector<double>{3, 4, 5}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 12.0);
+  EXPECT_DOUBLE_EQ(RefVector(ctx, {3, 4}).norm(), 5.0);
+  EXPECT_GT(ctx.now(), 0.0);
+}
+
+TEST_F(RefTest, SpmvMatchesManual) {
+  RefContext ctx(Device::CupyGpu, pp_);
+  // [[2, 1], [0, 3]]
+  RefCsr a(ctx, 2, 2, {0, 2, 3}, {0, 1, 1}, {2, 1, 3});
+  RefVector x(ctx, {1, 2});
+  auto y = a.spmv(x);
+  EXPECT_EQ(y.data(), (std::vector<double>{4, 6}));
+}
+
+TEST_F(RefTest, TransposeAndSpgemm) {
+  RefContext ctx(Device::ScipyCpu, pp_);
+  RefCsr a(ctx, 2, 3, {0, 2, 3}, {0, 2, 1}, {1, 2, 3});
+  RefCsr at = a.transpose();
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at.cols(), 2);
+  RefCsr aat = a.spgemm(at);  // 2x2: [[1*1+2*2, 0], [0, 9]]
+  RefVector x(ctx, {1, 1});
+  auto y = aat.spmv(x);
+  EXPECT_EQ(y.data(), (std::vector<double>{5, 9}));
+}
+
+TEST_F(RefTest, SddmmChargesCupyPenalty) {
+  sim::PerfParams pp;
+  RefContext cpu(Device::ScipyCpu, pp);
+  RefContext gpu(Device::CupyGpu, pp);
+  coord_t n = 1 << 18, k = 64;
+  std::vector<coord_t> indptr(static_cast<std::size_t>(n) + 1), indices(
+      static_cast<std::size_t>(n));
+  std::vector<double> vals(static_cast<std::size_t>(n), 1.0);
+  for (coord_t i = 0; i <= n; ++i) indptr[static_cast<std::size_t>(i)] = i;
+  for (coord_t i = 0; i < n; ++i) indices[static_cast<std::size_t>(i)] = i;
+  std::vector<double> b(static_cast<std::size_t>(n * k), 0.5),
+      c(static_cast<std::size_t>(k * n), 0.5);
+
+  RefCsr am(gpu, n, n, indptr, indices, vals);
+  double t0 = gpu.now();
+  auto out = am.sddmm(b, c, k);
+  double sddmm_time = gpu.now() - t0;
+  // Compare against an equally-sized SpMM (no penalty).
+  t0 = gpu.now();
+  (void)am.spmm(b, k);
+  double spmm_time = gpu.now() - t0;
+  EXPECT_GT(sddmm_time, 2.0 * spmm_time);  // the cuSPARSE inefficiency
+  // Values: out(i,i) = vals * sum_l b(i,l) c(l,i) = k * 0.25.
+  EXPECT_DOUBLE_EQ(out.values()[0], static_cast<double>(k) * 0.25);
+}
+
+TEST_F(RefTest, CupyOomAtCapacity) {
+  RefContext ctx(Device::CupyGpu, pp_);
+  EXPECT_THROW(
+      {
+        RefVector huge(ctx, static_cast<coord_t>(3e9));  // 24 GB > 15.3 GB
+      },
+      OutOfMemoryError);
+}
+
+TEST_F(RefTest, ScipyIsSlowerThanCupyOnLargeKernels) {
+  sim::PerfParams pp;
+  RefContext cpu(Device::ScipyCpu, pp);
+  RefContext gpu(Device::CupyGpu, pp);
+  RefVector a(cpu, 1 << 20, 1.0), b(cpu, 1 << 20, 2.0);
+  RefVector c(gpu, 1 << 20, 1.0), d(gpu, 1 << 20, 2.0);
+  double t0 = cpu.now();
+  a.axpy(1.0, b);
+  double cpu_t = cpu.now() - t0;
+  t0 = gpu.now();
+  c.axpy(1.0, d);
+  double gpu_t = gpu.now() - t0;
+  EXPECT_GT(cpu_t, 10 * gpu_t);
+}
+
+TEST_F(RefTest, CupyOverheadDominatesSmallKernels) {
+  sim::PerfParams pp;
+  RefContext gpu(Device::CupyGpu, pp);
+  RefVector a(gpu, 8, 1.0), b(gpu, 8, 2.0);
+  double t0 = gpu.now();
+  a.axpy(1.0, b);
+  double t = gpu.now() - t0;
+  EXPECT_GT(t, pp.cupy_op_overhead);  // latency-bound
+  EXPECT_LT(t, 3 * (pp.cupy_op_overhead + pp.gpu_kernel_launch));
+}
+
+TEST_F(RefTest, AddMergesPatterns) {
+  RefContext ctx(Device::ScipyCpu, pp_);
+  RefCsr a(ctx, 2, 2, {0, 1, 2}, {0, 1}, {1, 2});
+  RefCsr b(ctx, 2, 2, {0, 1, 2}, {1, 1}, {5, 7});
+  RefCsr c = a.add(b);
+  EXPECT_EQ(c.nnz(), 3);
+  RefVector x(ctx, {1, 1});
+  auto y = c.spmv(x);
+  EXPECT_EQ(y.data(), (std::vector<double>{6, 9}));
+}
+
+TEST_F(RefTest, DiagonalExtraction) {
+  RefContext ctx(Device::ScipyCpu, pp_);
+  RefCsr a(ctx, 2, 2, {0, 2, 3}, {0, 1, 1}, {2, 1, 3});
+  auto d = a.diagonal();
+  EXPECT_EQ(d.data(), (std::vector<double>{2, 3}));
+}
+
+}  // namespace
+}  // namespace legate::baselines::ref

@@ -1,0 +1,149 @@
+#include "apps/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace legate::apps {
+namespace {
+
+TEST(Workloads, BandedShape) {
+  auto p = banded_matrix(100, 5);
+  EXPECT_EQ(p.rows, 100);
+  EXPECT_EQ(p.nnz(), static_cast<coord_t>(p.values.size()));
+  // Interior rows: 11 entries.
+  EXPECT_EQ(p.indptr[51] - p.indptr[50], 11);
+  // Diagonal dominance (SPD by Gershgorin).
+  for (coord_t i = 0; i < 100; ++i) {
+    double diag = 0, off = 0;
+    for (coord_t j = p.indptr[static_cast<std::size_t>(i)];
+         j < p.indptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      if (p.indices[static_cast<std::size_t>(j)] == i)
+        diag = p.values[static_cast<std::size_t>(j)];
+      else
+        off += std::fabs(p.values[static_cast<std::size_t>(j)]);
+    }
+    EXPECT_GT(diag, off);
+  }
+}
+
+TEST(Workloads, Poisson2dStructure) {
+  auto p = poisson2d(6);
+  EXPECT_EQ(p.rows, 36);
+  EXPECT_EQ(p.nnz(), 36 * 5 - 4 * 6);  // 5-point minus boundary cuts
+  // Row sums: 0 in the interior, positive on the boundary.
+  for (coord_t i = 1; i < 5; ++i) {
+    for (coord_t j = 1; j < 5; ++j) {
+      coord_t row = i * 6 + j;
+      double sum = 0;
+      for (coord_t k = p.indptr[static_cast<std::size_t>(row)];
+           k < p.indptr[static_cast<std::size_t>(row) + 1]; ++k)
+        sum += p.values[static_cast<std::size_t>(k)];
+      EXPECT_DOUBLE_EQ(sum, 0.0);
+    }
+  }
+}
+
+TEST(Workloads, RydbergDimIsFibonacci) {
+  EXPECT_EQ(rydberg_dim(1), 2);
+  EXPECT_EQ(rydberg_dim(2), 3);
+  EXPECT_EQ(rydberg_dim(3), 5);
+  EXPECT_EQ(rydberg_dim(10), 144);
+  EXPECT_EQ(rydberg_dim(20), 17711);
+}
+
+TEST(Workloads, RydbergChainStates) {
+  auto sys = rydberg_chain(4, 1.0, 0.5);
+  EXPECT_EQ(sys.dim, rydberg_dim(4));
+  EXPECT_EQ(sys.hamiltonian.rows, 2 * sys.dim);
+  EXPECT_EQ(sys.ground_state, 0);  // |0000> is the first bitmask
+}
+
+TEST(Workloads, RydbergBlockStructureIsAntisymmetric) {
+  // B = [[0, H], [-H, 0]] means B(r, c+dim) == -B(r+dim, c) for the same H
+  // entry, and the spectrum is purely imaginary: y'=By conserves ||y||.
+  auto sys = rydberg_chain(5);
+  const auto& p = sys.hamiltonian;
+  coord_t dim = sys.dim;
+  // Upper-right block: columns >= dim for rows < dim.
+  for (coord_t r = 0; r < dim; ++r) {
+    for (coord_t j = p.indptr[static_cast<std::size_t>(r)];
+         j < p.indptr[static_cast<std::size_t>(r) + 1]; ++j) {
+      EXPECT_GE(p.indices[static_cast<std::size_t>(j)], dim);
+    }
+  }
+  for (coord_t r = dim; r < 2 * dim; ++r) {
+    for (coord_t j = p.indptr[static_cast<std::size_t>(r)];
+         j < p.indptr[static_cast<std::size_t>(r) + 1]; ++j) {
+      EXPECT_LT(p.indices[static_cast<std::size_t>(j)], dim);
+    }
+  }
+}
+
+TEST(Workloads, RydbergHamiltonianIsSymmetricInH) {
+  auto sys = rydberg_chain(6);
+  const auto& p = sys.hamiltonian;
+  coord_t dim = sys.dim;
+  // Collect the H block and check symmetry.
+  std::set<std::pair<coord_t, coord_t>> entries;
+  for (coord_t r = 0; r < dim; ++r)
+    for (coord_t j = p.indptr[static_cast<std::size_t>(r)];
+         j < p.indptr[static_cast<std::size_t>(r) + 1]; ++j)
+      entries.emplace(r, p.indices[static_cast<std::size_t>(j)] - dim);
+  for (auto& [r, c] : entries) {
+    EXPECT_TRUE(entries.count({c, r})) << r << "," << c;
+  }
+}
+
+TEST(Workloads, RydbergWideBandwidth) {
+  // The flip terms connect far-apart state indices — the paper's
+  // communication-heavy pattern.
+  auto sys = rydberg_chain(16);
+  const auto& p = sys.hamiltonian;
+  coord_t dim = sys.dim;
+  coord_t max_span = 0;
+  for (coord_t r = 0; r < dim; ++r) {
+    for (coord_t j = p.indptr[static_cast<std::size_t>(r)];
+         j < p.indptr[static_cast<std::size_t>(r) + 1]; ++j) {
+      max_span = std::max(max_span, std::abs(p.indices[static_cast<std::size_t>(j)] - dim - r));
+    }
+  }
+  EXPECT_GT(max_span, dim / 3);
+}
+
+TEST(Workloads, MovieLensShape) {
+  auto d = synthetic_movielens(1000, 500, 20000, 42);
+  EXPECT_EQ(d.users, 1000);
+  EXPECT_EQ(d.items, 500);
+  EXPECT_LE(d.nnz(), 20000);  // dedup may drop a few
+  EXPECT_GT(d.nnz(), 13000);  // Zipf collisions dedup some
+  for (double r : d.ratings) {
+    EXPECT_GE(r, 0.5);
+    EXPECT_LE(r, 5.0);
+  }
+  // Zipf popularity: the most popular decile of items gets most ratings.
+  std::vector<coord_t> item_counts(500, 0);
+  for (coord_t i : d.indices) ++item_counts[static_cast<std::size_t>(i)];
+  coord_t head = 0;
+  for (coord_t i = 0; i < 50; ++i) head += item_counts[static_cast<std::size_t>(i)];
+  EXPECT_GT(head, d.nnz() / 2);
+}
+
+TEST(Workloads, MovieLensDeterministic) {
+  auto a = synthetic_movielens(100, 50, 1000, 7);
+  auto b = synthetic_movielens(100, 50, 1000, 7);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.ratings, b.ratings);
+}
+
+TEST(Workloads, ProfilesMatchPaper) {
+  const auto& p = movielens_profiles();
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_STREQ(p[0].name, "ML-10M");
+  EXPECT_NEAR(static_cast<double>(p[0].nnz), 1e7, 1e5);
+  EXPECT_NEAR(static_cast<double>(p[3].nnz), 1e8, 1e6);
+}
+
+}  // namespace
+}  // namespace legate::apps

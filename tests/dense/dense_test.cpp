@@ -1,0 +1,214 @@
+#include "dense/array.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace legate::dense {
+namespace {
+
+class DenseTest : public ::testing::Test {
+ protected:
+  DenseTest() : machine_(sim::Machine::gpus(3, pp_)), rt_(machine_) {}
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(DenseTest, ZerosFullArange) {
+  auto z = DArray::zeros(rt_, 10);
+  for (double v : z.to_vector()) EXPECT_DOUBLE_EQ(v, 0.0);
+  auto f = DArray::full(rt_, 10, 3.5);
+  for (double v : f.to_vector()) EXPECT_DOUBLE_EQ(v, 3.5);
+  auto a = DArray::arange(rt_, 5);
+  EXPECT_EQ(a.to_vector(), (std::vector<double>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(DenseTest, ElementwiseBinary) {
+  auto a = DArray::from_vector(rt_, {1, 2, 3, 4});
+  auto b = DArray::from_vector(rt_, {10, 20, 30, 40});
+  EXPECT_EQ(a.add(b).to_vector(), (std::vector<double>{11, 22, 33, 44}));
+  EXPECT_EQ(b.sub(a).to_vector(), (std::vector<double>{9, 18, 27, 36}));
+  EXPECT_EQ(a.mul(b).to_vector(), (std::vector<double>{10, 40, 90, 160}));
+  EXPECT_EQ(b.div(a).to_vector(), (std::vector<double>{10, 10, 10, 10}));
+}
+
+TEST_F(DenseTest, InplaceOps) {
+  auto a = DArray::from_vector(rt_, {1, 2, 3});
+  auto b = DArray::from_vector(rt_, {1, 1, 1});
+  a.iadd(b);
+  EXPECT_EQ(a.to_vector(), (std::vector<double>{2, 3, 4}));
+  a.isub(b);
+  a.imul(a);
+  EXPECT_EQ(a.to_vector(), (std::vector<double>{1, 4, 9}));
+  a.iscale(2.0);
+  EXPECT_EQ(a.to_vector(), (std::vector<double>{2, 8, 18}));
+}
+
+TEST_F(DenseTest, AxpyAndXpay) {
+  auto y = DArray::from_vector(rt_, {1, 1, 1});
+  auto x = DArray::from_vector(rt_, {1, 2, 3});
+  y.axpy(2.0, x);
+  EXPECT_EQ(y.to_vector(), (std::vector<double>{3, 5, 7}));
+  y.xpay(0.5, x);  // y = x + 0.5*y
+  EXPECT_EQ(y.to_vector(), (std::vector<double>{2.5, 4.5, 6.5}));
+}
+
+TEST_F(DenseTest, UnaryOps) {
+  auto a = DArray::from_vector(rt_, {-4, 9});
+  EXPECT_EQ(a.abs().to_vector(), (std::vector<double>{4, 9}));
+  EXPECT_EQ(a.abs().sqrt().to_vector(), (std::vector<double>{2, 3}));
+  EXPECT_EQ(a.neg().to_vector(), (std::vector<double>{4, -9}));
+  auto e = DArray::from_vector(rt_, {0});
+  EXPECT_DOUBLE_EQ(e.exp().to_vector()[0], 1.0);
+}
+
+TEST_F(DenseTest, ScalarOps) {
+  auto a = DArray::from_vector(rt_, {1, 2});
+  EXPECT_EQ(a.scale(3.0).to_vector(), (std::vector<double>{3, 6}));
+  EXPECT_EQ(a.add_scalar(1.5).to_vector(), (std::vector<double>{2.5, 3.5}));
+}
+
+TEST_F(DenseTest, Reductions) {
+  auto a = DArray::from_vector(rt_, {3, -1, 4, 1, -5});
+  EXPECT_DOUBLE_EQ(a.sum().value, 2.0);
+  EXPECT_DOUBLE_EQ(a.max().value, 4.0);
+  EXPECT_DOUBLE_EQ(a.min().value, -5.0);
+  auto b = DArray::from_vector(rt_, {1, 1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(a.dot(b).value, 2.0);
+  auto c = DArray::from_vector(rt_, {3, 4});
+  EXPECT_DOUBLE_EQ(c.norm().value, 5.0);
+}
+
+TEST_F(DenseTest, DotIsDistributedAndExact) {
+  constexpr coord_t kN = 10007;
+  auto a = DArray::arange(rt_, kN);
+  auto b = DArray::full(rt_, kN, 2.0);
+  double expect = static_cast<double>(kN - 1) * kN;  // 2 * sum(0..n-1)
+  EXPECT_DOUBLE_EQ(a.dot(b).value, expect);
+}
+
+TEST_F(DenseTest, RandomIsPartitionIndependent) {
+  auto a = DArray::random(rt_, 1000, 42);
+  sim::Machine m1 = sim::Machine::gpus(1, pp_);
+  rt::Runtime rt1(m1);
+  auto b = DArray::random(rt1, 1000, 42);
+  EXPECT_EQ(a.to_vector(), b.to_vector());
+  for (double v : a.to_vector()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST_F(DenseTest, Matmul) {
+  // A = [[1,2],[3,4],[5,6]] (3x2), B = [[1,0],[0,1]] -> A
+  auto a = DArray(rt_, rt_.create_store(rt::DType::F64, {3, 2}));
+  std::vector<double> av{1, 2, 3, 4, 5, 6};
+  std::copy(av.begin(), av.end(), a.store().span<double>().begin());
+  rt_.mark_attached(a.store());
+  auto b = DArray(rt_, rt_.create_store(rt::DType::F64, {2, 2}));
+  std::vector<double> bv{1, 0, 0, 1};
+  std::copy(bv.begin(), bv.end(), b.store().span<double>().begin());
+  rt_.mark_attached(b.store());
+  auto c = a.matmul(b);
+  EXPECT_EQ(c.to_vector(), av);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 2);
+}
+
+TEST_F(DenseTest, MatmulAgainstOracle) {
+  constexpr coord_t m = 17, k = 9, n = 5;
+  auto a = DArray::random2d(rt_, m, k, 1);
+  auto b = DArray::random2d(rt_, k, n, 2);
+  auto c = a.matmul(b);
+  auto av = a.to_vector(), bv = b.to_vector(), cv = c.to_vector();
+  for (coord_t i = 0; i < m; ++i) {
+    for (coord_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (coord_t l = 0; l < k; ++l)
+        acc += av[static_cast<std::size_t>(i * k + l)] *
+               bv[static_cast<std::size_t>(l * n + j)];
+      EXPECT_NEAR(cv[static_cast<std::size_t>(i * n + j)], acc, 1e-12);
+    }
+  }
+}
+
+TEST_F(DenseTest, TransposeInvolution) {
+  auto a = DArray::random2d(rt_, 8, 5, 3);
+  auto t = a.transpose();
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 8);
+  auto tt = t.transpose();
+  EXPECT_EQ(tt.to_vector(), a.to_vector());
+}
+
+TEST_F(DenseTest, ScalarFutureChainsDependence) {
+  // x /= norm(x): the scale must wait for the allreduce'd norm.
+  auto x = DArray::random(rt_, 1 << 16, 7);
+  Scalar n = x.norm();
+  double before = rt_.sim_time();
+  x.iscale({1.0 / n.value, n.ready});
+  EXPECT_GE(rt_.sim_time(), before);
+  EXPECT_NEAR(x.norm().value, 1.0, 1e-12);
+}
+
+TEST_F(DenseTest, MaximumMinimumClip) {
+  auto a = DArray::from_vector(rt_, {1, 5, -3, 2});
+  auto b = DArray::from_vector(rt_, {2, 4, -1, 2});
+  EXPECT_EQ(a.maximum(b).to_vector(), (std::vector<double>{2, 5, -1, 2}));
+  EXPECT_EQ(a.minimum(b).to_vector(), (std::vector<double>{1, 4, -3, 2}));
+  EXPECT_EQ(a.clip(-1, 2).to_vector(), (std::vector<double>{1, 2, -1, 2}));
+}
+
+TEST_F(DenseTest, SquareReciprocalLog) {
+  auto a = DArray::from_vector(rt_, {1, 2, 4});
+  EXPECT_EQ(a.square().to_vector(), (std::vector<double>{1, 4, 16}));
+  EXPECT_EQ(a.reciprocal().to_vector(), (std::vector<double>{1, 0.5, 0.25}));
+  auto e = DArray::from_vector(rt_, {1.0});
+  EXPECT_DOUBLE_EQ(e.log().to_vector()[0], 0.0);
+  EXPECT_NEAR(a.log().exp().to_vector()[1], 2.0, 1e-12);
+}
+
+TEST_F(DenseTest, SliceCopiesWindow) {
+  auto a = DArray::arange(rt_, 100);
+  auto s = a.slice(10, 25);
+  EXPECT_EQ(s.size(), 15);
+  auto v = s.to_vector();
+  for (coord_t i = 0; i < 15; ++i)
+    EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(i)], static_cast<double>(10 + i));
+  // Degenerate slices.
+  EXPECT_EQ(a.slice(0, 0).size(), 0);
+  EXPECT_EQ(a.slice(0, 100).to_vector(), a.to_vector());
+}
+
+/// Weak-scaling sanity: the same per-processor work should take roughly
+/// constant simulated time as processors grow (embarrassingly parallel op).
+class DenseWeakScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseWeakScaling, ElementwiseIsScalable) {
+  sim::PerfParams pp;
+  int procs = GetParam();
+  sim::Machine m = sim::Machine::gpus(procs, pp);
+  rt::Runtime rt(m);
+  coord_t n = 100000 * procs;
+  auto a = DArray::full(rt, n, 1.0);
+  auto b = DArray::full(rt, n, 2.0);
+  double t0 = rt.sim_time();
+  for (int i = 0; i < 5; ++i) a.iadd(b);
+  double per_iter = (rt.sim_time() - t0) / 5;
+  // Must stay near the 1-proc time; allow generous overhead slack.
+  sim::Machine m1 = sim::Machine::gpus(1, pp);
+  rt::Runtime rt1(m1);
+  auto a1 = DArray::full(rt1, 100000, 1.0);
+  auto b1 = DArray::full(rt1, 100000, 2.0);
+  double s0 = rt1.sim_time();
+  for (int i = 0; i < 5; ++i) a1.iadd(b1);
+  double per_iter_1 = (rt1.sim_time() - s0) / 5;
+  EXPECT_LT(per_iter, per_iter_1 * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, DenseWeakScaling, ::testing::Values(1, 2, 6, 12, 24));
+
+}  // namespace
+}  // namespace legate::dense

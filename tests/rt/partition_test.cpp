@@ -1,0 +1,48 @@
+#include "rt/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace legate::rt {
+namespace {
+
+TEST(Partition, EqualCoversDisjointly) {
+  auto p = Partition::equal(10, 3);
+  ASSERT_EQ(p->colors(), 3);
+  EXPECT_TRUE(p->disjoint());
+  coord_t total = 0, cursor = 0;
+  for (int c = 0; c < 3; ++c) {
+    Interval iv = p->sub(c);
+    EXPECT_EQ(iv.lo, cursor);
+    cursor = iv.hi;
+    total += iv.size();
+  }
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(cursor, 10);
+}
+
+TEST(Partition, EqualRemainderSpreadsOverLeadingColors) {
+  auto p = Partition::equal(11, 4);
+  EXPECT_EQ(p->sub(0).size(), 3);
+  EXPECT_EQ(p->sub(1).size(), 3);
+  EXPECT_EQ(p->sub(2).size(), 3);
+  EXPECT_EQ(p->sub(3).size(), 2);
+}
+
+TEST(Partition, EqualMoreColorsThanElements) {
+  auto p = Partition::equal(2, 4);
+  EXPECT_EQ(p->sub(0).size(), 1);
+  EXPECT_EQ(p->sub(1).size(), 1);
+  EXPECT_TRUE(p->sub(2).empty());
+  EXPECT_TRUE(p->sub(3).empty());
+}
+
+TEST(Partition, EqualityComparesSubspaces) {
+  auto a = Partition::equal(10, 2);
+  auto b = Partition::equal(10, 2);
+  auto c = Partition::equal(10, 5);
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+}  // namespace
+}  // namespace legate::rt

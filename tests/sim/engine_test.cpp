@@ -1,0 +1,141 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace legate::sim {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  PerfParams pp;
+};
+
+TEST_F(EngineTest, ProcClocksSerializeWork) {
+  Machine m = Machine::gpus(2, pp);
+  Engine e(m);
+  double t1 = e.busy_proc(0, 0.0, 1.0);
+  double t2 = e.busy_proc(0, 0.0, 1.0);  // same proc: queues behind t1
+  double t3 = e.busy_proc(1, 0.0, 1.0);  // other proc: parallel
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 2.0);
+  EXPECT_DOUBLE_EQ(t3, 1.0);
+  EXPECT_DOUBLE_EQ(e.makespan(), 2.0);
+}
+
+TEST_F(EngineTest, ReadyTimeDelaysStart) {
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  double t = e.busy_proc(0, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(t, 6.0);
+}
+
+TEST_F(EngineTest, ControlLaneAccumulates) {
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  double a = e.control_advance(10e-6);
+  double b = e.control_advance(10e-6);
+  EXPECT_DOUBLE_EQ(b - a, 10e-6);
+}
+
+TEST_F(EngineTest, IntraNodeCopyUsesNvlink) {
+  Machine m = Machine::gpus(2, pp);
+  Engine e(m);
+  int fb0 = m.proc(0).mem, fb1 = m.proc(1).mem;
+  double bytes = 45e9;  // exactly one second at NVLink bandwidth
+  double t = e.copy(fb0, fb1, bytes, 0.0);
+  EXPECT_NEAR(t, 1.0 + pp.nvlink_lat, 1e-9);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_nvlink, bytes);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_ib, 0.0);
+}
+
+TEST_F(EngineTest, InterNodeCopyUsesIbAndContends) {
+  Machine m = Machine::gpus(12, pp);  // 2 nodes
+  Engine e(m);
+  int fb0 = m.proc(0).mem;        // node 0
+  int fb6 = m.proc(6).mem;        // node 1
+  int fb7 = m.proc(7).mem;        // node 1
+  double bytes = pp.ib_bw;        // one second each
+  double t1 = e.copy(fb0, fb6, bytes, 0.0);
+  // Second copy from the same node shares the NIC-out queue: its
+  // transmission serializes behind the first (latency is per message, not
+  // per queue slot).
+  double t2 = e.copy(fb0, fb7, bytes, 0.0);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 - t1, 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_ib, 2 * bytes);
+}
+
+TEST_F(EngineTest, IntraMemoryCopyCountsAsIntra) {
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  int fb = m.proc(0).mem;
+  e.copy(fb, fb, 1e6, 0.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_intra, 1e6);
+}
+
+TEST_F(EngineTest, LegateAllreduceHasLinearTerm) {
+  Machine m = Machine::gpus(6, pp);
+  Engine e(m);
+  double t_legate_small = e.allreduce(2, 0.0, true) ;
+  double t_legate_big = e.allreduce(192, 0.0, true);
+  double t_mpi_big = e.allreduce(192, 0.0, false);
+  // The Legate-style reduction degrades much faster with processor count.
+  EXPECT_GT(t_legate_big - t_legate_small, 192 * pp.legate_allreduce_linear * 0.9);
+  EXPECT_LT(t_mpi_big, t_legate_big / 5);
+}
+
+TEST_F(EngineTest, AllreduceSingleProcIsFree) {
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  EXPECT_DOUBLE_EQ(e.allreduce(1, 3.0, true), 3.0);
+}
+
+TEST_F(EngineTest, CapacityOverflowThrows) {
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  int fb = m.proc(0).mem;
+  double cap = m.memory(fb).capacity;
+  e.alloc_bytes(fb, cap * 0.9);
+  EXPECT_THROW(e.alloc_bytes(fb, cap * 0.2), OutOfMemoryError);
+}
+
+TEST_F(EngineTest, FreeBytesAllowsReuse) {
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  int fb = m.proc(0).mem;
+  double cap = m.memory(fb).capacity;
+  e.alloc_bytes(fb, cap * 0.9);
+  e.free_bytes(fb, cap * 0.9);
+  EXPECT_NO_THROW(e.alloc_bytes(fb, cap * 0.9));
+  EXPECT_NEAR(e.peak_bytes(fb), cap * 0.9, 1.0);
+}
+
+TEST_F(EngineTest, CostModelRooflineCpuVsGpu) {
+  CostModel cm(pp);
+  Cost c{1e9, 1e6, 1.0};  // memory bound
+  double cpu = cm.kernel_seconds(ProcKind::CPU, c, 1.0);
+  double gpu = cm.kernel_seconds(ProcKind::GPU, c);
+  EXPECT_NEAR(cpu, 1e9 / pp.cpu_mem_bw, 1e-12);
+  EXPECT_NEAR(gpu, 1e9 / pp.gpu_mem_bw, 1e-12);
+  // Core fraction scales CPU throughput (SciPy single-thread mode).
+  double scipy = cm.kernel_seconds(ProcKind::CPU, c, pp.scipy_core_fraction);
+  EXPECT_GT(scipy, 5 * cpu);
+}
+
+TEST_F(EngineTest, EfficiencyFactorSlowsKernel) {
+  CostModel cm(pp);
+  Cost fast{1e9, 0, 1.0}, slow{1e9, 0, 0.2};
+  EXPECT_NEAR(cm.kernel_seconds(ProcKind::GPU, slow),
+              5 * cm.kernel_seconds(ProcKind::GPU, fast), 1e-12);
+}
+
+TEST_F(EngineTest, AllreduceBytesAddsRingTerm) {
+  Machine m = Machine::gpus(12, pp);  // 2 nodes -> IB bottleneck
+  Engine e(m);
+  double t0 = e.allreduce(12, 0.0, true);
+  double t1 = e.allreduce_bytes(12, 12e9, 0.0, true);
+  EXPECT_NEAR(t1 - t0, 2.0 * 12e9 * (11.0 / 12.0) / pp.ib_bw, 1e-6);
+}
+
+}  // namespace
+}  // namespace legate::sim

@@ -1,0 +1,57 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace legate::sim {
+namespace {
+
+TEST(Machine, GpuPackingMatchesSummitShape) {
+  PerfParams pp;
+  Machine m = Machine::gpus(12, pp);
+  EXPECT_EQ(m.num_procs(), 12);
+  EXPECT_EQ(m.nodes(), 2);  // 6 GPUs per node
+  EXPECT_EQ(m.target(), ProcKind::GPU);
+  for (const auto& p : m.procs()) {
+    EXPECT_EQ(p.kind, ProcKind::GPU);
+    EXPECT_EQ(m.memory(p.mem).kind, MemKind::Frame);
+    EXPECT_EQ(m.memory(p.mem).node, p.node);
+  }
+}
+
+TEST(Machine, PartialNode) {
+  PerfParams pp;
+  Machine m = Machine::gpus(3, pp);
+  EXPECT_EQ(m.num_procs(), 3);
+  EXPECT_EQ(m.nodes(), 1);
+}
+
+TEST(Machine, SocketPacking) {
+  PerfParams pp;
+  Machine m = Machine::sockets(8, pp);
+  EXPECT_EQ(m.num_procs(), 8);
+  EXPECT_EQ(m.nodes(), 4);  // 2 sockets per node
+  for (const auto& p : m.procs()) {
+    EXPECT_EQ(p.kind, ProcKind::CPU);
+    EXPECT_EQ(m.memory(p.mem).kind, MemKind::Sys);
+  }
+  // Both sockets of a node share the same system memory.
+  EXPECT_EQ(m.proc(0).mem, m.proc(1).mem);
+  EXPECT_NE(m.proc(0).mem, m.proc(2).mem);
+}
+
+TEST(Machine, HomeMemoryIsNodeZeroSysmem) {
+  PerfParams pp;
+  Machine m = Machine::gpus(6, pp);
+  EXPECT_EQ(m.memory(m.home_memory()).kind, MemKind::Sys);
+  EXPECT_EQ(m.memory(m.home_memory()).node, 0);
+}
+
+TEST(Machine, FramebufferCapacityMinusReserve) {
+  PerfParams pp;
+  Machine m = Machine::gpus(1, pp);
+  double cap = m.memory(m.proc(0).mem).capacity;
+  EXPECT_DOUBLE_EQ(cap, pp.gpu_fb_capacity - pp.legate_fb_reserved);
+}
+
+}  // namespace
+}  // namespace legate::sim

@@ -1,0 +1,161 @@
+#include "solve/krylov.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/formats.h"
+
+namespace legate::solve {
+namespace {
+
+using dense::DArray;
+using sparse::CsrMatrix;
+
+class KrylovTest : public ::testing::Test {
+ protected:
+  KrylovTest() : machine_(sim::Machine::gpus(3, pp_)), rt_(machine_) {}
+
+  /// 1-D Poisson operator (SPD, well-conditioned at this size).
+  CsrMatrix poisson1d(coord_t n) {
+    return sparse::diags(rt_, n, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
+  }
+
+  /// Verify ‖b − A x‖ / ‖b‖ below tol.
+  static void expect_solves(const CsrMatrix& A, const DArray& b, const DArray& x,
+                            double tol) {
+    double r = b.sub(A.spmv(x)).norm().value;
+    double bn = b.norm().value;
+    EXPECT_LT(r / bn, tol);
+  }
+
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(KrylovTest, CgSolvesPoisson) {
+  CsrMatrix A = poisson1d(64);
+  auto b = DArray::random(rt_, 64, 1);
+  auto res = cg(A, b, 1e-10, 500);
+  EXPECT_TRUE(res.converged);
+  expect_solves(A, b, res.x, 1e-8);
+}
+
+TEST_F(KrylovTest, CgExactAfterNIterations) {
+  // CG is exact in at most n steps (in exact arithmetic).
+  CsrMatrix A = poisson1d(16);
+  auto b = DArray::random(rt_, 16, 2);
+  auto res = cg(A, b, 1e-12, 32);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 20);
+}
+
+TEST_F(KrylovTest, CgZeroRhsGivesZero) {
+  CsrMatrix A = poisson1d(10);
+  auto b = DArray::zeros(rt_, 10);
+  auto res = cg(A, b, 1e-10, 50);
+  EXPECT_TRUE(res.converged);
+  for (double v : res.x.to_vector()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST_F(KrylovTest, JacobiPreconditionedCgConverges) {
+  // Diagonally scaled Poisson benefits from Jacobi preconditioning.
+  CsrMatrix A0 = poisson1d(64);
+  auto d = DArray::arange(rt_, 64).add_scalar(1.0);
+  CsrMatrix A = A0.scale_rows(d);          // rows scaled: not symmetric
+  CsrMatrix As = A.add(A.transpose());     // symmetrize -> SPD-ish
+  auto b = DArray::random(rt_, 64, 3);
+  DArray dinv_src = As.diagonal();
+  auto dv = dinv_src.to_vector();
+  for (auto& v : dv) v = 1.0 / v;
+  DArray dinv = DArray::from_vector(rt_, dv);
+  Precond M = [&](const DArray& r) { return r.mul(dinv); };
+  auto res_pc = cg(As, b, 1e-9, 2000, M);
+  EXPECT_TRUE(res_pc.converged);
+  expect_solves(As, b, res_pc.x, 1e-7);
+  auto res_plain = cg(As, b, 1e-9, 2000);
+  EXPECT_LE(res_pc.iterations, res_plain.iterations);
+}
+
+TEST_F(KrylovTest, CgsSolvesPoisson) {
+  CsrMatrix A = poisson1d(48);
+  auto b = DArray::random(rt_, 48, 4);
+  auto res = cgs(A, b, 1e-10, 500);
+  EXPECT_TRUE(res.converged);
+  expect_solves(A, b, res.x, 1e-7);
+}
+
+TEST_F(KrylovTest, BicgSolvesNonsymmetric) {
+  // Upwind-ish advection-diffusion operator (nonsymmetric).
+  CsrMatrix A = sparse::diags(rt_, 40, {{-1, -1.5}, {0, 3.0}, {1, -0.5}});
+  auto b = DArray::random(rt_, 40, 5);
+  auto res = bicg(A, b, 1e-10, 500);
+  EXPECT_TRUE(res.converged);
+  expect_solves(A, b, res.x, 1e-7);
+}
+
+TEST_F(KrylovTest, BicgstabSolvesNonsymmetric) {
+  CsrMatrix A = sparse::diags(rt_, 40, {{-1, -1.5}, {0, 3.0}, {1, -0.5}});
+  auto b = DArray::random(rt_, 40, 6);
+  auto res = bicgstab(A, b, 1e-10, 500);
+  EXPECT_TRUE(res.converged);
+  expect_solves(A, b, res.x, 1e-7);
+}
+
+TEST_F(KrylovTest, GmresSolvesNonsymmetric) {
+  CsrMatrix A = sparse::diags(rt_, 50, {{-2, 0.3}, {-1, -1.5}, {0, 3.0}, {1, -0.5}});
+  auto b = DArray::random(rt_, 50, 7);
+  auto res = gmres(A, b, 20, 1e-10, 500);
+  EXPECT_TRUE(res.converged);
+  expect_solves(A, b, res.x, 1e-7);
+}
+
+TEST_F(KrylovTest, GmresRestartStillConverges) {
+  CsrMatrix A = poisson1d(40);
+  auto b = DArray::random(rt_, 40, 8);
+  auto res = gmres(A, b, 5, 1e-9, 2000);  // tiny restart forces many cycles
+  EXPECT_TRUE(res.converged);
+  expect_solves(A, b, res.x, 1e-6);
+}
+
+TEST_F(KrylovTest, SolversAgreeOnSameSystem) {
+  CsrMatrix A = poisson1d(32);
+  auto b = DArray::random(rt_, 32, 9);
+  auto x1 = cg(A, b, 1e-11, 500).x.to_vector();
+  auto x2 = bicgstab(A, b, 1e-11, 500).x.to_vector();
+  auto x3 = gmres(A, b, 32, 1e-11, 500).x.to_vector();
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_NEAR(x1[i], x2[i], 1e-6);
+    EXPECT_NEAR(x1[i], x3[i], 1e-6);
+  }
+}
+
+TEST_F(KrylovTest, PowerIterationFindsDominantEigenvalue) {
+  // diag(1..n): dominant eigenvalue n.
+  constexpr coord_t n = 20;
+  std::vector<coord_t> indptr(n + 1), indices(n);
+  std::vector<double> values(n);
+  for (coord_t i = 0; i <= n; ++i) indptr[static_cast<std::size_t>(i)] = i;
+  for (coord_t i = 0; i < n; ++i) {
+    indices[static_cast<std::size_t>(i)] = i;
+    values[static_cast<std::size_t>(i)] = static_cast<double>(i + 1);
+  }
+  CsrMatrix A = CsrMatrix::from_host(rt_, n, n, indptr, indices, values);
+  auto res = power_iteration(A, 200, 3);
+  EXPECT_NEAR(res.eigenvalue, static_cast<double>(n), 1e-6);
+  EXPECT_NEAR(res.eigenvector.norm().value, 1.0, 1e-10);
+}
+
+TEST_F(KrylovTest, Fig1ProgramRuns) {
+  // The paper's Fig. 1: A = 0.5 (R + Rᵀ) + n I, power iteration.
+  constexpr coord_t n = 64;
+  CsrMatrix R = sparse::random_csr(rt_, n, n, 0.05, 42);
+  CsrMatrix A =
+      R.add(R.transpose()).scale(0.5).add(sparse::eye(rt_, n).scale(double(n)));
+  auto res = power_iteration(A, 50, 7);
+  // Gershgorin: eigenvalue near n (diag dominates), strictly positive.
+  EXPECT_GT(res.eigenvalue, static_cast<double>(n) * 0.5);
+  EXPECT_LT(res.eigenvalue, static_cast<double>(n) * 2.0);
+}
+
+}  // namespace
+}  // namespace legate::solve

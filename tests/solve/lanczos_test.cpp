@@ -1,0 +1,70 @@
+#include "solve/lanczos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/formats.h"
+
+namespace legate::solve {
+namespace {
+
+class LanczosTest : public ::testing::Test {
+ protected:
+  LanczosTest() : machine_(sim::Machine::gpus(3, pp_)), rt_(machine_) {}
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(LanczosTest, DiagonalMatrixSpectrumEnds) {
+  // diag(1..n): extreme eigenvalues are 1 and n.
+  constexpr coord_t n = 40;
+  std::vector<coord_t> indptr(n + 1), indices(n);
+  std::vector<double> values(n);
+  for (coord_t i = 0; i <= n; ++i) indptr[static_cast<std::size_t>(i)] = i;
+  for (coord_t i = 0; i < n; ++i) {
+    indices[static_cast<std::size_t>(i)] = i;
+    values[static_cast<std::size_t>(i)] = static_cast<double>(i + 1);
+  }
+  auto A = sparse::CsrMatrix::from_host(rt_, n, n, indptr, indices, values);
+  auto res = lanczos(A, 2, 40);
+  ASSERT_FALSE(res.eigenvalues.empty());
+  EXPECT_NEAR(res.eigenvalues.front(), 1.0, 1e-6);
+  EXPECT_NEAR(res.eigenvalues.back(), static_cast<double>(n), 1e-6);
+}
+
+TEST_F(LanczosTest, Poisson1dSpectrumMatchesClosedForm) {
+  // 1-D Poisson eigenvalues: 2 - 2 cos(k*pi/(n+1)).
+  constexpr coord_t n = 30;
+  auto A = sparse::diags(rt_, n, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
+  auto res = lanczos(A, 3, 30);
+  auto lam = [&](int k) {
+    return 2.0 - 2.0 * std::cos(k * M_PI / (n + 1.0));
+  };
+  EXPECT_NEAR(res.eigenvalues.front(), lam(1), 1e-8);
+  EXPECT_NEAR(res.eigenvalues.back(), lam(n), 1e-8);
+}
+
+TEST_F(LanczosTest, AgreesWithPowerIteration) {
+  constexpr coord_t n = 64;
+  auto R = sparse::random_csr(rt_, n, n, 0.08, 5);
+  auto A = R.add(R.transpose()).scale(0.5).add(sparse::eye(rt_, n).scale(10.0));
+  auto power = power_iteration(A, 300, 2);
+  auto lz = lanczos(A, 1, 64);
+  EXPECT_NEAR(lz.eigenvalues.back(), power.eigenvalue, 1e-5);
+}
+
+TEST_F(LanczosTest, EarlyBreakdownOnLowRank) {
+  // Rank-1-ish: eye scaled by zero except one entry -> Lanczos stops early.
+  std::vector<coord_t> indptr{0, 1, 1, 1, 1};
+  std::vector<coord_t> indices{0};
+  std::vector<double> values{5.0};
+  auto A = sparse::CsrMatrix::from_host(rt_, 4, 4, indptr, indices, values);
+  auto res = lanczos(A, 1, 20);
+  EXPECT_LE(res.iterations, 4);
+  EXPECT_NEAR(res.eigenvalues.back(), 5.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace legate::solve

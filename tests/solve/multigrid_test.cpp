@@ -1,0 +1,94 @@
+#include "solve/multigrid.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/formats.h"
+
+namespace legate::solve {
+namespace {
+
+using dense::DArray;
+using sparse::CsrMatrix;
+
+class GmgTest : public ::testing::Test {
+ protected:
+  GmgTest() : machine_(sim::Machine::gpus(3, pp_)), rt_(machine_) {}
+
+  CsrMatrix poisson2d(coord_t g) {
+    CsrMatrix t = sparse::diags(rt_, g, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
+    CsrMatrix i = sparse::eye(rt_, g);
+    return sparse::kron(i, t).add(sparse::kron(t, i));
+  }
+
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(GmgTest, InjectionShapes) {
+  CsrMatrix r1 = TwoLevelGmg::injection_1d(rt_, 16);
+  EXPECT_EQ(r1.rows(), 8);
+  EXPECT_EQ(r1.cols(), 16);
+  EXPECT_EQ(r1.nnz(), 8);
+  CsrMatrix r2 = TwoLevelGmg::injection_2d(rt_, 8);
+  EXPECT_EQ(r2.rows(), 16);
+  EXPECT_EQ(r2.cols(), 64);
+  EXPECT_EQ(r2.nnz(), 16);
+}
+
+TEST_F(GmgTest, InjectionPicksEvenPoints) {
+  CsrMatrix r = TwoLevelGmg::injection_1d(rt_, 8);
+  auto x = DArray::arange(rt_, 8);
+  auto c = r.spmv(x).to_vector();
+  EXPECT_EQ(c, (std::vector<double>{0, 2, 4, 6}));
+}
+
+TEST_F(GmgTest, CoarseOperatorShape) {
+  constexpr coord_t g = 16;
+  CsrMatrix A = poisson2d(g);
+  CsrMatrix R = TwoLevelGmg::injection_2d(rt_, g);
+  TwoLevelGmg gmg(A, R);
+  EXPECT_EQ(gmg.coarse_operator().rows(), (g / 2) * (g / 2));
+  EXPECT_EQ(gmg.coarse_operator().cols(), (g / 2) * (g / 2));
+  EXPECT_GT(gmg.coarse_operator().nnz(), 0);
+}
+
+TEST_F(GmgTest, VCycleReducesResidual) {
+  constexpr coord_t g = 16;
+  CsrMatrix A = poisson2d(g);
+  CsrMatrix R = TwoLevelGmg::injection_2d(rt_, g);
+  TwoLevelGmg gmg(A, R);
+  auto b = DArray::random(rt_, g * g, 1);
+  DArray x = gmg.apply(b);
+  double r0 = b.norm().value;
+  double r1 = b.sub(A.spmv(x)).norm().value;
+  EXPECT_LT(r1, r0);  // one V-cycle must make progress
+}
+
+TEST_F(GmgTest, GmgPreconditionedCgSolves) {
+  constexpr coord_t g = 16;
+  CsrMatrix A = poisson2d(g);
+  CsrMatrix R = TwoLevelGmg::injection_2d(rt_, g);
+  TwoLevelGmg gmg(A, R);
+  auto b = DArray::random(rt_, g * g, 2);
+  auto res = cg(A, b, 1e-8, 500, gmg.preconditioner());
+  EXPECT_TRUE(res.converged);
+  double resid = b.sub(A.spmv(res.x)).norm().value / b.norm().value;
+  EXPECT_LT(resid, 1e-6);
+}
+
+TEST_F(GmgTest, PreconditioningReducesIterations) {
+  constexpr coord_t g = 32;
+  CsrMatrix A = poisson2d(g);
+  CsrMatrix R = TwoLevelGmg::injection_2d(rt_, g);
+  TwoLevelGmg gmg(A, R);
+  auto b = DArray::random(rt_, g * g, 3);
+  auto plain = cg(A, b, 1e-8, 5000);
+  auto pre = cg(A, b, 1e-8, 5000, gmg.preconditioner());
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+}  // namespace
+}  // namespace legate::solve

@@ -1,0 +1,119 @@
+#include "solve/rk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace legate::solve {
+namespace {
+
+using dense::DArray;
+
+class RkTest : public ::testing::Test {
+ protected:
+  RkTest() : machine_(sim::Machine::gpus(2, pp_)), rt_(machine_) {}
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+/// Butcher-tableau sanity: row sums equal c, quadrature conditions up to the
+/// claimed order (Σ bᵢ cᵢᵏ = 1/(k+1)).
+void check_tableau(const ButcherTableau& t, int order) {
+  for (int i = 0; i < t.stages; ++i) {
+    double row = 0;
+    for (int j = 0; j < i; ++j) row += t.at(i, j);
+    EXPECT_NEAR(row, t.c[static_cast<std::size_t>(i)], 1e-12) << "row " << i;
+  }
+  for (int k = 0; k < order; ++k) {
+    double sum = 0;
+    for (int i = 0; i < t.stages; ++i)
+      sum += t.b[static_cast<std::size_t>(i)] *
+             std::pow(t.c[static_cast<std::size_t>(i)], k);
+    EXPECT_NEAR(sum, 1.0 / (k + 1), 1e-12) << "quadrature order " << k;
+  }
+}
+
+TEST_F(RkTest, Rk4TableauConsistent) { check_tableau(ButcherTableau::rk4(), 4); }
+
+TEST_F(RkTest, Rk8TableauConsistent) { check_tableau(ButcherTableau::rk8(), 8); }
+
+TEST_F(RkTest, Rk4SolvesExponential) {
+  // y' = -y, y(0)=1 -> y(1) = e^-1.
+  auto y0 = DArray::full(rt_, 4, 1.0);
+  OdeRhs f = [](double, const DArray& y) { return y.neg(); };
+  auto res = integrate(ButcherTableau::rk4(), f, y0, 0, 1, 50);
+  for (double v : res.y.to_vector()) EXPECT_NEAR(v, std::exp(-1.0), 1e-8);
+  EXPECT_EQ(res.steps, 50);
+  EXPECT_EQ(res.rhs_evaluations, 200);
+}
+
+TEST_F(RkTest, Rk8SolvesExponentialToMachinePrecision) {
+  auto y0 = DArray::full(rt_, 4, 1.0);
+  OdeRhs f = [](double, const DArray& y) { return y.neg(); };
+  auto res = integrate(ButcherTableau::rk8(), f, y0, 0, 1, 20);
+  for (double v : res.y.to_vector()) EXPECT_NEAR(v, std::exp(-1.0), 1e-13);
+}
+
+TEST_F(RkTest, Rk8ConvergenceOrder) {
+  // Harmonic oscillator: y'' = -y as a 2-vector system; error ratio between
+  // h and h/2 should approach 2^8 = 256 (allow generous slack).
+  OdeRhs f = [this](double, const DArray& y) {
+    auto v = y.to_vector();
+    return DArray::from_vector(rt_, {v[1], -v[0]});
+  };
+  auto y0 = DArray::from_vector(rt_, {1.0, 0.0});
+  auto err = [&](int steps) {
+    auto res = integrate(ButcherTableau::rk8(), f, y0, 0, 2.0, steps);
+    auto v = res.y.to_vector();
+    return std::hypot(v[0] - std::cos(2.0), v[1] + std::sin(2.0));
+  };
+  double e1 = err(4), e2 = err(8);
+  EXPECT_GT(e1 / e2, 100.0);  // ~256 for a true 8th-order method
+}
+
+TEST_F(RkTest, Rk4ConvergenceOrder) {
+  OdeRhs f = [this](double, const DArray& y) {
+    auto v = y.to_vector();
+    return DArray::from_vector(rt_, {v[1], -v[0]});
+  };
+  auto y0 = DArray::from_vector(rt_, {1.0, 0.0});
+  auto err = [&](int steps) {
+    auto res = integrate(ButcherTableau::rk4(), f, y0, 0, 2.0, steps);
+    auto v = res.y.to_vector();
+    return std::hypot(v[0] - std::cos(2.0), v[1] + std::sin(2.0));
+  };
+  double e1 = err(16), e2 = err(32);
+  double ratio = e1 / e2;
+  EXPECT_GT(ratio, 12.0);  // ~16 for 4th order
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST_F(RkTest, TimeDependentRhs) {
+  // y' = t, y(0)=0 -> y(1) = 1/2 (exact for any RK of order >= 2).
+  OdeRhs f = [this](double t, const DArray& y) {
+    return DArray::full(rt_, y.size(), t);
+  };
+  auto y0 = DArray::zeros(rt_, 3);
+  auto res = integrate(ButcherTableau::rk4(), f, y0, 0, 1, 10);
+  for (double v : res.y.to_vector()) EXPECT_NEAR(v, 0.5, 1e-12);
+}
+
+TEST_F(RkTest, Rk45AdaptiveSolvesExponential) {
+  auto y0 = DArray::full(rt_, 2, 1.0);
+  OdeRhs f = [](double, const DArray& y) { return y.neg(); };
+  auto res = rk45(f, y0, 0, 1, 1e-9, 1e-12);
+  for (double v : res.y.to_vector()) EXPECT_NEAR(v, std::exp(-1.0), 1e-7);
+  EXPECT_GT(res.steps, 0);
+}
+
+TEST_F(RkTest, Rk45TakesFewerStepsAtLooseTolerance) {
+  auto y0 = DArray::full(rt_, 2, 1.0);
+  OdeRhs f = [](double, const DArray& y) { return y.neg(); };
+  auto tight = rk45(f, y0, 0, 1, 1e-10, 1e-12);
+  auto loose = rk45(f, y0, 0, 1, 1e-4, 1e-6);
+  EXPECT_LT(loose.rhs_evaluations, tight.rhs_evaluations);
+}
+
+}  // namespace
+}  // namespace legate::solve

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "oracle.h"
+#include "sparse/csr.h"
+#include "sparse/formats.h"
+
+namespace legate::sparse {
+namespace {
+
+using dense::DArray;
+using testing::HostCsr;
+using testing::download;
+
+class ConstructTest : public ::testing::Test {
+ protected:
+  ConstructTest() : machine_(sim::Machine::gpus(2, pp_)), rt_(machine_) {}
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(ConstructTest, EyeIsIdentityUnderSpmv) {
+  CsrMatrix i = eye(rt_, 25);
+  EXPECT_EQ(i.nnz(), 25);
+  auto x = DArray::random(rt_, 25, 1);
+  auto y = i.spmv(x);
+  EXPECT_EQ(y.to_vector(), x.to_vector());
+}
+
+TEST_F(ConstructTest, EyeScaled) {
+  CsrMatrix i = eye(rt_, 10, 3.0);
+  auto d = i.diagonal().to_vector();
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST_F(ConstructTest, BandedShape) {
+  CsrMatrix b = banded(rt_, 100, 5, 1.0);
+  // Interior rows have 11 entries; boundary rows fewer.
+  auto counts = b.row_nnz().to_vector();
+  EXPECT_DOUBLE_EQ(counts[50], 11.0);
+  EXPECT_DOUBLE_EQ(counts[0], 6.0);
+  EXPECT_DOUBLE_EQ(counts[99], 6.0);
+  // Symmetric: <Ax,y> == <x,Ay>.
+  auto x = DArray::random(rt_, 100, 2);
+  auto y = DArray::random(rt_, 100, 3);
+  EXPECT_NEAR(b.spmv(x).dot(y).value, x.dot(b.spmv(y)).value, 1e-9);
+}
+
+TEST_F(ConstructTest, DiagsBuildsPoisson1d) {
+  CsrMatrix t = diags(rt_, 50, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
+  auto ones = DArray::full(rt_, 50, 1.0);
+  auto y = t.spmv(ones).to_vector();
+  EXPECT_DOUBLE_EQ(y[0], 1.0);   // 2 - 1
+  EXPECT_DOUBLE_EQ(y[25], 0.0);  // -1 + 2 - 1
+  EXPECT_DOUBLE_EQ(y[49], 1.0);
+}
+
+TEST_F(ConstructTest, RandomCsrDensity) {
+  CsrMatrix r = random_csr(rt_, 200, 200, 0.1, 42);
+  double density = static_cast<double>(r.nnz()) / (200.0 * 200.0);
+  EXPECT_NEAR(density, 0.1, 0.02);
+  HostCsr h = download(r);
+  for (coord_t c : h.indices) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 200);
+  }
+  for (double v : h.values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST_F(ConstructTest, RandomCsrDeterministic) {
+  HostCsr a = download(random_csr(rt_, 50, 50, 0.2, 7));
+  HostCsr b = download(random_csr(rt_, 50, 50, 0.2, 7));
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST_F(ConstructTest, KronWithIdentity) {
+  CsrMatrix t = diags(rt_, 4, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
+  CsrMatrix i = eye(rt_, 3);
+  CsrMatrix k = kron(i, t);
+  EXPECT_EQ(k.rows(), 12);
+  EXPECT_EQ(k.cols(), 12);
+  EXPECT_EQ(k.nnz(), 3 * t.nnz());
+  // Block-diagonal: spmv acts like t on each block.
+  auto x = DArray::random(rt_, 12, 9);
+  auto y = k.spmv(x).to_vector();
+  auto xv = x.to_vector();
+  HostCsr ht = download(t);
+  for (int blk = 0; blk < 3; ++blk) {
+    std::vector<double> xb(xv.begin() + blk * 4, xv.begin() + (blk + 1) * 4);
+    auto yb = ht.spmv(xb);
+    for (int i2 = 0; i2 < 4; ++i2)
+      EXPECT_NEAR(y[static_cast<std::size_t>(blk * 4 + i2)],
+                  yb[static_cast<std::size_t>(i2)], 1e-12);
+  }
+}
+
+TEST_F(ConstructTest, Poisson2dViaKron) {
+  // A = kron(I, T) + kron(T, I) is the standard 5-point Laplacian.
+  constexpr coord_t g = 5;
+  CsrMatrix t = diags(rt_, g, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
+  CsrMatrix i = eye(rt_, g);
+  CsrMatrix a = kron(i, t).add(kron(t, i));
+  EXPECT_EQ(a.rows(), g * g);
+  auto d = a.diagonal().to_vector();
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 4.0);
+  // Interior row has 5 entries.
+  auto counts = a.row_nnz().to_vector();
+  EXPECT_DOUBLE_EQ(counts[static_cast<std::size_t>(g * 2 + 2)], 5.0);
+}
+
+}  // namespace
+}  // namespace legate::sparse

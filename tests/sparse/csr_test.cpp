@@ -1,0 +1,236 @@
+#include "sparse/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "oracle.h"
+#include "sparse/formats.h"
+
+namespace legate::sparse {
+namespace {
+
+using dense::DArray;
+using testing::HostCsr;
+using testing::download;
+using testing::random_host_csr;
+using testing::upload;
+
+class CsrTest : public ::testing::Test {
+ protected:
+  CsrTest() : machine_(sim::Machine::gpus(4, pp_)), rt_(machine_) {}
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(CsrTest, HostRoundTrip) {
+  HostCsr m = random_host_csr(23, 31, 0.2, 7);
+  CsrMatrix a = upload(rt_, m);
+  EXPECT_EQ(a.rows(), 23);
+  EXPECT_EQ(a.cols(), 31);
+  EXPECT_EQ(a.nnz(), static_cast<coord_t>(m.values.size()));
+  HostCsr back = download(a);
+  EXPECT_EQ(back.indptr, m.indptr);
+  EXPECT_EQ(back.indices, m.indices);
+  EXPECT_EQ(back.values, m.values);
+}
+
+TEST_F(CsrTest, EmptyMatrix) {
+  CsrMatrix a = CsrMatrix::from_host(rt_, 5, 5,
+                                     std::vector<coord_t>(6, 0), {}, {});
+  EXPECT_EQ(a.nnz(), 0);
+  auto x = DArray::full(rt_, 5, 1.0);
+  auto y = a.spmv(x);
+  for (double v : y.to_vector()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST_F(CsrTest, SpmvMatchesOracle) {
+  HostCsr m = random_host_csr(101, 101, 0.1, 3);
+  CsrMatrix a = upload(rt_, m);
+  auto x = DArray::random(rt_, 101, 11);
+  auto y = a.spmv(x);
+  auto ref = m.spmv(x.to_vector());
+  auto got = y.to_vector();
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 1e-12);
+}
+
+TEST_F(CsrTest, SpmvRectangular) {
+  HostCsr m = random_host_csr(40, 90, 0.15, 5);
+  CsrMatrix a = upload(rt_, m);
+  auto x = DArray::random(rt_, 90, 13);
+  auto ref = m.spmv(x.to_vector());
+  auto got = a.spmv(x).to_vector();
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 1e-12);
+}
+
+TEST_F(CsrTest, SpmmMatchesDenseOracle) {
+  HostCsr m = random_host_csr(30, 20, 0.2, 9);
+  CsrMatrix a = upload(rt_, m);
+  auto b = DArray::random2d(rt_, 20, 7, 17);
+  auto c = a.spmm(b);
+  auto ref = testing::dense_matmul(m.todense(), b.to_vector(), 30, 20, 7);
+  auto got = c.to_vector();
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 1e-12);
+}
+
+TEST_F(CsrTest, SddmmMatchesOracle) {
+  HostCsr m = random_host_csr(25, 35, 0.2, 21);
+  CsrMatrix a = upload(rt_, m);
+  coord_t k = 6;
+  auto b = DArray::random2d(rt_, 25, k, 1);
+  auto c = DArray::random2d(rt_, k, 35, 2);
+  CsrMatrix out = a.sddmm(b, c);
+  ASSERT_EQ(out.nnz(), a.nnz());
+  auto bc = testing::dense_matmul(b.to_vector(), c.to_vector(), 25, k, 35);
+  HostCsr got = download(out);
+  HostCsr orig = download(a);
+  EXPECT_EQ(got.indices, orig.indices);  // same sparsity pattern
+  for (coord_t i = 0; i < 25; ++i) {
+    for (coord_t j = got.indptr[static_cast<std::size_t>(i)];
+         j < got.indptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      coord_t col = got.indices[static_cast<std::size_t>(j)];
+      double expect = orig.values[static_cast<std::size_t>(j)] *
+                      bc[static_cast<std::size_t>(i * 35 + col)];
+      EXPECT_NEAR(got.values[static_cast<std::size_t>(j)], expect, 1e-12);
+    }
+  }
+}
+
+TEST_F(CsrTest, DiagonalExtraction) {
+  CsrMatrix a = upload(rt_, random_host_csr(50, 50, 0.15, 33));
+  HostCsr m = download(a);
+  auto d = a.diagonal().to_vector();
+  for (coord_t i = 0; i < 50; ++i) {
+    double expect = 0;
+    for (coord_t j = m.indptr[static_cast<std::size_t>(i)];
+         j < m.indptr[static_cast<std::size_t>(i) + 1]; ++j)
+      if (m.indices[static_cast<std::size_t>(j)] == i)
+        expect += m.values[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(d[static_cast<std::size_t>(i)], expect, 1e-12);
+  }
+}
+
+TEST_F(CsrTest, RowAndColumnSums) {
+  HostCsr m = random_host_csr(37, 29, 0.2, 41);
+  CsrMatrix a = upload(rt_, m);
+  auto rs = a.sum(1).to_vector();
+  auto cs = a.sum(0).to_vector();
+  std::vector<double> ref_r(37, 0), ref_c(29, 0);
+  for (coord_t i = 0; i < 37; ++i) {
+    for (coord_t j = m.indptr[static_cast<std::size_t>(i)];
+         j < m.indptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      ref_r[static_cast<std::size_t>(i)] += m.values[static_cast<std::size_t>(j)];
+      ref_c[static_cast<std::size_t>(m.indices[static_cast<std::size_t>(j)])] +=
+          m.values[static_cast<std::size_t>(j)];
+    }
+  }
+  for (std::size_t i = 0; i < ref_r.size(); ++i) EXPECT_NEAR(rs[i], ref_r[i], 1e-12);
+  for (std::size_t i = 0; i < ref_c.size(); ++i) EXPECT_NEAR(cs[i], ref_c[i], 1e-12);
+  double total = 0;
+  for (double v : m.values) total += v;
+  EXPECT_NEAR(a.sum_all().value, total, 1e-12);
+}
+
+TEST_F(CsrTest, ValueOpsShareStructure) {
+  HostCsr m = random_host_csr(20, 20, 0.3, 55);
+  CsrMatrix a = upload(rt_, m);
+  CsrMatrix s = a.scale(2.0);
+  EXPECT_TRUE(s.pos().same_as(a.pos()));
+  EXPECT_TRUE(s.crd().same_as(a.crd()));
+  HostCsr hs = download(s);
+  for (std::size_t i = 0; i < m.values.size(); ++i)
+    EXPECT_DOUBLE_EQ(hs.values[i], 2.0 * m.values[i]);
+
+  HostCsr habs = download(a.abs_values());
+  for (std::size_t i = 0; i < m.values.size(); ++i)
+    EXPECT_DOUBLE_EQ(habs.values[i], std::fabs(m.values[i]));
+
+  HostCsr hp = download(a.power_values(2.0));
+  for (std::size_t i = 0; i < m.values.size(); ++i)
+    EXPECT_NEAR(hp.values[i], m.values[i] * m.values[i], 1e-12);
+
+  HostCsr hneg = download(a.neg());
+  for (std::size_t i = 0; i < m.values.size(); ++i)
+    EXPECT_DOUBLE_EQ(hneg.values[i], -m.values[i]);
+
+  HostCsr hcopy = download(a.copy());
+  EXPECT_EQ(hcopy.values, m.values);
+}
+
+TEST_F(CsrTest, ScaleRows) {
+  HostCsr m = random_host_csr(15, 10, 0.3, 77);
+  CsrMatrix a = upload(rt_, m);
+  auto d = DArray::arange(rt_, 15);
+  HostCsr got = download(a.scale_rows(d));
+  for (coord_t i = 0; i < 15; ++i)
+    for (coord_t j = m.indptr[static_cast<std::size_t>(i)];
+         j < m.indptr[static_cast<std::size_t>(i) + 1]; ++j)
+      EXPECT_NEAR(got.values[static_cast<std::size_t>(j)],
+                  m.values[static_cast<std::size_t>(j)] * static_cast<double>(i),
+                  1e-12);
+}
+
+TEST_F(CsrTest, RowNnz) {
+  HostCsr m = random_host_csr(25, 25, 0.2, 91);
+  CsrMatrix a = upload(rt_, m);
+  auto counts = a.row_nnz().to_vector();
+  for (coord_t i = 0; i < 25; ++i) {
+    EXPECT_DOUBLE_EQ(counts[static_cast<std::size_t>(i)],
+                     static_cast<double>(m.indptr[static_cast<std::size_t>(i) + 1] -
+                                         m.indptr[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST_F(CsrTest, RowSlice) {
+  HostCsr m = random_host_csr(30, 12, 0.25, 101);
+  CsrMatrix a = upload(rt_, m);
+  CsrMatrix s = a.row_slice(10, 20);
+  EXPECT_EQ(s.rows(), 10);
+  EXPECT_EQ(s.cols(), 12);
+  HostCsr hs = download(s);
+  auto x = DArray::random(rt_, 12, 5);
+  auto ys = s.spmv(x).to_vector();
+  auto yfull = m.spmv(x.to_vector());
+  for (coord_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(ys[static_cast<std::size_t>(i)],
+                yfull[static_cast<std::size_t>(i + 10)], 1e-12);
+}
+
+TEST_F(CsrTest, ToDense) {
+  HostCsr m = random_host_csr(9, 14, 0.3, 111);
+  CsrMatrix a = upload(rt_, m);
+  auto d = a.todense();
+  EXPECT_EQ(d.rows(), 9);
+  EXPECT_EQ(d.cols(), 14);
+  auto ref = m.todense();
+  auto got = d.to_vector();
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 1e-12);
+}
+
+/// Distributed == sequential across processor counts and shapes (the central
+/// composability property: results never depend on partitioning).
+class CsrSpmvSweep
+    : public ::testing::TestWithParam<std::tuple<int, coord_t, double>> {};
+
+TEST_P(CsrSpmvSweep, PartitionIndependent) {
+  auto [procs, n, density] = GetParam();
+  sim::PerfParams pp;
+  sim::Machine m = sim::Machine::gpus(procs, pp);
+  rt::Runtime rt(m);
+  HostCsr h = random_host_csr(n, n, density, 1234);
+  CsrMatrix a = upload(rt, h);
+  auto x = DArray::random(rt, n, 99);
+  auto got = a.spmv(x).to_vector();
+  auto ref = h.spmv(x.to_vector());
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_NEAR(got[i], ref[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CsrSpmvSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 16),
+                       ::testing::Values<coord_t>(1, 17, 200),
+                       ::testing::Values(0.05, 0.5)));
+
+}  // namespace
+}  // namespace legate::sparse

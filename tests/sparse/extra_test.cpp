@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "oracle.h"
+#include "sparse/csr.h"
+#include "sparse/formats.h"
+
+namespace legate::sparse {
+namespace {
+
+using dense::DArray;
+using testing::HostCsr;
+using testing::download;
+using testing::random_host_csr;
+using testing::upload;
+
+class ExtraTest : public ::testing::Test {
+ protected:
+  ExtraTest() : machine_(sim::Machine::gpus(3, pp_)), rt_(machine_) {}
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(ExtraTest, NormsMatchOracle) {
+  HostCsr m = random_host_csr(25, 30, 0.2, 1);
+  CsrMatrix a = upload(rt_, m);
+  double fro = 0;
+  std::vector<double> colsum(30, 0), rowsum(25, 0);
+  for (coord_t i = 0; i < 25; ++i) {
+    for (coord_t j = m.indptr[static_cast<std::size_t>(i)];
+         j < m.indptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      double v = m.values[static_cast<std::size_t>(j)];
+      fro += v * v;
+      rowsum[static_cast<std::size_t>(i)] += std::fabs(v);
+      colsum[static_cast<std::size_t>(m.indices[static_cast<std::size_t>(j)])] +=
+          std::fabs(v);
+    }
+  }
+  EXPECT_NEAR(a.norm_fro().value, std::sqrt(fro), 1e-12);
+  EXPECT_NEAR(a.norm_1().value, *std::max_element(colsum.begin(), colsum.end()),
+              1e-12);
+  EXPECT_NEAR(a.norm_inf().value, *std::max_element(rowsum.begin(), rowsum.end()),
+              1e-12);
+}
+
+TEST_F(ExtraTest, MaxMinValues) {
+  CsrMatrix a = CsrMatrix::from_host(rt_, 2, 2, {0, 2, 3}, {0, 1, 0}, {-4, 2, 7});
+  EXPECT_DOUBLE_EQ(a.max_value().value, 7.0);
+  EXPECT_DOUBLE_EQ(a.min_value().value, -4.0);
+}
+
+TEST_F(ExtraTest, CountNonzeroIgnoresStoredZeros) {
+  CsrMatrix a = CsrMatrix::from_host(rt_, 2, 2, {0, 2, 3}, {0, 1, 0}, {0.0, 2, 7});
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.count_nonzero().value, 2.0);
+}
+
+TEST_F(ExtraTest, MeanIsScaledSum) {
+  HostCsr m = random_host_csr(10, 20, 0.3, 2);
+  CsrMatrix a = upload(rt_, m);
+  auto mean1 = a.mean(1).to_vector();
+  auto sum1 = a.sum(1).to_vector();
+  for (std::size_t i = 0; i < mean1.size(); ++i)
+    EXPECT_NEAR(mean1[i], sum1[i] / 20.0, 1e-12);
+}
+
+TEST_F(ExtraTest, TrilTriuPartitionMatrix) {
+  HostCsr m = random_host_csr(20, 20, 0.3, 3);
+  CsrMatrix a = upload(rt_, m);
+  CsrMatrix lo = a.tril(-1);   // strictly below
+  CsrMatrix di = a.tril(0).triu(0);  // the diagonal only
+  CsrMatrix up = a.triu(1);    // strictly above
+  EXPECT_EQ(lo.nnz() + di.nnz() + up.nnz(), a.nnz());
+  // Reassembling gives back the original values.
+  CsrMatrix re = lo.add(di).add(up);
+  HostCsr h1 = download(a), h2 = download(re);
+  EXPECT_EQ(h1.indptr, h2.indptr);
+  EXPECT_EQ(h1.indices, h2.indices);
+  for (std::size_t i = 0; i < h1.values.size(); ++i)
+    EXPECT_NEAR(h1.values[i], h2.values[i], 1e-12);
+  // Structure checks.
+  HostCsr hlo = download(lo);
+  for (coord_t i = 0; i < 20; ++i)
+    for (coord_t j = hlo.indptr[static_cast<std::size_t>(i)];
+         j < hlo.indptr[static_cast<std::size_t>(i) + 1]; ++j)
+      EXPECT_LT(hlo.indices[static_cast<std::size_t>(j)], i);
+}
+
+TEST_F(ExtraTest, GetRowColElement) {
+  HostCsr m = random_host_csr(15, 12, 0.3, 4);
+  CsrMatrix a = upload(rt_, m);
+  auto dense = m.todense();
+  auto row3 = a.getrow(3).to_vector();
+  for (coord_t j = 0; j < 12; ++j)
+    EXPECT_DOUBLE_EQ(row3[static_cast<std::size_t>(j)],
+                     dense[static_cast<std::size_t>(3 * 12 + j)]);
+  auto col5 = a.getcol(5).to_vector();
+  for (coord_t i = 0; i < 15; ++i)
+    EXPECT_DOUBLE_EQ(col5[static_cast<std::size_t>(i)],
+                     dense[static_cast<std::size_t>(i * 12 + 5)]);
+  for (coord_t i = 0; i < 15; ++i)
+    for (coord_t j = 0; j < 12; ++j)
+      EXPECT_DOUBLE_EQ(a.get(i, j), dense[static_cast<std::size_t>(i * 12 + j)]);
+}
+
+TEST_F(ExtraTest, WithDiagonalReplacesDiag) {
+  CsrMatrix a = diags(rt_, 10, {{-1, 1.0}, {0, 2.0}, {1, 1.0}});
+  auto d = DArray::arange(rt_, 10);
+  CsrMatrix b = a.with_diagonal(d);
+  auto got = b.diagonal().to_vector();
+  for (coord_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(i)], static_cast<double>(i));
+  // Off-diagonal untouched.
+  EXPECT_DOUBLE_EQ(b.get(3, 4), 1.0);
+}
+
+TEST_F(ExtraTest, VstackHstack) {
+  HostCsr m1 = random_host_csr(4, 6, 0.4, 5);
+  HostCsr m2 = random_host_csr(3, 6, 0.4, 6);
+  CsrMatrix v = vstack({upload(rt_, m1), upload(rt_, m2)});
+  EXPECT_EQ(v.rows(), 7);
+  EXPECT_EQ(v.cols(), 6);
+  auto dv = download(v).todense();
+  auto d1 = m1.todense(), d2 = m2.todense();
+  for (std::size_t i = 0; i < d1.size(); ++i) EXPECT_DOUBLE_EQ(dv[i], d1[i]);
+  for (std::size_t i = 0; i < d2.size(); ++i)
+    EXPECT_DOUBLE_EQ(dv[d1.size() + i], d2[i]);
+
+  HostCsr m3 = random_host_csr(4, 5, 0.4, 7);
+  CsrMatrix h = hstack({upload(rt_, m1), upload(rt_, m3)});
+  EXPECT_EQ(h.rows(), 4);
+  EXPECT_EQ(h.cols(), 11);
+  auto dh = download(h).todense();
+  auto d3 = m3.todense();
+  for (coord_t i = 0; i < 4; ++i) {
+    for (coord_t j = 0; j < 6; ++j)
+      EXPECT_DOUBLE_EQ(dh[static_cast<std::size_t>(i * 11 + j)],
+                       d1[static_cast<std::size_t>(i * 6 + j)]);
+    for (coord_t j = 0; j < 5; ++j)
+      EXPECT_DOUBLE_EQ(dh[static_cast<std::size_t>(i * 11 + 6 + j)],
+                       d3[static_cast<std::size_t>(i * 5 + j)]);
+  }
+}
+
+TEST_F(ExtraTest, BlockDiag) {
+  CsrMatrix a = eye(rt_, 3, 2.0);
+  CsrMatrix b = eye(rt_, 2, 5.0);
+  CsrMatrix d = block_diag({a, b});
+  EXPECT_EQ(d.rows(), 5);
+  EXPECT_EQ(d.cols(), 5);
+  auto diag = d.diagonal().to_vector();
+  EXPECT_EQ(diag, (std::vector<double>{2, 2, 2, 5, 5}));
+  EXPECT_DOUBLE_EQ(d.get(0, 3), 0.0);
+}
+
+TEST_F(ExtraTest, BsrRoundTripAndSpmv) {
+  // Matrix with clustered blocks: banded with half-bandwidth 3, block 4.
+  CsrMatrix a = banded(rt_, 32, 3, 1.5);
+  BsrMatrix b = BsrMatrix::from_csr(a, 4);
+  EXPECT_EQ(b.block_size(), 4);
+  EXPECT_EQ(b.block_rows(), 8);
+  EXPECT_GT(b.nnz_blocks(), 0);
+  // Round trip drops the zero fill.
+  HostCsr h1 = download(a), h2 = download(b.tocsr());
+  EXPECT_EQ(h1.indptr, h2.indptr);
+  EXPECT_EQ(h1.indices, h2.indices);
+  EXPECT_EQ(h1.values, h2.values);
+  // SpMV agreement (BSR result is (brows x bs)-shaped; flattened identical).
+  auto x = DArray::random(rt_, 32, 8);
+  auto y1 = a.spmv(x).to_vector();
+  auto y2 = b.spmv(x).to_vector();
+  ASSERT_EQ(y2.size(), y1.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y2[i], y1[i], 1e-12);
+}
+
+TEST_F(ExtraTest, BsrRandomMatrixSpmv) {
+  HostCsr m = random_host_csr(24, 24, 0.2, 9);
+  CsrMatrix a = upload(rt_, m);
+  BsrMatrix b = BsrMatrix::from_csr(a, 3);
+  auto x = DArray::random(rt_, 24, 10);
+  auto ref = m.spmv(x.to_vector());
+  auto got = b.spmv(x).to_vector();
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 1e-12);
+}
+
+TEST_F(ExtraTest, BsrDuplicateBlockCoalescing) {
+  // Two CSR entries in the same block must land in one block.
+  CsrMatrix a = CsrMatrix::from_host(rt_, 4, 4, {0, 2, 2, 2, 2}, {0, 1}, {1, 2});
+  BsrMatrix b = BsrMatrix::from_csr(a, 2);
+  EXPECT_EQ(b.nnz_blocks(), 1);
+}
+
+}  // namespace
+}  // namespace legate::sparse

@@ -1,0 +1,89 @@
+#pragma once
+
+// Host-side reference implementations used as test oracles for the
+// distributed sparse library. Everything here is deliberately naive.
+
+#include <map>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "sparse/formats.h"
+#include "util/rng.h"
+
+namespace legate::sparse::testing {
+
+/// Naive host CSR triple.
+struct HostCsr {
+  coord_t rows{0}, cols{0};
+  std::vector<coord_t> indptr, indices;
+  std::vector<double> values;
+
+  [[nodiscard]] std::vector<double> spmv(const std::vector<double>& x) const {
+    std::vector<double> y(static_cast<std::size_t>(rows), 0.0);
+    for (coord_t i = 0; i < rows; ++i)
+      for (coord_t j = indptr[static_cast<std::size_t>(i)];
+           j < indptr[static_cast<std::size_t>(i) + 1]; ++j)
+        y[static_cast<std::size_t>(i)] +=
+            values[static_cast<std::size_t>(j)] *
+            x[static_cast<std::size_t>(indices[static_cast<std::size_t>(j)])];
+    return y;
+  }
+
+  [[nodiscard]] std::vector<double> todense() const {
+    std::vector<double> d(static_cast<std::size_t>(rows * cols), 0.0);
+    for (coord_t i = 0; i < rows; ++i)
+      for (coord_t j = indptr[static_cast<std::size_t>(i)];
+           j < indptr[static_cast<std::size_t>(i) + 1]; ++j)
+        d[static_cast<std::size_t>(i * cols + indices[static_cast<std::size_t>(j)])] +=
+            values[static_cast<std::size_t>(j)];
+    return d;
+  }
+};
+
+/// Random host CSR with ~density fraction of entries, sorted unique columns.
+inline HostCsr random_host_csr(coord_t rows, coord_t cols, double density,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  HostCsr m;
+  m.rows = rows;
+  m.cols = cols;
+  m.indptr.push_back(0);
+  for (coord_t i = 0; i < rows; ++i) {
+    for (coord_t j = 0; j < cols; ++j) {
+      if (rng.next_double() < density) {
+        m.indices.push_back(j);
+        m.values.push_back(rng.next_double() * 2 - 1);
+      }
+    }
+    m.indptr.push_back(static_cast<coord_t>(m.indices.size()));
+  }
+  return m;
+}
+
+inline CsrMatrix upload(rt::Runtime& rt, const HostCsr& m) {
+  return CsrMatrix::from_host(rt, m.rows, m.cols, m.indptr, m.indices, m.values);
+}
+
+inline HostCsr download(const CsrMatrix& m) {
+  HostCsr h;
+  h.rows = m.rows();
+  h.cols = m.cols();
+  m.to_host(h.indptr, h.indices, h.values);
+  return h;
+}
+
+/// Dense matmul oracle for SpGEMM checks.
+inline std::vector<double> dense_matmul(const std::vector<double>& a,
+                                        const std::vector<double>& b, coord_t m,
+                                        coord_t k, coord_t n) {
+  std::vector<double> c(static_cast<std::size_t>(m * n), 0.0);
+  for (coord_t i = 0; i < m; ++i)
+    for (coord_t l = 0; l < k; ++l)
+      for (coord_t j = 0; j < n; ++j)
+        c[static_cast<std::size_t>(i * n + j)] +=
+            a[static_cast<std::size_t>(i * k + l)] *
+            b[static_cast<std::size_t>(l * n + j)];
+  return c;
+}
+
+}  // namespace legate::sparse::testing

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "oracle.h"
+#include "sparse/csr.h"
+#include "sparse/formats.h"
+
+namespace legate::sparse {
+namespace {
+
+using dense::DArray;
+using testing::HostCsr;
+using testing::dense_matmul;
+using testing::download;
+using testing::random_host_csr;
+using testing::upload;
+
+class PatternTest : public ::testing::Test {
+ protected:
+  PatternTest() : machine_(sim::Machine::gpus(3, pp_)), rt_(machine_) {}
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+void expect_dense_eq(const HostCsr& got, const std::vector<double>& ref,
+                     coord_t rows, coord_t cols, double tol = 1e-12) {
+  auto dense = got.todense();
+  ASSERT_EQ(dense.size(), static_cast<std::size_t>(rows * cols));
+  for (std::size_t i = 0; i < dense.size(); ++i)
+    ASSERT_NEAR(dense[i], ref[i], tol) << "at flat index " << i;
+}
+
+void expect_sorted_unique_columns(const HostCsr& m) {
+  for (coord_t i = 0; i < m.rows; ++i) {
+    for (coord_t j = m.indptr[static_cast<std::size_t>(i)] + 1;
+         j < m.indptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      ASSERT_LT(m.indices[static_cast<std::size_t>(j - 1)],
+                m.indices[static_cast<std::size_t>(j)])
+          << "row " << i << " not sorted/unique";
+    }
+  }
+}
+
+TEST_F(PatternTest, SpgemmMatchesDenseOracle) {
+  HostCsr ha = random_host_csr(20, 15, 0.2, 1);
+  HostCsr hb = random_host_csr(15, 25, 0.2, 2);
+  CsrMatrix c = upload(rt_, ha).spgemm(upload(rt_, hb));
+  EXPECT_EQ(c.rows(), 20);
+  EXPECT_EQ(c.cols(), 25);
+  auto ref = dense_matmul(ha.todense(), hb.todense(), 20, 15, 25);
+  HostCsr hc = download(c);
+  expect_dense_eq(hc, ref, 20, 25);
+  expect_sorted_unique_columns(hc);
+}
+
+TEST_F(PatternTest, SpgemmWithIdentityIsNoop) {
+  HostCsr ha = random_host_csr(18, 18, 0.2, 3);
+  CsrMatrix a = upload(rt_, ha);
+  CsrMatrix c = a.spgemm(eye(rt_, 18));
+  HostCsr hc = download(c);
+  expect_dense_eq(hc, ha.todense(), 18, 18);
+}
+
+TEST_F(PatternTest, SpgemmEmptyOperand) {
+  CsrMatrix zero = CsrMatrix::from_host(rt_, 10, 10,
+                                        std::vector<coord_t>(11, 0), {}, {});
+  HostCsr ha = random_host_csr(10, 10, 0.3, 4);
+  CsrMatrix c = upload(rt_, ha).spgemm(zero);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST_F(PatternTest, AddMatchesOracle) {
+  HostCsr ha = random_host_csr(30, 22, 0.15, 5);
+  HostCsr hb = random_host_csr(30, 22, 0.15, 6);
+  CsrMatrix c = upload(rt_, ha).add(upload(rt_, hb));
+  auto da = ha.todense();
+  auto db = hb.todense();
+  for (std::size_t i = 0; i < da.size(); ++i) da[i] += db[i];
+  HostCsr hc = download(c);
+  expect_dense_eq(hc, da, 30, 22);
+  expect_sorted_unique_columns(hc);
+}
+
+TEST_F(PatternTest, SubMatchesOracle) {
+  HostCsr ha = random_host_csr(12, 12, 0.3, 7);
+  HostCsr hb = random_host_csr(12, 12, 0.3, 8);
+  CsrMatrix c = upload(rt_, ha).sub(upload(rt_, hb));
+  auto da = ha.todense();
+  auto db = hb.todense();
+  for (std::size_t i = 0; i < da.size(); ++i) da[i] -= db[i];
+  expect_dense_eq(download(c), da, 12, 12);
+}
+
+TEST_F(PatternTest, SubtractSelfIsStructurallyZero) {
+  HostCsr ha = random_host_csr(16, 16, 0.25, 9);
+  CsrMatrix a = upload(rt_, ha);
+  CsrMatrix d = a.sub(a);
+  // Pattern survives (a - a keeps the union pattern) but values vanish.
+  HostCsr hd = download(d);
+  for (double v : hd.values) EXPECT_DOUBLE_EQ(v, 0.0);
+  // prune() then removes them.
+  EXPECT_EQ(d.prune().nnz(), 0);
+}
+
+TEST_F(PatternTest, MultiplyKeepsIntersection) {
+  HostCsr ha = random_host_csr(20, 20, 0.3, 10);
+  HostCsr hb = random_host_csr(20, 20, 0.3, 11);
+  CsrMatrix c = upload(rt_, ha).multiply(upload(rt_, hb));
+  auto da = ha.todense();
+  auto db = hb.todense();
+  for (std::size_t i = 0; i < da.size(); ++i) da[i] *= db[i];
+  expect_dense_eq(download(c), da, 20, 20);
+}
+
+TEST_F(PatternTest, AddIsCommutativeInValues) {
+  HostCsr ha = random_host_csr(14, 9, 0.3, 12);
+  HostCsr hb = random_host_csr(14, 9, 0.3, 13);
+  CsrMatrix ab = upload(rt_, ha).add(upload(rt_, hb));
+  CsrMatrix ba = upload(rt_, hb).add(upload(rt_, ha));
+  HostCsr h1 = download(ab), h2 = download(ba);
+  EXPECT_EQ(h1.indptr, h2.indptr);
+  EXPECT_EQ(h1.indices, h2.indices);
+  for (std::size_t i = 0; i < h1.values.size(); ++i)
+    EXPECT_NEAR(h1.values[i], h2.values[i], 1e-12);
+}
+
+TEST_F(PatternTest, PruneDropsSmallEntries) {
+  std::vector<coord_t> indptr{0, 2, 4};
+  std::vector<coord_t> indices{0, 1, 0, 1};
+  std::vector<double> values{1.0, 1e-9, 0.0, 2.0};
+  CsrMatrix a = CsrMatrix::from_host(rt_, 2, 2, indptr, indices, values);
+  CsrMatrix p0 = a.prune();  // drops exact zeros only
+  EXPECT_EQ(p0.nnz(), 3);
+  CsrMatrix p1 = a.prune(1e-6);
+  EXPECT_EQ(p1.nnz(), 2);
+  HostCsr hp = download(p1);
+  EXPECT_EQ(hp.values, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(PatternTest, FromDenseRoundTrip) {
+  HostCsr ha = random_host_csr(11, 13, 0.3, 14);
+  CsrMatrix a = upload(rt_, ha);
+  CsrMatrix b = csr_from_dense(a.todense());
+  HostCsr h1 = download(a), h2 = download(b);
+  EXPECT_EQ(h1.indptr, h2.indptr);
+  EXPECT_EQ(h1.indices, h2.indices);
+  for (std::size_t i = 0; i < h1.values.size(); ++i)
+    EXPECT_NEAR(h1.values[i], h2.values[i], 1e-12);
+}
+
+/// SpGEMM across processor counts: partitioning must not change results.
+class SpgemmSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpgemmSweep, PartitionIndependent) {
+  sim::PerfParams pp;
+  sim::Machine m = sim::Machine::gpus(GetParam(), pp);
+  rt::Runtime rt(m);
+  HostCsr ha = random_host_csr(40, 40, 0.1, 20);
+  HostCsr hb = random_host_csr(40, 40, 0.1, 21);
+  CsrMatrix c = upload(rt, ha).spgemm(upload(rt, hb));
+  auto ref = dense_matmul(ha.todense(), hb.todense(), 40, 40, 40);
+  expect_dense_eq(download(c), ref, 40, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SpgemmSweep, ::testing::Values(1, 2, 5, 12));
+
+}  // namespace
+}  // namespace legate::sparse

@@ -1,0 +1,159 @@
+#include "util/interval_map.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace legate {
+namespace {
+
+TEST(IntervalMap, AssignAndQuery) {
+  IntervalMap<int> m;
+  m.assign({0, 10}, 1);
+  EXPECT_EQ(m.at(0), 1);
+  EXPECT_EQ(m.at(9), 1);
+  EXPECT_FALSE(m.at(10).has_value());
+  EXPECT_FALSE(m.at(-1).has_value());
+}
+
+TEST(IntervalMap, OverwriteSplitsSegments) {
+  IntervalMap<int> m;
+  m.assign({0, 10}, 1);
+  m.assign({3, 6}, 2);
+  EXPECT_EQ(m.at(2), 1);
+  EXPECT_EQ(m.at(3), 2);
+  EXPECT_EQ(m.at(5), 2);
+  EXPECT_EQ(m.at(6), 1);
+  EXPECT_EQ(m.segment_count(), 3u);
+}
+
+TEST(IntervalMap, AdjacentEqualValuesMerge) {
+  IntervalMap<int> m;
+  m.assign({0, 5}, 7);
+  m.assign({5, 10}, 7);
+  EXPECT_EQ(m.segment_count(), 1u);
+  m.assign({10, 20}, 8);
+  EXPECT_EQ(m.segment_count(), 2u);
+  m.assign({10, 20}, 7);
+  EXPECT_EQ(m.segment_count(), 1u);
+}
+
+TEST(IntervalMap, EraseMiddle) {
+  IntervalMap<int> m;
+  m.assign({0, 10}, 1);
+  m.erase({4, 6});
+  EXPECT_EQ(m.at(3), 1);
+  EXPECT_FALSE(m.at(4).has_value());
+  EXPECT_FALSE(m.at(5).has_value());
+  EXPECT_EQ(m.at(6), 1);
+}
+
+TEST(IntervalMap, GapsAndCoverage) {
+  IntervalMap<int> m;
+  m.assign({2, 4}, 1);
+  m.assign({6, 8}, 1);
+  std::vector<Interval> gaps;
+  m.for_each_gap({0, 10}, [&](Interval iv) { gaps.push_back(iv); });
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (Interval{0, 2}));
+  EXPECT_EQ(gaps[1], (Interval{4, 6}));
+  EXPECT_EQ(gaps[2], (Interval{8, 10}));
+  EXPECT_FALSE(m.covers({0, 10}));
+  EXPECT_TRUE(m.covers({2, 4}));
+  EXPECT_EQ(m.covered_size({0, 10}), 4);
+}
+
+TEST(IntervalMap, ForEachInClipsToRange) {
+  IntervalMap<int> m;
+  m.assign({0, 100}, 5);
+  std::vector<std::pair<Interval, int>> seen;
+  m.for_each_in({10, 20}, [&](Interval iv, int v) { seen.emplace_back(iv, v); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, (Interval{10, 20}));
+}
+
+TEST(IntervalMap, UpdateReadModifyWrite) {
+  IntervalMap<std::uint64_t> m;
+  m.assign({0, 5}, 3u);
+  // Max-merge 1 over [0, 10): covered piece keeps 3, gap becomes 1.
+  m.update({0, 10}, [](Interval, std::optional<std::uint64_t> old) {
+    return old ? std::max<std::uint64_t>(*old, 1) : std::uint64_t{1};
+  });
+  EXPECT_EQ(m.at(2), 3u);
+  EXPECT_EQ(m.at(7), 1u);
+}
+
+TEST(IntervalMap, SnapshotReturnsOrdered) {
+  IntervalMap<int> m;
+  m.assign({5, 8}, 2);
+  m.assign({0, 3}, 1);
+  auto snap = m.snapshot({0, 10});
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].second, 1);
+  EXPECT_EQ(snap[1].second, 2);
+}
+
+/// Property sweep: compare against a naive per-point model under random
+/// assign/erase workloads.
+class IntervalMapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalMapProperty, MatchesNaiveModel) {
+  constexpr coord_t kDomain = 200;
+  Rng rng(GetParam());
+  IntervalMap<int> m;
+  std::vector<int> naive(kDomain, -1);  // -1 = uncovered
+
+  for (int step = 0; step < 300; ++step) {
+    coord_t a = rng.next_coord(0, kDomain);
+    coord_t b = rng.next_coord(0, kDomain + 1);
+    if (a > b) std::swap(a, b);
+    Interval iv{a, b};
+    if (rng.next_below(4) == 0) {
+      m.erase(iv);
+      for (coord_t i = a; i < b; ++i) naive[static_cast<std::size_t>(i)] = -1;
+    } else {
+      int v = static_cast<int>(rng.next_below(5));
+      m.assign(iv, v);
+      for (coord_t i = a; i < b; ++i) naive[static_cast<std::size_t>(i)] = v;
+    }
+  }
+  for (coord_t i = 0; i < kDomain; ++i) {
+    auto got = m.at(i);
+    int expect = naive[static_cast<std::size_t>(i)];
+    if (expect == -1) {
+      EXPECT_FALSE(got.has_value()) << "at " << i;
+    } else {
+      ASSERT_TRUE(got.has_value()) << "at " << i;
+      EXPECT_EQ(*got, expect) << "at " << i;
+    }
+  }
+  // Segment invariants: disjoint, sorted, merged.
+  auto snap = m.snapshot({0, kDomain});
+  for (std::size_t k = 1; k < snap.size(); ++k) {
+    EXPECT_LE(snap[k - 1].first.hi, snap[k].first.lo);
+    if (snap[k - 1].first.hi == snap[k].first.lo) {
+      EXPECT_NE(snap[k - 1].second, snap[k].second) << "unmerged equal neighbors";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalMapProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(IntervalSet, Arithmetic) {
+  IntervalSet s;
+  s.add({0, 10});
+  s.subtract({3, 5});
+  EXPECT_TRUE(s.contains({0, 3}));
+  EXPECT_FALSE(s.contains({2, 4}));
+  EXPECT_EQ(s.size_within({0, 10}), 8);
+  std::vector<Interval> gaps;
+  s.for_each_gap({0, 10}, [&](Interval iv) { gaps.push_back(iv); });
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (Interval{3, 5}));
+}
+
+}  // namespace
+}  // namespace legate

@@ -1,0 +1,63 @@
+#include "util/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace legate {
+namespace {
+
+TEST(Interval, EmptyBasics) {
+  Interval e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0);
+  Interval iv{3, 3};
+  EXPECT_TRUE(iv.empty());
+  Interval rev{5, 2};
+  EXPECT_TRUE(rev.empty());
+}
+
+TEST(Interval, ContainsPoint) {
+  Interval iv{2, 7};
+  EXPECT_FALSE(iv.contains(1));
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(6));
+  EXPECT_FALSE(iv.contains(7));
+}
+
+TEST(Interval, ContainsInterval) {
+  Interval iv{2, 7};
+  EXPECT_TRUE(iv.contains(Interval{2, 7}));
+  EXPECT_TRUE(iv.contains(Interval{3, 5}));
+  EXPECT_TRUE(iv.contains(Interval{}));  // empty always contained
+  EXPECT_FALSE(iv.contains(Interval{1, 3}));
+  EXPECT_FALSE(iv.contains(Interval{6, 8}));
+}
+
+TEST(Interval, Overlaps) {
+  Interval iv{2, 7};
+  EXPECT_TRUE(iv.overlaps({6, 10}));
+  EXPECT_FALSE(iv.overlaps({7, 10}));  // touching is not overlapping
+  EXPECT_FALSE(iv.overlaps({0, 2}));
+  EXPECT_TRUE(iv.overlaps({0, 3}));
+  EXPECT_FALSE(iv.overlaps({}));
+}
+
+TEST(Interval, Intersect) {
+  Interval iv{2, 7};
+  EXPECT_EQ(iv.intersect({5, 10}), (Interval{5, 7}));
+  EXPECT_TRUE(iv.intersect({7, 10}).empty());
+  EXPECT_EQ(iv.intersect({0, 100}), iv);
+}
+
+TEST(Interval, SpanUnion) {
+  EXPECT_EQ((Interval{2, 4}.span_union({8, 10})), (Interval{2, 10}));
+  EXPECT_EQ((Interval{}.span_union({8, 10})), (Interval{8, 10}));
+  EXPECT_EQ((Interval{2, 4}.span_union({})), (Interval{2, 4}));
+}
+
+TEST(Interval, EqualityTreatsAllEmptyAsEqual) {
+  EXPECT_EQ((Interval{3, 3}), (Interval{9, 2}));
+  EXPECT_NE((Interval{3, 4}), (Interval{3, 5}));
+}
+
+}  // namespace
+}  // namespace legate

@@ -1,0 +1,70 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace legate {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double x = r.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, ZipfIsSkewedAndBounded) {
+  Rng r(15);
+  constexpr coord_t kN = 1000;
+  int low = 0, total = 20000;
+  for (int i = 0; i < total; ++i) {
+    coord_t k = r.next_zipf(kN, 1.1);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, kN);
+    low += k < kN / 10;
+  }
+  // Heavy head: far more than 10% of mass in the first decile.
+  EXPECT_GT(low, total / 2);
+}
+
+}  // namespace
+}  // namespace legate
