@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cg.dir/bench_cg.cpp.o"
+  "CMakeFiles/bench_cg.dir/bench_cg.cpp.o.d"
+  "bench_cg"
+  "bench_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

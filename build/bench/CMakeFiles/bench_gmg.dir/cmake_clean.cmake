@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmg.dir/bench_gmg.cpp.o"
+  "CMakeFiles/bench_gmg.dir/bench_gmg.cpp.o.d"
+  "bench_gmg"
+  "bench_gmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmv.dir/bench_spmv.cpp.o"
+  "CMakeFiles/bench_spmv.dir/bench_spmv.cpp.o.d"
+  "bench_spmv"
+  "bench_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

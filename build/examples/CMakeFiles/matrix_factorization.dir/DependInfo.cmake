@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/matrix_factorization.cpp" "examples/CMakeFiles/matrix_factorization.dir/matrix_factorization.cpp.o" "gcc" "examples/CMakeFiles/matrix_factorization.dir/matrix_factorization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solve/CMakeFiles/lsr_solve.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lsr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lsr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/lsr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/lsr_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/lsr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

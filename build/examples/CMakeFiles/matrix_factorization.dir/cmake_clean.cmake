@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_factorization.dir/matrix_factorization.cpp.o"
+  "CMakeFiles/matrix_factorization.dir/matrix_factorization.cpp.o.d"
+  "matrix_factorization"
+  "matrix_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

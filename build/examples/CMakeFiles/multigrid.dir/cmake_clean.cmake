@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigrid.dir/multigrid.cpp.o"
+  "CMakeFiles/multigrid.dir/multigrid.cpp.o.d"
+  "multigrid"
+  "multigrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_rydberg.dir/quantum_rydberg.cpp.o"
+  "CMakeFiles/quantum_rydberg.dir/quantum_rydberg.cpp.o.d"
+  "quantum_rydberg"
+  "quantum_rydberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_rydberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

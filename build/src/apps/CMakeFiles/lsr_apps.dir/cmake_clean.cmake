@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_apps.dir/workloads.cpp.o"
+  "CMakeFiles/lsr_apps.dir/workloads.cpp.o.d"
+  "liblsr_apps.a"
+  "liblsr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/mpisim/mpisim.cpp" "src/baselines/CMakeFiles/lsr_baselines.dir/mpisim/mpisim.cpp.o" "gcc" "src/baselines/CMakeFiles/lsr_baselines.dir/mpisim/mpisim.cpp.o.d"
+  "/root/repo/src/baselines/petsc/petsc.cpp" "src/baselines/CMakeFiles/lsr_baselines.dir/petsc/petsc.cpp.o" "gcc" "src/baselines/CMakeFiles/lsr_baselines.dir/petsc/petsc.cpp.o.d"
+  "/root/repo/src/baselines/ref/ref.cpp" "src/baselines/CMakeFiles/lsr_baselines.dir/ref/ref.cpp.o" "gcc" "src/baselines/CMakeFiles/lsr_baselines.dir/ref/ref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lsr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_baselines.dir/mpisim/mpisim.cpp.o"
+  "CMakeFiles/lsr_baselines.dir/mpisim/mpisim.cpp.o.d"
+  "CMakeFiles/lsr_baselines.dir/petsc/petsc.cpp.o"
+  "CMakeFiles/lsr_baselines.dir/petsc/petsc.cpp.o.d"
+  "CMakeFiles/lsr_baselines.dir/ref/ref.cpp.o"
+  "CMakeFiles/lsr_baselines.dir/ref/ref.cpp.o.d"
+  "liblsr_baselines.a"
+  "liblsr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_dense.dir/array.cpp.o"
+  "CMakeFiles/lsr_dense.dir/array.cpp.o.d"
+  "liblsr_dense.a"
+  "liblsr_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

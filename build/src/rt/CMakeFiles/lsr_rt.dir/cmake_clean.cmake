@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_rt.dir/partition.cpp.o"
+  "CMakeFiles/lsr_rt.dir/partition.cpp.o.d"
+  "CMakeFiles/lsr_rt.dir/runtime.cpp.o"
+  "CMakeFiles/lsr_rt.dir/runtime.cpp.o.d"
+  "liblsr_rt.a"
+  "liblsr_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_sim.dir/engine.cpp.o"
+  "CMakeFiles/lsr_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/lsr_sim.dir/machine.cpp.o"
+  "CMakeFiles/lsr_sim.dir/machine.cpp.o.d"
+  "liblsr_sim.a"
+  "liblsr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

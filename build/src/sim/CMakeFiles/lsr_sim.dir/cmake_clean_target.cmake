@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsr_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_solve.dir/krylov.cpp.o"
+  "CMakeFiles/lsr_solve.dir/krylov.cpp.o.d"
+  "CMakeFiles/lsr_solve.dir/lanczos.cpp.o"
+  "CMakeFiles/lsr_solve.dir/lanczos.cpp.o.d"
+  "CMakeFiles/lsr_solve.dir/multigrid.cpp.o"
+  "CMakeFiles/lsr_solve.dir/multigrid.cpp.o.d"
+  "CMakeFiles/lsr_solve.dir/rk.cpp.o"
+  "CMakeFiles/lsr_solve.dir/rk.cpp.o.d"
+  "liblsr_solve.a"
+  "liblsr_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

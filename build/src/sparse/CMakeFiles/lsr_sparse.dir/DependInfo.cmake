@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/construct.cpp" "src/sparse/CMakeFiles/lsr_sparse.dir/construct.cpp.o" "gcc" "src/sparse/CMakeFiles/lsr_sparse.dir/construct.cpp.o.d"
+  "/root/repo/src/sparse/convert.cpp" "src/sparse/CMakeFiles/lsr_sparse.dir/convert.cpp.o" "gcc" "src/sparse/CMakeFiles/lsr_sparse.dir/convert.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/lsr_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/lsr_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/extra.cpp" "src/sparse/CMakeFiles/lsr_sparse.dir/extra.cpp.o" "gcc" "src/sparse/CMakeFiles/lsr_sparse.dir/extra.cpp.o.d"
+  "/root/repo/src/sparse/pattern.cpp" "src/sparse/CMakeFiles/lsr_sparse.dir/pattern.cpp.o" "gcc" "src/sparse/CMakeFiles/lsr_sparse.dir/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dense/CMakeFiles/lsr_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/lsr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_sparse.dir/construct.cpp.o"
+  "CMakeFiles/lsr_sparse.dir/construct.cpp.o.d"
+  "CMakeFiles/lsr_sparse.dir/convert.cpp.o"
+  "CMakeFiles/lsr_sparse.dir/convert.cpp.o.d"
+  "CMakeFiles/lsr_sparse.dir/csr.cpp.o"
+  "CMakeFiles/lsr_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/lsr_sparse.dir/extra.cpp.o"
+  "CMakeFiles/lsr_sparse.dir/extra.cpp.o.d"
+  "CMakeFiles/lsr_sparse.dir/pattern.cpp.o"
+  "CMakeFiles/lsr_sparse.dir/pattern.cpp.o.d"
+  "liblsr_sparse.a"
+  "liblsr_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

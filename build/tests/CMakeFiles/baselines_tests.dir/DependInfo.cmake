@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/mpisim_test.cpp" "tests/CMakeFiles/baselines_tests.dir/baselines/mpisim_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_tests.dir/baselines/mpisim_test.cpp.o.d"
+  "/root/repo/tests/baselines/petsc_test.cpp" "tests/CMakeFiles/baselines_tests.dir/baselines/petsc_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_tests.dir/baselines/petsc_test.cpp.o.d"
+  "/root/repo/tests/baselines/ref_test.cpp" "tests/CMakeFiles/baselines_tests.dir/baselines/ref_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_tests.dir/baselines/ref_test.cpp.o.d"
+  "/root/repo/tests/baselines/workloads_test.cpp" "tests/CMakeFiles/baselines_tests.dir/baselines/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_tests.dir/baselines/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/lsr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lsr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_tests.dir/dense/dense_test.cpp.o"
+  "CMakeFiles/dense_tests.dir/dense/dense_test.cpp.o.d"
+  "dense_tests"
+  "dense_tests.pdb"
+  "dense_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/coalescing_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/coalescing_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/coalescing_test.cpp.o.d"
+  "/root/repo/tests/rt/constraint_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/constraint_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/constraint_test.cpp.o.d"
+  "/root/repo/tests/rt/partition_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/partition_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/partition_test.cpp.o.d"
+  "/root/repo/tests/rt/runtime_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/runtime_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/lsr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_tests.dir/rt/coalescing_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/coalescing_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/constraint_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/constraint_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/partition_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/partition_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/runtime_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/runtime_test.cpp.o.d"
+  "rt_tests"
+  "rt_tests.pdb"
+  "rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

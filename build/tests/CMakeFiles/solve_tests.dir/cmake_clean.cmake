@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_tests.dir/solve/krylov_test.cpp.o"
+  "CMakeFiles/solve_tests.dir/solve/krylov_test.cpp.o.d"
+  "CMakeFiles/solve_tests.dir/solve/lanczos_test.cpp.o"
+  "CMakeFiles/solve_tests.dir/solve/lanczos_test.cpp.o.d"
+  "CMakeFiles/solve_tests.dir/solve/multigrid_test.cpp.o"
+  "CMakeFiles/solve_tests.dir/solve/multigrid_test.cpp.o.d"
+  "CMakeFiles/solve_tests.dir/solve/rk_test.cpp.o"
+  "CMakeFiles/solve_tests.dir/solve/rk_test.cpp.o.d"
+  "solve_tests"
+  "solve_tests.pdb"
+  "solve_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparse/construct_test.cpp" "tests/CMakeFiles/sparse_tests.dir/sparse/construct_test.cpp.o" "gcc" "tests/CMakeFiles/sparse_tests.dir/sparse/construct_test.cpp.o.d"
+  "/root/repo/tests/sparse/convert_test.cpp" "tests/CMakeFiles/sparse_tests.dir/sparse/convert_test.cpp.o" "gcc" "tests/CMakeFiles/sparse_tests.dir/sparse/convert_test.cpp.o.d"
+  "/root/repo/tests/sparse/csr_test.cpp" "tests/CMakeFiles/sparse_tests.dir/sparse/csr_test.cpp.o" "gcc" "tests/CMakeFiles/sparse_tests.dir/sparse/csr_test.cpp.o.d"
+  "/root/repo/tests/sparse/extra_test.cpp" "tests/CMakeFiles/sparse_tests.dir/sparse/extra_test.cpp.o" "gcc" "tests/CMakeFiles/sparse_tests.dir/sparse/extra_test.cpp.o.d"
+  "/root/repo/tests/sparse/pattern_test.cpp" "tests/CMakeFiles/sparse_tests.dir/sparse/pattern_test.cpp.o" "gcc" "tests/CMakeFiles/sparse_tests.dir/sparse/pattern_test.cpp.o.d"
+  "/root/repo/tests/sparse/property_test.cpp" "tests/CMakeFiles/sparse_tests.dir/sparse/property_test.cpp.o" "gcc" "tests/CMakeFiles/sparse_tests.dir/sparse/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/lsr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/lsr_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/lsr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_tests.dir/sparse/construct_test.cpp.o"
+  "CMakeFiles/sparse_tests.dir/sparse/construct_test.cpp.o.d"
+  "CMakeFiles/sparse_tests.dir/sparse/convert_test.cpp.o"
+  "CMakeFiles/sparse_tests.dir/sparse/convert_test.cpp.o.d"
+  "CMakeFiles/sparse_tests.dir/sparse/csr_test.cpp.o"
+  "CMakeFiles/sparse_tests.dir/sparse/csr_test.cpp.o.d"
+  "CMakeFiles/sparse_tests.dir/sparse/extra_test.cpp.o"
+  "CMakeFiles/sparse_tests.dir/sparse/extra_test.cpp.o.d"
+  "CMakeFiles/sparse_tests.dir/sparse/pattern_test.cpp.o"
+  "CMakeFiles/sparse_tests.dir/sparse/pattern_test.cpp.o.d"
+  "CMakeFiles/sparse_tests.dir/sparse/property_test.cpp.o"
+  "CMakeFiles/sparse_tests.dir/sparse/property_test.cpp.o.d"
+  "sparse_tests"
+  "sparse_tests.pdb"
+  "sparse_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/rt_tests[1]_include.cmake")
+include("/root/repo/build/tests/dense_tests[1]_include.cmake")
+include("/root/repo/build/tests/sparse_tests[1]_include.cmake")
+include("/root/repo/build/tests/solve_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
