@@ -1,0 +1,62 @@
+// Resilience overhead study (beyond the paper): simulated cost of fault
+// tolerance for the Fig. 9 CG kernel on a 2-node GPU machine.
+//
+// Reported series: a clean solve; checkpointing alone (the steady-state
+// I/O tax); transient task faults absorbed by retry; and a mid-solve node
+// loss recovered from the last checkpoint. Recovered solves converge to
+// the bit-exact fault-free answer, so the series isolate the *time* cost
+// of each failure mode.
+#include "common.h"
+
+#include "dense/array.h"
+#include "solve/krylov.h"
+#include "sparse/formats.h"
+
+namespace {
+
+using namespace legate;
+
+constexpr coord_t kRows = 4096;
+constexpr int kGpus = 4;  // 2 nodes x 2 GPUs: node 1 is expendable
+
+double run_cg(const rt::RuntimeOptions& opts, const solve::CheckpointPolicy& ckpt) {
+  sim::PerfParams pp;
+  sim::Machine machine = sim::Machine::gpus(kGpus, pp, /*gpus_per_node=*/2);
+  rt::Runtime runtime(machine, opts);
+  auto A = sparse::diags(runtime, kRows, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
+  auto b = dense::DArray::random(runtime, kRows, 1);
+  auto res = solve::cg(A, b, /*tol=*/1e-8, /*maxiter=*/500, nullptr, ckpt);
+  benchmark::DoNotOptimize(res.residual);
+  return res.iterations > 0 ? runtime.engine().makespan() / res.iterations : 0;
+}
+
+void register_all() {
+  using lsr_bench::register_point;
+  register_point("Resilience/CG/clean", kGpus, [] {
+    return run_cg({}, {});
+  });
+  register_point("Resilience/CG/ckpt-every-10", kGpus, [] {
+    return run_cg({}, solve::CheckpointPolicy{10});
+  });
+  register_point("Resilience/CG/transient-1pct", kGpus, [] {
+    rt::RuntimeOptions opts;
+    opts.faults.enabled = true;
+    opts.faults.seed = 7;
+    opts.faults.task_fault_rate = 0.01;
+    return run_cg(opts, {});
+  });
+  register_point("Resilience/CG/node-loss+ckpt10", kGpus, [] {
+    rt::RuntimeOptions opts;
+    opts.faults.enabled = true;
+    opts.faults.node_loss_time = 2e-3;
+    opts.faults.node_loss_node = 1;
+    opts.faults.node_recovery_seconds = 0.01;
+    return run_cg(opts, solve::CheckpointPolicy{10});
+  });
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

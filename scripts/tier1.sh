@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full suite in the default build, then the util + rt
+# subset under ASan/UBSan so the recovery paths (spill, checkpoint/restore
+# buffer juggling) stay sanitizer-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_SANITIZE=ON
+cmake --build build-sanitize -j --target util_tests rt_tests
+ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/util_tests
+ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/rt_tests
+
+echo "tier1: OK"

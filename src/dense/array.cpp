@@ -250,7 +250,7 @@ DArray DArray::scale(Scalar a) const {
   int ia = launch.add_input(store_);
   int ic = launch.add_output(r.store_);
   launch.align(ia, ic);
-  launch.depend_on(a.ready);
+  launch.depend_on(a.ready, a.poisoned);
   double av = a.value;
   launch.set_leaf([=](rt::TaskContext& ctx) {
     auto x = ctx.full<double>(ia);
@@ -270,7 +270,7 @@ DArray DArray::add_scalar(Scalar a) const {
   int ia = launch.add_input(store_);
   int ic = launch.add_output(r.store_);
   launch.align(ia, ic);
-  launch.depend_on(a.ready);
+  launch.depend_on(a.ready, a.poisoned);
   double av = a.value;
   launch.set_leaf([=](rt::TaskContext& ctx) {
     auto x = ctx.full<double>(ia);
@@ -287,7 +287,7 @@ DArray DArray::add_scalar(Scalar a) const {
 void DArray::iscale(Scalar a) {
   rt::TaskLauncher launch(*rt_, "iscale");
   int ia = launch.add_inout(store_);
-  launch.depend_on(a.ready);
+  launch.depend_on(a.ready, a.poisoned);
   double av = a.value;
   launch.set_leaf([=](rt::TaskContext& ctx) {
     auto x = ctx.full<double>(ia);
@@ -305,7 +305,7 @@ void DArray::axpy(Scalar a, const DArray& x) {
   int iy = launch.add_inout(store_);
   int ix = launch.add_input(x.store_);
   launch.align(iy, ix);
-  launch.depend_on(a.ready);
+  launch.depend_on(a.ready, a.poisoned);
   double av = a.value;
   launch.set_leaf([=](rt::TaskContext& ctx) {
     auto y = ctx.full<double>(iy);
@@ -324,7 +324,7 @@ void DArray::xpay(Scalar a, const DArray& x) {
   int iy = launch.add_inout(store_);
   int ix = launch.add_input(x.store_);
   launch.align(iy, ix);
-  launch.depend_on(a.ready);
+  launch.depend_on(a.ready, a.poisoned);
   double av = a.value;
   launch.set_leaf([=](rt::TaskContext& ctx) {
     auto y = ctx.full<double>(iy);
@@ -340,7 +340,7 @@ void DArray::xpay(Scalar a, const DArray& x) {
 void DArray::fill(Scalar v) {
   rt::TaskLauncher launch(*rt_, "fill");
   int ia = launch.add_output(store_);
-  launch.depend_on(v.ready);
+  launch.depend_on(v.ready, v.poisoned);
   double vv = v.value;
   launch.set_leaf([=](rt::TaskContext& ctx) {
     auto x = ctx.full<double>(ia);
@@ -382,7 +382,7 @@ Scalar DArray::reduce(const char* name, rt::ScalarRedop rop, double init,
     ctx.contribute(acc);
   });
   rt::Future f = launch.execute();
-  return {f.value, f.ready};
+  return {f.value, f.ready, f.poisoned};
 }
 
 Scalar DArray::dot(const DArray& o) const {
@@ -394,7 +394,7 @@ Scalar DArray::dot(const DArray& o) const {
 Scalar DArray::norm() const {
   Scalar s = reduce("norm", rt::ScalarRedop::Sum, 0.0,
                     [](double a, double b) { return a + b; }, this);
-  return {std::sqrt(s.value), s.ready};
+  return {std::sqrt(s.value), s.ready, s.poisoned};
 }
 
 Scalar DArray::sum() const {

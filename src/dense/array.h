@@ -15,9 +15,15 @@ namespace legate::dense {
 struct Scalar {
   double value{0};
   double ready{0};
+  /// Set when the value derives from data the modeled machine lost (retry
+  /// exhaustion, unrecovered node loss). The bits are still the fault-free
+  /// ones — leaves always run — but consumers must not trust them; solvers
+  /// use this to trigger checkpoint recovery.
+  bool poisoned{false};
   Scalar() = default;
   Scalar(double v) : value(v) {}  // NOLINT(google-explicit-constructor)
   Scalar(double v, double r) : value(v), ready(r) {}
+  Scalar(double v, double r, bool p) : value(v), ready(r), poisoned(p) {}
   operator double() const { return value; }  // NOLINT
 };
 

@@ -1,0 +1,16 @@
+#include "rt/checkpoint.h"
+
+namespace legate::rt {
+
+double Checkpoint::bytes() const {
+  double b = 0;
+  for (const auto& e : entries_) b += static_cast<double>(e.data.size());
+  return b;
+}
+
+double Checkpoint::scalar(const std::string& key, double fallback) const {
+  auto it = scalars_.find(key);
+  return it == scalars_.end() ? fallback : it->second;
+}
+
+}  // namespace legate::rt

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rt/store.h"
+
+namespace legate::rt {
+
+/// A consistent snapshot of canonical store contents plus caller-attached
+/// scalars (iteration counters, recurrence values), produced by
+/// Runtime::checkpoint(). The snapshot is an in-process deep copy of the
+/// byte-exact canonical buffers; the simulated cost of writing it to (and
+/// reading it back from) the modeled parallel file system is charged by the
+/// engine's shared checkpoint I/O channel. Solvers keep the latest snapshot
+/// and hand it back to Runtime::restore() after a node loss, which rewinds
+/// the stores — and, because execution is deterministic, the entire solve —
+/// to a state bit-identical to the fault-free run.
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+
+  [[nodiscard]] bool valid() const { return !entries_.empty(); }
+  /// Total payload bytes snapshotted (what checkpoint/restore I/O charges).
+  [[nodiscard]] double bytes() const;
+  /// Simulated time at which the checkpoint write completed.
+  [[nodiscard]] double taken_at() const { return taken_at_; }
+
+  /// Attach a named scalar (e.g. the solver's iteration counter) so restarts
+  /// can resume recurrences exactly where the snapshot left them.
+  void set_scalar(const std::string& key, double v) { scalars_[key] = v; }
+  [[nodiscard]] double scalar(const std::string& key, double fallback = 0) const;
+
+ private:
+  friend class Runtime;
+  struct Entry {
+    Store store;                  ///< handle keeps the backing buffer alive
+    std::vector<std::byte> data;  ///< deep copy of the canonical bytes
+  };
+  std::vector<Entry> entries_;
+  std::map<std::string, double> scalars_;
+  double taken_at_{0};
+};
+
+}  // namespace legate::rt

@@ -1,7 +1,11 @@
 #include "rt/runtime.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
+
+#include "rt/checkpoint.h"
 
 namespace legate::rt {
 
@@ -45,6 +49,8 @@ struct Runtime::Alloc {
   Interval extent;  ///< element interval covered
   IntervalMap<std::uint64_t> held;  ///< version of data held (implicit: none)
   IntervalMap<double> ready;        ///< time the held data became valid
+  double last_use{0};  ///< logical touch tick; eviction picks the minimum
+  double esize{8};     ///< bytes per element (needed to release/spill by id)
 };
 
 struct Runtime::MemState {
@@ -178,6 +184,18 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   for (std::size_t i = 0; i < machine_.memories().size(); ++i) {
     mem_state_.push_back(std::make_unique<MemState>());
   }
+  if (opts_.faults.enabled) {
+    injector_ = std::make_unique<sim::FaultInjector>(opts_.faults);
+    // Phantom reservation shrinking every framebuffer, so the spill path can
+    // be exercised without paper-scale problem sizes.
+    if (opts_.faults.oom_pressure_bytes > 0) {
+      for (const auto& m : machine_.memories()) {
+        if (m.kind == sim::MemKind::Frame) {
+          engine_->alloc_bytes(m.id, opts_.faults.oom_pressure_bytes);
+        }
+      }
+    }
+  }
 }
 
 Runtime::~Runtime() {
@@ -199,9 +217,10 @@ void Runtime::mark_attached(const Store& s) {
   ss.owner.assign(s.extent(), machine_.home_memory());
   ss.last_write.assign(s.extent(), 0.0);
   // Materialize the backing allocation in the home memory.
-  double bytes = static_cast<double>(s.volume()) * dtype_size(s.dtype());
-  engine_->alloc_bytes(machine_.home_memory(), bytes);
-  Alloc a{s.extent(), {}, {}};
+  double esize = static_cast<double>(dtype_size(s.dtype()));
+  double bytes = static_cast<double>(s.volume()) * esize;
+  alloc_with_spill(machine_.home_memory(), bytes, s.id());
+  Alloc a{s.extent(), {}, {}, ++use_tick_, esize};
   a.held.assign(s.extent(), 1);
   a.ready.assign(s.extent(), 0.0);
   mem_state_[machine_.home_memory()]->allocs[s.id()].push_back(std::move(a));
@@ -339,14 +358,17 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const Store& store, Interval elem,
                                               int mem) {
   auto& allocs = mem_state_[mem]->allocs[store.id()];
   for (auto& a : allocs) {
-    if (a.extent.contains(elem)) return a;
+    if (a.extent.contains(elem)) {
+      a.last_use = ++use_tick_;
+      return a;
+    }
   }
   double esize = static_cast<double>(dtype_size(store.dtype()));
 
   if (!opts_.coalescing) {
     // Ablation mode: exact-extent allocation per new requirement.
-    engine_->alloc_bytes(mem, static_cast<double>(elem.size()) * esize);
-    allocs.push_back(Alloc{elem, {}, {}});
+    alloc_with_spill(mem, static_cast<double>(elem.size()) * esize, store.id());
+    allocs.push_back(Alloc{elem, {}, {}, ++use_tick_, esize});
     return allocs.back();
   }
 
@@ -360,8 +382,8 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const Store& store, Interval elem,
       if (it->contains(elem) && it->size() <= 2 * elem.size() + 64) {
         Interval ext = *it;
         pool.erase(it);
-        engine_->alloc_bytes(mem, static_cast<double>(ext.size()) * esize);
-        allocs.push_back(Alloc{ext, {}, {}});
+        alloc_with_spill(mem, static_cast<double>(ext.size()) * esize, store.id());
+        allocs.push_back(Alloc{ext, {}, {}, ++use_tick_, esize});
         return allocs.back();
       }
     }
@@ -385,8 +407,8 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const Store& store, Interval elem,
     }
   }
 
-  Alloc merged_alloc{ext, {}, {}};
-  engine_->alloc_bytes(mem, static_cast<double>(ext.size()) * esize);
+  Alloc merged_alloc{ext, {}, {}, ++use_tick_, esize};
+  alloc_with_spill(mem, static_cast<double>(ext.size()) * esize, store.id());
   for (std::size_t i : merged) {
     Alloc& old = allocs[i];
     // Intra-memory copy of the valid contents into the resized allocation.
@@ -480,10 +502,206 @@ double Runtime::ensure_in_memory(const Store& store, Interval elem, int mem,
   return data_ready;
 }
 
+// ---------------------------------------------------------------------------
+// Fault tolerance: spill-on-OOM, node loss, checkpoint/restart
+// ---------------------------------------------------------------------------
+
+int Runtime::sysmem_of_node(int node) const {
+  for (const auto& m : machine_.memories()) {
+    if (m.node == node && m.kind == sim::MemKind::Sys) return m.id;
+  }
+  return machine_.home_memory();
+}
+
+void Runtime::alloc_with_spill(int mem, double bytes, StoreId requesting) {
+  for (;;) {
+    try {
+      engine_->alloc_bytes(mem, bytes);
+      return;
+    } catch (const OutOfMemoryError&) {
+      if (!opts_.spill_on_oom || spilling_ || !evict_lru(mem, requesting)) throw;
+    }
+  }
+}
+
+bool Runtime::evict_lru(int mem, StoreId requesting) {
+  auto& ms = *mem_state_[mem];
+  const bool is_frame = machine_.memory(mem).kind == sim::MemKind::Frame;
+
+  // Pieces of `a` holding the *only* up-to-date copy (this memory owns the
+  // latest version there). Everything else in the allocation is a clean
+  // replica that can simply be dropped.
+  auto dirty_pieces = [&](StoreId sid, const Alloc& a) {
+    std::vector<std::pair<Interval, std::uint64_t>> out;
+    auto& ss = sync(sid);
+    a.held.for_each_in(a.extent, [&](Interval iv, std::uint64_t v) {
+      ss.owner.for_each_in(iv, [&](Interval p, int m) {
+        if (m != mem) return;
+        ss.version.for_each_in(p, [&](Interval q, std::uint64_t cur) {
+          if (cur == v) out.emplace_back(q, v);
+        });
+      });
+    });
+    return out;
+  };
+
+  StoreId victim_sid = 0;
+  std::size_t victim_idx = 0;
+  double oldest = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (auto& [sid, allocs] : ms.allocs) {
+    if (sid == requesting || pinned_.count(sid) > 0) continue;
+    for (std::size_t i = 0; i < allocs.size(); ++i) {
+      if (allocs[i].last_use >= oldest) continue;
+      // System memory is the spill target of last resort: dirty data there
+      // has nowhere cheaper to go, so only clean replicas are evictable.
+      if (!is_frame && !dirty_pieces(sid, allocs[i]).empty()) continue;
+      oldest = allocs[i].last_use;
+      victim_sid = sid;
+      victim_idx = i;
+      found = true;
+    }
+  }
+  if (!found) return false;
+
+  spilling_ = true;
+  auto& vec = ms.allocs[victim_sid];
+  Alloc victim = std::move(vec[victim_idx]);
+  vec.erase(vec.begin() + static_cast<long>(victim_idx));
+  if (vec.empty()) ms.allocs.erase(victim_sid);
+
+  auto dirty = dirty_pieces(victim_sid, victim);
+  if (!dirty.empty() && is_frame) {
+    // Spill sole copies to the node's system memory with a charged copy;
+    // ownership follows so later readers fetch from there.
+    int dst = sysmem_of_node(machine_.memory(mem).node);
+    auto& dvec = mem_state_[dst]->allocs[victim_sid];
+    Alloc* target = nullptr;
+    for (auto& a : dvec) {
+      if (a.extent.contains(victim.extent)) {
+        target = &a;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      engine_->alloc_bytes(dst,
+                           static_cast<double>(victim.extent.size()) * victim.esize);
+      dvec.push_back(Alloc{victim.extent, {}, {}, victim.last_use, victim.esize});
+      target = &dvec.back();
+    }
+    auto& ss = sync(victim_sid);
+    for (auto& [piece, v] : dirty) {
+      double src_ready = 0;
+      victim.ready.for_each_in(
+          piece, [&](Interval, double t) { src_ready = std::max(src_ready, t); });
+      double done = engine_->copy(
+          mem, dst, static_cast<double>(piece.size()) * victim.esize, src_ready);
+      target->held.assign(piece, v);
+      target->ready.assign(piece, done);
+      ss.owner.assign(piece, dst);
+      // The spill copy joins the dependence chain for this data.
+      ss.last_write.update(piece, [&](Interval, std::optional<double> prev) {
+        return std::max(prev.value_or(0.0), done);
+      });
+    }
+  }
+  engine_->free_bytes(mem, static_cast<double>(victim.extent.size()) * victim.esize);
+  engine_->note_spill();
+  spilling_ = false;
+  return true;
+}
+
+void Runtime::handle_node_loss(int node) {
+  engine_->note_fault();
+  // Hot-spare model: a replacement node with the same shape is admitted, so
+  // partitioning — and therefore every bit of the canonical computation —
+  // is unchanged. Only the data resident on the lost node is gone.
+  for (const auto& m : machine_.memories()) {
+    if (m.node != node) continue;
+    auto& ms = *mem_state_[m.id];
+    for (auto& [sid, allocs] : ms.allocs) {
+      for (auto& a : allocs) {
+        engine_->free_bytes(m.id, static_cast<double>(a.extent.size()) * a.esize);
+      }
+    }
+    ms.allocs.clear();
+    ms.pool.clear();
+  }
+  // A store whose latest version was owned by a lost memory is poisoned
+  // until restored or fully rewritten. Ownership falls back to the home
+  // memory so later staging still has a (stale) source to copy from.
+  const Interval kAll{0, std::numeric_limits<coord_t>::max()};
+  for (auto& [sid, ss] : sync_) {
+    std::vector<Interval> lost;
+    ss->owner.for_each_in(kAll, [&](Interval iv, int m) {
+      if (machine_.memory(m).node == node) lost.push_back(iv);
+    });
+    if (lost.empty()) continue;
+    poisoned_stores_.insert(sid);
+    for (Interval iv : lost) ss->owner.assign(iv, machine_.home_memory());
+  }
+  // Loss detection + replacement admission stall the whole machine.
+  engine_->stall_all(engine_->makespan(), opts_.faults.node_recovery_seconds);
+  node_loss_pending_ = true;
+}
+
+void Runtime::poll_faults() {
+  if (injector_ == nullptr) return;
+  if (injector_->node_loss_due(engine_->makespan())) {
+    handle_node_loss(injector_->config().node_loss_node);
+  }
+}
+
+Checkpoint Runtime::checkpoint(const std::vector<Store>& stores) {
+  Checkpoint ck;
+  double ready = engine_->control_advance(task_overhead_);
+  double bytes = 0;
+  for (const Store& s : stores) {
+    auto& ss = sync(s.id());
+    // The snapshot is consistent: it waits for every in-flight writer.
+    ss.last_write.for_each_in(
+        s.extent(), [&](Interval, double t) { ready = std::max(ready, t); });
+    auto raw = s.raw();
+    ck.entries_.push_back({s, std::vector<std::byte>(raw.begin(), raw.end())});
+    bytes += static_cast<double>(raw.size());
+  }
+  double done = engine_->checkpoint_io(bytes, ready, /*restore=*/false);
+  // The checkpoint reads the stores: subsequent writers must wait for it.
+  for (const Store& s : stores) sync(s.id()).readers.emplace_back(s.extent(), done);
+  ck.taken_at_ = done;
+  return ck;
+}
+
+double Runtime::restore(const Checkpoint& ckpt) {
+  double ready = engine_->control_advance(task_overhead_);
+  double done = engine_->checkpoint_io(ckpt.bytes(), ready, /*restore=*/true);
+  for (const auto& e : ckpt.entries_) {
+    auto raw = e.store.raw();
+    LSR_CHECK_MSG(raw.size() == e.data.size(), "restore into resized store");
+    std::memcpy(raw.data(), e.data.data(), e.data.size());
+    auto& ss = sync(e.store.id());
+    Interval ext = e.store.extent();
+    ++ss.version_counter;
+    ++ss.epoch;
+    ss.version.assign(ext, ss.version_counter);
+    ss.owner.assign(ext, machine_.home_memory());
+    ss.last_write.assign(ext, done);
+    ss.readers.clear();
+    Alloc& a = find_or_create_alloc(e.store, ext, machine_.home_memory());
+    a.held.assign(ext, ss.version_counter);
+    a.ready.assign(ext, done);
+    poisoned_stores_.erase(e.store.id());
+  }
+  return done;
+}
+
 double Runtime::shuffle(const Store& in, const Store& out,
                         const std::function<void()>& body) {
   const int P = machine_.num_procs();
+  poll_faults();
   double t_launch = engine_->control_advance(task_overhead_);
+  pinned_.insert(in.id());
+  pinned_.insert(out.id());
 
   auto& sin = sync(in.id());
   double src_ready = t_launch;
@@ -536,11 +754,19 @@ double Runtime::shuffle(const Store& in, const Store& out,
   sout.key = part;
   sout.readers.clear();
   sin.readers.emplace_back(in.extent(), max_done);
+  // The shuffle fully rewrites `out` from `in`: poison follows the source.
+  if (poisoned_stores_.count(in.id()) > 0) {
+    poisoned_stores_.insert(out.id());
+  } else {
+    poisoned_stores_.erase(out.id());
+  }
+  pinned_.clear();
   return max_done;
 }
 
 Future Runtime::execute(TaskLauncher& L) {
   const auto& pp = machine_.params();
+  poll_faults();
   double t_launch = engine_->control_advance(task_overhead_);
 
   const int nargs = static_cast<int>(L.args_.size());
@@ -644,6 +870,17 @@ Future Runtime::execute(TaskLauncher& L) {
     LSR_CHECK_MSG(progress || !pending, "cyclic image constraints");
   }
   for (int i = 0; i < nargs; ++i) LSR_CHECK_MSG(parts[i] != nullptr, "unsolved arg");
+
+  // Pin this launch's stores so OOM spilling never evicts in-flight
+  // arguments, and compute launch-level poison: a poisoned future dependence
+  // or a poisoned input taints everything this launch writes.
+  bool poisoned = L.poisoned_dep_;
+  for (const auto& a : L.args_) {
+    pinned_.insert(a.store.id());
+    if (a.priv != Priv::WriteDiscard && poisoned_stores_.count(a.store.id()) > 0) {
+      poisoned = true;
+    }
+  }
 
   // ---- 3. Pass A: dependence analysis against pre-launch state -----------
   double t_base = std::max(t_launch, L.future_dep_);
@@ -761,7 +998,44 @@ Future Runtime::execute(TaskLauncher& L) {
         proc.kind, cost, proc.kind == sim::ProcKind::CPU ? cpu_fraction_ : 1.0);
     if (proc.kind == sim::ProcKind::GPU) duration += pp.gpu_kernel_launch;
     engine_->note_task();
-    double done = engine_->busy_proc(proc_id, data_ready, duration);
+    // Transient-fault model. The leaf above ran exactly once, so canonical
+    // data is always the fault-free bits; failures cost only time and
+    // metadata. Each failed attempt occupies the processor for part of the
+    // duration, then pays detection latency and exponential backoff before
+    // the retry. Exhausting max_attempts poisons the launch instead of
+    // producing a wrong value.
+    long seq = task_seq_++;
+    double start_ready = data_ready;
+    bool exhausted = false;
+    if (injector_ != nullptr) {
+      const auto& fc = injector_->config();
+      int attempt = 0;
+      while (injector_->should_fail(seq, attempt)) {
+        engine_->note_fault();
+        double wasted = duration * injector_->fail_fraction(seq, attempt);
+        double failed_at = engine_->busy_proc(proc_id, start_ready, wasted);
+        double detected = failed_at + fc.detect_seconds;
+        ++attempt;
+        if (attempt >= fc.max_attempts) {
+          exhausted = true;
+          start_ready = detected;
+          break;
+        }
+        engine_->note_retry();
+        start_ready =
+            detected + fc.backoff_seconds * std::pow(2.0, attempt - 1);
+      }
+    }
+    double done;
+    if (exhausted) {
+      // The point never completes healthy; dependences advance at the time
+      // the permanent failure is detected.
+      poisoned = true;
+      done = start_ready;
+      engine_->bump_to(done);
+    } else {
+      done = engine_->busy_proc(proc_id, start_ready, duration);
+    }
     completion[static_cast<std::size_t>(c)] = done;
     max_completion = std::max(max_completion, done);
   }
@@ -797,6 +1071,20 @@ Future Runtime::execute(TaskLauncher& L) {
       }
       return false;
     });
+    // Poison bookkeeping: a poisoned launch taints what it writes; a healthy
+    // launch that rewrites a store's full extent washes old poison out.
+    if (poisoned) {
+      poisoned_stores_.insert(a.store.id());
+    } else if (poisoned_stores_.count(a.store.id()) > 0) {
+      IntervalSet written;
+      for (int c = 0; c < colors; ++c) {
+        Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
+        written.add({iv.lo * a.store.stride(), iv.hi * a.store.stride()});
+      }
+      if (written.size_within(a.store.extent()) == a.store.volume()) {
+        poisoned_stores_.erase(a.store.id());
+      }
+    }
     // Track the key partition of written stores for future reuse.
     if (a.ckind == ConstraintKind::None) ss.key = parts[i];
   }
@@ -842,8 +1130,15 @@ Future Runtime::execute(TaskLauncher& L) {
         first = false;
       }
     }
+    // Reductions rewrite the whole store: poison follows the launch state.
+    if (poisoned) {
+      poisoned_stores_.insert(a.store.id());
+    } else {
+      poisoned_stores_.erase(a.store.id());
+    }
     max_completion = std::max(max_completion, t_red);
   }
+  pinned_.clear();
 
   // ---- 7. Scalar reduction future -----------------------------------------
   Future fut;
@@ -866,6 +1161,7 @@ Future Runtime::execute(TaskLauncher& L) {
     fut.ready = engine_->allreduce(colors, max_completion, true);
     fut.valid = true;
   }
+  fut.poisoned = poisoned;
   return fut;
 }
 

@@ -12,10 +12,12 @@
 #include "rt/partition.h"
 #include "rt/store.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "util/interval_map.h"
 
 namespace legate::rt {
 
+class Checkpoint;
 class Runtime;
 class TaskLauncher;
 
@@ -40,11 +42,14 @@ enum class ScalarRedop { Sum, Max, Min };
 
 /// Result of a scalar reduction (dot, norm, ...). `value` is exact (computed
 /// for real); `ready` is the simulated completion time including the
-/// all-reduce model.
+/// all-reduce model. `poisoned` marks a value produced from data the modeled
+/// machine lost (exhausted retries, unrecovered node loss): the canonical
+/// bits are still the fault-free values, but consumers must not trust them.
 struct Future {
   double value{0};
   double ready{0};
   bool valid{false};
+  bool poisoned{false};
 };
 
 /// Per-point view handed to leaf task bodies. Mirrors the paper's Fig. 7
@@ -129,9 +134,11 @@ class TaskLauncher {
   /// Force the number of point tasks (e.g. 1 for sequential glue work).
   void require_colors(int n) { forced_colors_ = n; }
   /// Add a dependence on a scalar future (tasks consume futures without
-  /// blocking the control lane, like Legate's scalar plumbing).
-  void depend_on(double future_ready) {
+  /// blocking the control lane, like Legate's scalar plumbing). A poisoned
+  /// future poisons this launch and everything it writes.
+  void depend_on(double future_ready, bool poisoned = false) {
     future_dep_ = std::max(future_dep_, future_ready);
+    poisoned_dep_ = poisoned_dep_ || poisoned;
   }
 
   Future execute();
@@ -158,6 +165,7 @@ class TaskLauncher {
   bool has_redop_{false};
   int forced_colors_{-1};
   double future_dep_{0};
+  bool poisoned_dep_{false};
 };
 
 /// Behaviour toggles, used by the ablation benchmarks.
@@ -168,6 +176,12 @@ struct RuntimeOptions {
   double task_overhead = -1;    ///< control-lane seconds/launch; <0 = default
   /// Core fraction for CPU leaf tasks (Legate reserves runtime cores).
   double cpu_core_fraction = -1;  ///< <0 = params default
+  /// When an allocation would exceed capacity, evict LRU clean allocations
+  /// (spilling dirty ones to system memory) before surfacing the OOM.
+  bool spill_on_oom = true;
+  /// Deterministic fault schedule; disabled by default (zero overhead and
+  /// bit-identical makespans to a fault-free build when off).
+  sim::FaultConfig faults;
 };
 
 /// The Legion-model runtime: dynamic dependence analysis over the task
@@ -206,6 +220,32 @@ class Runtime {
   /// Number of partitions materialized so far (ablation metric).
   [[nodiscard]] long partitions_created() const { return partitions_created_; }
 
+  // -- fault tolerance ------------------------------------------------------
+  /// Whether `s` holds data the modeled machine lost (retry exhaustion or a
+  /// node loss whose memories owned the latest version). Cleared when the
+  /// store is fully overwritten by a healthy launch or restored.
+  [[nodiscard]] bool store_poisoned(const Store& s) const {
+    return poisoned_stores_.count(s.id()) > 0;
+  }
+  /// True once after a scheduled node loss fired; solvers poll this to
+  /// trigger checkpoint recovery.
+  [[nodiscard]] bool consume_node_loss() {
+    bool v = node_loss_pending_;
+    node_loss_pending_ = false;
+    return v;
+  }
+  [[nodiscard]] const sim::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+
+  /// Snapshot the canonical contents of `stores` (plus caller-attached
+  /// scalars) and charge the simulated checkpoint write. See rt/checkpoint.h.
+  [[nodiscard]] Checkpoint checkpoint(const std::vector<Store>& stores);
+  /// Restore a snapshot: canonical buffers are rewritten, the stores'
+  /// version/ownership state is reset to the home memory, poison is cleared,
+  /// and the simulated restore read is charged. Returns the completion time.
+  double restore(const Checkpoint& ckpt);
+
   /// All-to-all repartitioning primitive (distributed transpose & friends):
   /// every processor's block of `out` draws on every block of `in`. `body`
   /// performs the real data movement on the canonical buffers; the engine is
@@ -236,6 +276,18 @@ class Runtime {
   Alloc& find_or_create_alloc(const Store& store, Interval elem, int mem);
   SyncState& sync(StoreId id);
 
+  /// alloc_bytes with graceful OOM degradation: on capacity overflow, evict
+  /// least-recently-used allocations (spilling dirty data to the node's
+  /// system memory with a charged copy) and retry before rethrowing.
+  void alloc_with_spill(int mem, double bytes, StoreId requesting);
+  /// Evict the LRU evictable allocation in `mem`; returns false if none.
+  bool evict_lru(int mem, StoreId requesting);
+  /// Drop every allocation in the lost node's memories, poison stores whose
+  /// latest data lived only there, and charge the recovery outage.
+  void handle_node_loss(int node);
+  void poll_faults();
+  [[nodiscard]] int sysmem_of_node(int node) const;
+
   sim::Machine machine_;
   std::unique_ptr<sim::Engine> engine_;
   RuntimeOptions opts_;
@@ -259,6 +311,16 @@ class Runtime {
   };
   std::map<ImageKey, PartitionRef> image_cache_;
   long partitions_created_{0};
+
+  // -- fault-tolerance state -------------------------------------------------
+  std::unique_ptr<sim::FaultInjector> injector_;
+  long task_seq_{0};   ///< deterministic point-task sequence number
+  double use_tick_{0};  ///< logical clock stamping allocation touches (LRU)
+  std::unordered_set<StoreId> poisoned_stores_;
+  /// Stores staged for the in-flight launch; never spill victims.
+  std::unordered_set<StoreId> pinned_;
+  bool node_loss_pending_{false};
+  bool spilling_{false};  ///< guards against recursive spill
 };
 
 }  // namespace legate::rt

@@ -61,6 +61,11 @@ class Store {
   [[nodiscard]] Interval extent() const { return {0, volume()}; }
   [[nodiscard]] Runtime& runtime() const { return *impl_->rt; }
 
+  /// Raw view of the canonical byte buffer (checkpoint snapshots).
+  [[nodiscard]] std::span<std::byte> raw() const {
+    return {impl_->data.data(), impl_->data.size()};
+  }
+
   /// Typed view of the whole canonical buffer.
   template <typename T>
   [[nodiscard]] std::span<T> span() const {

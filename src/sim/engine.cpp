@@ -115,23 +115,60 @@ double Engine::allreduce_bytes(int nprocs, double bytes, double ready,
 void Engine::alloc_bytes(int mem, double bytes) {
   bytes *= cost_scale_;
   double& used = mem_used_.at(mem);
-  used += bytes;
   const auto& m = machine_.memory(mem);
-  if (used > m.capacity) {
+  if (used + bytes > m.capacity) {
     std::ostringstream os;
     os << "memory " << mem << " (node " << m.node << ", "
-       << (m.kind == MemKind::Frame ? "framebuffer" : "sysmem") << ") over capacity: "
+       << (m.kind == MemKind::Frame ? "framebuffer" : "sysmem")
+       << ") over capacity: allocating " << bytes / 1e9 << " GB with "
        << used / 1e9 << " GB used of " << m.capacity / 1e9 << " GB";
     throw OutOfMemoryError(os.str());
   }
+  used += bytes;
   mem_peak_.at(mem) = std::max(mem_peak_.at(mem), used);
 }
 
 void Engine::free_bytes(int mem, double bytes) {
   bytes *= cost_scale_;
+  LSR_CHECK_MSG(bytes >= 0, "negative release");
   double& used = mem_used_.at(mem);
-  used -= bytes;
-  LSR_CHECK_MSG(used > -1.0, "memory accounting went negative");
+  const auto& m = machine_.memory(mem);
+  std::ostringstream os;
+  os << "memory " << mem << " (node " << m.node << ") released " << bytes
+     << " B with only " << used << " B reserved of " << m.capacity
+     << " B capacity";
+  // Tolerate accumulated floating-point slack; anything larger means a
+  // double-free in the allocation store.
+  LSR_CHECK_MSG(bytes <= used + 1.0, os.str());
+  used = std::max(0.0, used - bytes);
+}
+
+double Engine::stall_all(double at, double seconds) {
+  control_clock_ = std::max(control_clock_, at) + seconds;
+  double latest = control_clock_;
+  for (double& clk : proc_clock_) {
+    clk = std::max(clk, at) + seconds;
+    latest = std::max(latest, clk);
+  }
+  for (double& clk : mem_copy_clock_) clk = std::max(clk, at) + seconds;
+  for (double& clk : nic_in_) clk = std::max(clk, at) + seconds;
+  for (double& clk : nic_out_) clk = std::max(clk, at) + seconds;
+  bump(latest);
+  return latest;
+}
+
+double Engine::checkpoint_io(double bytes, double ready, bool restore) {
+  bytes *= cost_scale_;
+  if (restore) {
+    ++stats_.restores;
+  } else {
+    ++stats_.checkpoints;
+  }
+  stats_.bytes_ckpt += bytes;
+  double start = std::max(io_clock_, ready);
+  io_clock_ = start + pp_.checkpoint_lat + bytes / pp_.checkpoint_bw;
+  bump(io_clock_);
+  return io_clock_;
 }
 
 std::string Engine::report() const {
@@ -140,6 +177,15 @@ std::string Engine::report() const {
      << " copies=" << stats_.copies << " allreduces=" << stats_.allreduces
      << " bytes{intra=" << stats_.bytes_intra / 1e6 << "MB, nvlink="
      << stats_.bytes_nvlink / 1e6 << "MB, ib=" << stats_.bytes_ib / 1e6 << "MB}";
+  if (stats_.faults_injected + stats_.retries + stats_.spills +
+          stats_.checkpoints + stats_.restores >
+      0) {
+    os << " faults{injected=" << stats_.faults_injected
+       << ", retries=" << stats_.retries << ", spills=" << stats_.spills
+       << ", checkpoints=" << stats_.checkpoints
+       << ", restores=" << stats_.restores
+       << ", ckpt_bytes=" << stats_.bytes_ckpt / 1e6 << "MB}";
+  }
   return os.str();
 }
 

@@ -23,9 +23,16 @@ struct Stats {
   double bytes_intra{0};   ///< intra-memory copies (allocation resizing)
   double bytes_nvlink{0};  ///< intra-node inter-memory traffic
   double bytes_ib{0};      ///< inter-node traffic
+  double bytes_ckpt{0};    ///< checkpoint/restore traffic to the modeled PFS
   long copies{0};
   long tasks{0};
   long allreduces{0};
+  // Resilience counters (all zero unless fault injection / recovery fires).
+  long faults_injected{0};  ///< transient task faults + node losses injected
+  long retries{0};          ///< point-task re-executions after a fault
+  long spills{0};           ///< allocations evicted/spilled under OOM pressure
+  long checkpoints{0};      ///< Runtime::checkpoint() snapshots taken
+  long restores{0};         ///< Runtime::restore() rollbacks performed
 };
 
 /// Turns a roofline Cost into seconds on a given processor kind.
@@ -95,8 +102,30 @@ class Engine {
   void free_bytes(int mem, double bytes);
   [[nodiscard]] double used_bytes(int mem) const { return mem_used_.at(mem); }
   [[nodiscard]] double peak_bytes(int mem) const { return mem_peak_.at(mem); }
+  [[nodiscard]] double capacity(int mem) const { return machine_.memory(mem).capacity; }
+  /// Bytes still allocatable (cost_scale applied symmetrically by callers).
+  [[nodiscard]] double free_capacity(int mem) const {
+    return machine_.memory(mem).capacity - mem_used_.at(mem);
+  }
+
+  /// Global outage: every clock (control, processors, copy engines) stalls
+  /// for `seconds` starting no earlier than `at`. Models whole-machine
+  /// hiccups such as node-loss detection + replacement admission.
+  double stall_all(double at, double seconds);
+
+  /// Model a checkpoint write (or restore read) of `bytes` to the parallel
+  /// file system; one shared PFS channel serializes checkpoint traffic.
+  /// Bumps the matching resilience counter and returns the completion time.
+  double checkpoint_io(double bytes, double ready, bool restore);
+
+  /// Extend the makespan to at least `t` (failure-detection tails that
+  /// occupy no resource clock).
+  void bump_to(double t) { bump(t); }
 
   void note_task() { ++stats_.tasks; }
+  void note_fault() { ++stats_.faults_injected; }
+  void note_retry() { ++stats_.retries; }
+  void note_spill() { ++stats_.spills; }
 
   /// Workload scale factor S: benchmarks execute a 1/S functional sample of
   /// the modeled problem and charge S x the bytes/flops/capacity, which is
@@ -121,6 +150,7 @@ class Engine {
   PerfParams pp_;
 
   double control_clock_{0};
+  double io_clock_{0};  ///< shared checkpoint/restore PFS channel
   std::vector<double> proc_clock_;
   std::vector<double> mem_copy_clock_;  ///< per-memory intra-copy engine
   std::vector<double> nic_in_, nic_out_;

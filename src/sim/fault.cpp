@@ -1,0 +1,49 @@
+#include "sim/fault.h"
+
+namespace legate::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double to_unit(std::uint64_t u) {
+  return static_cast<double>(u >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+}  // namespace
+
+std::uint64_t FaultInjector::hash(long task_seq, int attempt,
+                                  std::uint64_t salt) const {
+  std::uint64_t x = cfg_.seed;
+  x = splitmix64(x ^ (static_cast<std::uint64_t>(task_seq) * 0x9e3779b97f4a7c15ULL));
+  x = splitmix64(x ^ (static_cast<std::uint64_t>(attempt) + salt));
+  return x;
+}
+
+bool FaultInjector::should_fail(long task_seq, int attempt) const {
+  for (const auto& s : cfg_.scripted) {
+    if (s.task == task_seq && s.attempt == attempt) return true;
+  }
+  if (cfg_.task_fault_rate <= 0) return false;
+  return to_unit(hash(task_seq, attempt, 0x5fa41ULL)) < cfg_.task_fault_rate;
+}
+
+double FaultInjector::fail_fraction(long task_seq, int attempt) const {
+  // Faults land somewhere in the middle of the kernel: at least 10% of the
+  // work is wasted, never the full duration (the fault preempts completion).
+  return 0.1 + 0.9 * to_unit(hash(task_seq, attempt, 0xf7ac7ULL));
+}
+
+bool FaultInjector::node_loss_due(double now) {
+  if (node_loss_fired_ || cfg_.node_loss_time < 0) return false;
+  if (now < cfg_.node_loss_time) return false;
+  node_loss_fired_ = true;
+  return true;
+}
+
+}  // namespace legate::sim

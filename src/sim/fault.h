@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace legate::sim {
+
+/// One scripted transient fault: attempt `attempt` (0-based) of the point
+/// task with deterministic sequence number `task` fails.
+struct ScriptedFault {
+  long task{0};
+  int attempt{0};
+};
+
+/// Deterministic fault schedule, configured through rt::RuntimeOptions.
+/// Everything here is a pure function of the seed and the task sequence, so
+/// the same configuration produces a bit-identical schedule (and therefore
+/// bit-identical Stats) on every run.
+struct FaultConfig {
+  bool enabled{false};
+  std::uint64_t seed{0};
+
+  // --- transient leaf-task faults ---------------------------------------
+  /// Probability that a given (task, attempt) pair suffers a transient
+  /// fault (ECC error, killed kernel, flaky link). Drawn independently per
+  /// attempt from the deterministic hash stream.
+  double task_fault_rate{0};
+  /// Explicitly scripted faults, checked in addition to the random stream
+  /// ("fail attempt k of task n").
+  std::vector<ScriptedFault> scripted;
+  /// Attempts per point task before the launch is declared poisoned.
+  int max_attempts{3};
+  /// Failure-detection latency charged per failed attempt (heartbeat /
+  /// ECC-interrupt turnaround on the modeled machine).
+  double detect_seconds{200e-6};
+  /// Base of the exponential backoff before attempt k: base * 2^(k-1).
+  double backoff_seconds{100e-6};
+
+  // --- whole-node loss ----------------------------------------------------
+  /// Simulated time at which node `node_loss_node` is lost; < 0 disables.
+  double node_loss_time{-1};
+  int node_loss_node{0};
+  /// Outage charged to every clock while the runtime detects the loss and
+  /// re-admits a replacement node (hot-spare model: the machine shape is
+  /// unchanged, but all data resident on the lost node is gone).
+  double node_recovery_seconds{0.25};
+
+  // --- memory-pressure injection -----------------------------------------
+  /// Phantom bytes reserved in every framebuffer at startup, shrinking the
+  /// usable capacity to force the spill path without paper-scale problems.
+  double oom_pressure_bytes{0};
+};
+
+/// Answers "does attempt k of task n fail?" and "has the scheduled node
+/// loss fired yet?" deterministically from the config.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+
+  /// Whether attempt `attempt` (0-based) of point task `task_seq` fails.
+  /// Pure: independent of call order.
+  [[nodiscard]] bool should_fail(long task_seq, int attempt) const;
+
+  /// Fraction of the task's duration that elapses before the fault hits
+  /// (the processor is occupied for this much wasted work). In [0.1, 1).
+  [[nodiscard]] double fail_fraction(long task_seq, int attempt) const;
+
+  /// True exactly once, the first time `now` passes the scheduled loss time.
+  [[nodiscard]] bool node_loss_due(double now);
+  [[nodiscard]] bool node_loss_fired() const { return node_loss_fired_; }
+
+ private:
+  [[nodiscard]] std::uint64_t hash(long task_seq, int attempt,
+                                   std::uint64_t salt) const;
+
+  FaultConfig cfg_;
+  bool node_loss_fired_{false};
+};
+
+}  // namespace legate::sim

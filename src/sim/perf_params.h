@@ -64,6 +64,12 @@ struct PerfParams {
   /// dominates CuPy at ML-25M (Sec. 6.2).
   double cupy_sddmm_slowdown = 12.0;
 
+  // --- Resilience (fault detection / checkpoint I/O) ------------------------
+  /// Checkpoint/restore bandwidth to the modeled parallel file system
+  /// (burst-buffer class, per job); one shared channel serializes traffic.
+  double checkpoint_bw = 2.4e9;
+  double checkpoint_lat = 1e-3;  ///< per-snapshot metadata/open latency
+
   // --- Machine shape ---------------------------------------------------------
   int sockets_per_node = 2;
   int gpus_per_node = 6;

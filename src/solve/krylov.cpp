@@ -1,7 +1,10 @@
 #include "solve/krylov.h"
 
 #include <cmath>
+#include <optional>
 #include <vector>
+
+#include "rt/checkpoint.h"
 
 namespace legate::solve {
 
@@ -10,14 +13,21 @@ using dense::Scalar;
 
 namespace {
 
-/// Combine two scalar futures; the result is ready when both inputs are.
-Scalar fdiv(Scalar a, Scalar b) { return {a.value / b.value, std::max(a.ready, b.ready)}; }
-Scalar fneg(Scalar a) { return {-a.value, a.ready}; }
+/// Combine two scalar futures; the result is ready when both inputs are and
+/// poisoned when either is.
+Scalar fdiv(Scalar a, Scalar b) {
+  return {a.value / b.value, std::max(a.ready, b.ready), a.poisoned || b.poisoned};
+}
+Scalar fneg(Scalar a) { return {-a.value, a.ready, a.poisoned}; }
+
+/// Faults a solver survives before giving up (repeated node losses faster
+/// than the checkpoint cadence make no forward progress).
+constexpr int kMaxRestores = 8;
 
 }  // namespace
 
 SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter,
-               const Precond& M) {
+               const Precond& M, const CheckpointPolicy& ckpt) {
   rt::Runtime& rt = A.runtime();
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
@@ -38,7 +48,33 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
       return res;
     }
   }
-  for (int it = 0; it < maxiter; ++it) {
+  // {x, r, p} plus the rz recurrence and the iteration counter pin the
+  // whole remaining solve (z is recomputed in-loop when preconditioned).
+  std::optional<rt::Checkpoint> snap;
+  int restores_left = kMaxRestores;
+  auto roll_back = [&]() {
+    --restores_left;
+    (void)rt.consume_node_loss();  // the rollback handles any pending loss
+    double t = rt.restore(*snap);
+    rz = {snap->scalar("rz"), t};
+    return static_cast<int>(snap->scalar("it"));
+  };
+  int it = 0;
+  while (it < maxiter) {
+    if (ckpt.every > 0) {
+      if (rt.consume_node_loss() || rt.store_poisoned(x.store()) ||
+          rt.store_poisoned(r.store()) || rt.store_poisoned(p.store())) {
+        if (!snap || restores_left <= 0) break;  // unrecoverable
+        it = roll_back();
+      }
+      if (it % ckpt.every == 0 &&
+          (!snap || static_cast<int>(snap->scalar("it")) != it)) {
+        rt::Checkpoint c = rt.checkpoint({x.store(), r.store(), p.store()});
+        c.set_scalar("rz", rz.value);
+        c.set_scalar("it", it);
+        snap = std::move(c);
+      }
+    }
     DArray Ap = A.spmv(p);
     Scalar pAp = p.dot(Ap);
     Scalar alpha = fdiv(rz, pAp);
@@ -47,7 +83,23 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
     Scalar rnorm = r.norm();
     res.iterations = it + 1;
     res.residual = rnorm.value;
+    if (rnorm.poisoned) {
+      // Exhausted task retries mid-iteration: replay from the snapshot.
+      if (ckpt.every > 0 && snap && restores_left > 0) {
+        it = roll_back();
+        continue;
+      }
+      break;  // unrecoverable
+    }
     if (rnorm.value / bnorm < tol) {
+      // A loss that spared r may still have taken pieces of x.
+      if (rt.consume_node_loss() || rt.store_poisoned(x.store())) {
+        if (ckpt.every > 0 && snap && restores_left > 0) {
+          it = roll_back();
+          continue;
+        }
+        break;  // unrecoverable: converged stays false
+      }
       res.converged = true;
       break;
     }
@@ -60,6 +112,7 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
       p.xpay(beta, r);  // unpreconditioned: z == r
     }
     rz = rz_new;
+    ++it;
   }
   res.x = x;
   return res;
@@ -220,7 +273,8 @@ SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
     }
     Scalar rho_new = rtilde.dot(r);
     Scalar beta = {rho_new.value / rho.value * alpha.value / omega.value,
-                   std::max({rho_new.ready, alpha.ready, omega.ready})};
+                   std::max({rho_new.ready, alpha.ready, omega.ready}),
+                   rho_new.poisoned || alpha.poisoned || omega.poisoned};
     // p = r + beta (p - omega v)
     p.axpy(fneg(omega), v);
     p.xpay(beta, r);
@@ -231,7 +285,7 @@ SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
 }
 
 SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
-                  double tol, int maxiter) {
+                  double tol, int maxiter, const CheckpointPolicy& ckpt) {
   rt::Runtime& rt = A.runtime();
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
@@ -242,9 +296,43 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
   int total_iters = 0;
   const int m = restart;
 
+  // Only `x` carries state across outer cycles; the Arnoldi basis is
+  // rebuilt every cycle, so snapshots at cycle boundaries suffice. `b` is
+  // immutable but part of every replay's read set — it goes into the
+  // snapshot so a node loss that takes its only copy stays recoverable.
+  std::optional<rt::Checkpoint> snap;
+  int restores_left = kMaxRestores;
+  auto roll_back = [&]() {
+    --restores_left;
+    (void)rt.consume_node_loss();  // the rollback handles any pending loss
+    rt.restore(*snap);
+    return static_cast<int>(snap->scalar("iters"));
+  };
+
   while (total_iters < maxiter) {
+    if (ckpt.every > 0) {
+      if (rt.consume_node_loss() || rt.store_poisoned(x.store())) {
+        if (!snap || restores_left <= 0) break;  // unrecoverable
+        total_iters = roll_back();
+      }
+      if (!snap ||
+          total_iters - static_cast<int>(snap->scalar("iters")) >= ckpt.every) {
+        rt::Checkpoint c = rt.checkpoint({x.store(), b.store()});
+        c.set_scalar("iters", total_iters);
+        snap = std::move(c);
+      }
+    }
     DArray r = b.sub(A.spmv(x));
-    double beta = r.norm().value;
+    Scalar rn = r.norm();
+    if (rn.poisoned) {
+      if (ckpt.every > 0 && snap && restores_left > 0) {
+        total_iters = roll_back();
+        continue;
+      }
+      res.residual = rn.value;
+      break;  // unrecoverable
+    }
+    double beta = rn.value;
     res.residual = beta;
     if (beta / bnorm < tol) {
       res.converged = true;
@@ -304,10 +392,21 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
       x.axpy(y[static_cast<std::size_t>(i)], V[static_cast<std::size_t>(i)]);
     res.iterations = total_iters;
     if (res.residual / bnorm < tol) {
-      // Recompute the true residual before declaring victory.
-      double true_res = b.sub(A.spmv(x)).norm().value;
-      res.residual = true_res;
-      if (true_res / bnorm < tol * 10) {
+      // Recompute the true residual before declaring victory. The Hessenberg
+      // recurrence runs on host scalars, so a node loss mid-cycle surfaces
+      // only here — as poison on the recomputed residual or on x itself.
+      Scalar true_res = b.sub(A.spmv(x)).norm();
+      if (true_res.poisoned || rt.consume_node_loss() ||
+          rt.store_poisoned(x.store())) {
+        if (ckpt.every > 0 && snap && restores_left > 0) {
+          total_iters = roll_back();
+          continue;
+        }
+        res.residual = true_res.value;
+        break;  // unrecoverable: converged stays false
+      }
+      res.residual = true_res.value;
+      if (true_res.value / bnorm < tol * 10) {
         res.converged = true;
         break;
       }
@@ -324,7 +423,7 @@ EigenResult power_iteration(const sparse::CsrMatrix& A, int iters, std::uint64_t
   for (int i = 0; i < iters; ++i) {
     x = A.spmv(x);
     Scalar nrm = x.norm();
-    x.iscale({1.0 / nrm.value, nrm.ready});
+    x.iscale({1.0 / nrm.value, nrm.ready, nrm.poisoned});
   }
   EigenResult r;
   r.iterations = iters;

@@ -18,12 +18,26 @@ struct SolveResult {
 /// Optional preconditioner: z = M⁻¹ r.
 using Precond = std::function<dense::DArray(const dense::DArray&)>;
 
+/// Checkpoint/restart policy for iterative solvers: snapshot the recurrence
+/// state every `every` iterations (0 disables checkpointing). When fault
+/// injection reports a node loss — or a poisoned residual from exhausted
+/// task retries — the solver restores the last snapshot and replays from
+/// there. Replay is deterministic, so the recovered solve converges to the
+/// bit-exact fault-free answer with the same iteration count; only simulated
+/// time (checkpoint I/O, the outage, re-executed iterations) changes.
+/// A fault before the first snapshot, or more faults than the solver's
+/// restore budget, aborts the solve with converged=false.
+struct CheckpointPolicy {
+  int every{0};
+};
+
 /// Conjugate gradient for SPD systems — the Fig. 9 benchmark kernel. Ported
 /// from the SciPy implementation: every operation is a dense-library or
 /// sparse-library call, so futures (dot products) chain through the task
 /// graph exactly as in Legate.
 SolveResult cg(const sparse::CsrMatrix& A, const dense::DArray& b,
-               double tol = 1e-8, int maxiter = 1000, const Precond& M = nullptr);
+               double tol = 1e-8, int maxiter = 1000, const Precond& M = nullptr,
+               const CheckpointPolicy& ckpt = {});
 
 /// Conjugate gradient squared.
 SolveResult cgs(const sparse::CsrMatrix& A, const dense::DArray& b,
@@ -37,9 +51,11 @@ SolveResult bicg(const sparse::CsrMatrix& A, const dense::DArray& b,
 SolveResult bicgstab(const sparse::CsrMatrix& A, const dense::DArray& b,
                      double tol = 1e-8, int maxiter = 1000);
 
-/// Restarted GMRES(m) for general systems.
+/// Restarted GMRES(m) for general systems. Checkpoints snapshot `x` at
+/// outer-cycle boundaries once `ckpt.every` iterations have accumulated.
 SolveResult gmres(const sparse::CsrMatrix& A, const dense::DArray& b,
-                  int restart = 30, double tol = 1e-8, int maxiter = 1000);
+                  int restart = 30, double tol = 1e-8, int maxiter = 1000,
+                  const CheckpointPolicy& ckpt = {});
 
 /// Largest-magnitude eigenvalue estimate by power iteration with a Rayleigh
 /// quotient — the paper's Fig. 1 example program.

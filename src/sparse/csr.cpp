@@ -45,6 +45,50 @@ CsrMatrix CsrMatrix::from_host(rt::Runtime& rt, coord_t rows, coord_t cols,
   return CsrMatrix(rt, rows, cols, std::move(pos), std::move(crd), std::move(vals));
 }
 
+void CsrMatrix::validate() const {
+  if (rt_ == nullptr) return;
+  if (pos_.volume() != rows_) {
+    throw FormatError("pos store has " + std::to_string(pos_.volume()) +
+                          " rows but the matrix has " + std::to_string(rows_),
+                      "pos", pos_.volume());
+  }
+  if (crd_.volume() != vals_.volume()) {
+    throw FormatError("crd holds " + std::to_string(crd_.volume()) +
+                          " entries but vals holds " + std::to_string(vals_.volume()),
+                      "vals", vals_.volume());
+  }
+  auto pv = pos_.span<Rect1>();
+  auto cv = crd_.span<coord_t>();
+  const coord_t len = nnz_store_len();
+  coord_t prev_hi = -1;
+  for (coord_t i = 0; i < rows_; ++i) {
+    const Rect1& r = pv[static_cast<std::size_t>(i)];
+    if (r.empty()) continue;
+    if (r.lo < 0 || r.hi >= len) {
+      throw FormatError("pos rect [" + std::to_string(r.lo) + ", " +
+                            std::to_string(r.hi) + "] of row " + std::to_string(i) +
+                            " exceeds the " + std::to_string(len) + "-entry crd store",
+                        "pos", i);
+    }
+    if (r.lo <= prev_hi) {
+      throw FormatError("pos rows are non-monotone at row " + std::to_string(i) +
+                            " (rect starts at " + std::to_string(r.lo) +
+                            ", previous row ended at " + std::to_string(prev_hi) + ")",
+                        "pos", i);
+    }
+    prev_hi = r.hi;
+    for (coord_t j = r.lo; j <= r.hi; ++j) {
+      coord_t c = cv[static_cast<std::size_t>(j)];
+      if (c < 0 || c >= cols_) {
+        throw FormatError("column coordinate " + std::to_string(c) + " at entry " +
+                              std::to_string(j) + " outside [0, " +
+                              std::to_string(cols_) + ")",
+                          "crd", j);
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // SpMV (DISTAL-generated structure; cf. Fig. 7 of the paper)
 // ---------------------------------------------------------------------------

@@ -30,7 +30,9 @@ class CsrMatrix {
         cols_(cols),
         pos_(std::move(pos)),
         crd_(std::move(crd)),
-        vals_(std::move(vals)) {}
+        vals_(std::move(vals)) {
+    if (validate_formats()) validate();
+  }
 
   /// Build from host-side CSR triples (indptr has rows+1 entries).
   static CsrMatrix from_host(rt::Runtime& rt, coord_t rows, coord_t cols,
@@ -125,6 +127,12 @@ class CsrMatrix {
   /// Read back as host triples (testing / small matrices).
   void to_host(std::vector<coord_t>& indptr, std::vector<coord_t>& indices,
                std::vector<double>& values) const;
+
+  /// Check the Fig. 3 encoding invariants — pos rows strictly monotone and
+  /// in-bounds for crd/vals, column coordinates within [0, cols), crd and
+  /// vals the same length — throwing FormatError on the first violation.
+  /// Runs automatically at construction while validate_formats() is on.
+  void validate() const;
 
  private:
   /// New matrix sharing this one's pos/crd (non-zero-preserving value ops).

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace legate {
 
@@ -17,6 +18,30 @@ class OutOfMemoryError : public std::runtime_error {
  public:
   explicit OutOfMemoryError(const std::string& what) : std::runtime_error(what) {}
 };
+
+/// Thrown when a sparse-format invariant is violated (non-monotone pos rows,
+/// out-of-bounds column coordinates, array-length mismatches). Carries the
+/// offending field name and index so corrupted inputs can be pinpointed.
+class FormatError : public std::runtime_error {
+ public:
+  FormatError(const std::string& what, std::string field, coord_t index)
+      : std::runtime_error(what), field_(std::move(field)), index_(index) {}
+  [[nodiscard]] const std::string& field() const { return field_; }
+  [[nodiscard]] coord_t index() const { return index_; }
+
+ private:
+  std::string field_;
+  coord_t index_{-1};
+};
+
+/// Global switch for construction-time sparse-format validation. On by
+/// default (the scan is cheap next to kernel work and catches corrupted
+/// inputs at the source); benchmarks that construct many matrices in a
+/// timed loop may turn it off.
+inline bool& validate_formats() {
+  static bool on = true;
+  return on;
+}
 
 namespace detail {
 [[noreturn]] inline void check_failed(const char* cond, const char* file, int line,

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/runtime.h"
+
+namespace legate::rt {
+namespace {
+
+sim::Machine gpu_machine(int n) {
+  sim::PerfParams pp;
+  return sim::Machine::gpus(n, pp);
+}
+
+/// Fill `s` with `v` via a regular point-task launch; returns the future.
+Future run_fill(Runtime& rt, Store& s, double v) {
+  TaskLauncher launch(rt, "fill");
+  int out = launch.add_output(s);
+  launch.set_leaf([out, v](TaskContext& ctx) {
+    auto y = ctx.full<double>(out);
+    Interval iv = ctx.elem_interval(out);
+    for (coord_t i = iv.lo; i < iv.hi; ++i) y[i] = v;
+    ctx.add_cost(static_cast<double>(iv.size()) * 8, 0);
+  });
+  return launch.execute();
+}
+
+Future run_sum(Runtime& rt, Store& s) {
+  TaskLauncher launch(rt, "sum");
+  int in = launch.add_input(s);
+  launch.reduce_scalar(ScalarRedop::Sum);
+  launch.set_leaf([in](TaskContext& ctx) {
+    auto x = ctx.full<double>(in);
+    Interval iv = ctx.elem_interval(in);
+    double acc = 0;
+    for (coord_t i = iv.lo; i < iv.hi; ++i) acc += x[i];
+    ctx.add_cost(static_cast<double>(iv.size()) * 8,
+                 static_cast<double>(iv.size()));
+    ctx.contribute(acc);
+  });
+  return launch.execute();
+}
+
+TEST(Recovery, TransientRetryChargesTimeNotValues) {
+  auto m = gpu_machine(3);
+  double clean_makespan;
+  {
+    Runtime rt(m);
+    Store s = rt.create_store(DType::F64, {300});
+    run_fill(rt, s, 5.0);
+    clean_makespan = rt.engine().makespan();
+  }
+  RuntimeOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.scripted = {{0, 0}};  // first attempt of the first point fails
+  Runtime rt(m, opts);
+  Store s = rt.create_store(DType::F64, {300});
+  Future f = run_fill(rt, s, 5.0);
+  EXPECT_FALSE(f.poisoned);
+  for (double x : s.span<double>()) EXPECT_DOUBLE_EQ(x, 5.0);
+  EXPECT_EQ(rt.engine().stats().faults_injected, 1);
+  EXPECT_EQ(rt.engine().stats().retries, 1);
+  EXPECT_GT(rt.engine().makespan(), clean_makespan);
+}
+
+TEST(Recovery, RetryExhaustionPoisonsNotCorrupts) {
+  auto m = gpu_machine(2);
+  RuntimeOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.task_fault_rate = 1.0;  // every attempt of every task fails
+  opts.faults.max_attempts = 2;
+  Runtime rt(m, opts);
+  Store s = rt.create_store(DType::F64, {100});
+  Future f = run_fill(rt, s, 3.0);
+  EXPECT_TRUE(f.poisoned);
+  EXPECT_TRUE(rt.store_poisoned(s));
+  // The canonical bits are still the fault-free values (leaves always run);
+  // only the metadata marks them untrustworthy.
+  for (double x : s.span<double>()) EXPECT_DOUBLE_EQ(x, 3.0);
+  // A reduction over the poisoned store yields a poisoned future.
+  Future sum = run_sum(rt, s);
+  EXPECT_TRUE(sum.valid);
+  EXPECT_TRUE(sum.poisoned);
+  EXPECT_GT(rt.engine().stats().faults_injected, 0);
+}
+
+TEST(Recovery, HealthyFullOverwriteClearsPoison) {
+  auto m = gpu_machine(2);
+  RuntimeOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.max_attempts = 1;     // a single scripted fault exhausts
+  opts.faults.scripted = {{0, 0}, {1, 0}};  // both points of the first launch
+  Runtime rt(m, opts);
+  Store s = rt.create_store(DType::F64, {100});
+  Future f = run_fill(rt, s, 1.0);
+  EXPECT_TRUE(f.poisoned);
+  EXPECT_TRUE(rt.store_poisoned(s));
+  // The next (healthy) launch rewrites the full extent: poison washes out.
+  Future g = run_fill(rt, s, 2.0);
+  EXPECT_FALSE(g.poisoned);
+  EXPECT_FALSE(rt.store_poisoned(s));
+  Future sum = run_sum(rt, s);
+  EXPECT_FALSE(sum.poisoned);
+  EXPECT_DOUBLE_EQ(sum.value, 200.0);
+}
+
+TEST(Recovery, InertInjectorMatchesDisabledMakespan) {
+  auto m = gpu_machine(3);
+  auto workload = [&](Runtime& rt) {
+    Store a = rt.create_store(DType::F64, {512});
+    Store b = rt.create_store(DType::F64, {512});
+    run_fill(rt, a, 1.0);
+    run_fill(rt, b, 2.0);
+    run_sum(rt, a);
+    run_sum(rt, b);
+    return rt.engine().makespan();
+  };
+  Runtime plain(m);
+  double t_plain = workload(plain);
+  RuntimeOptions opts;
+  opts.faults.enabled = true;  // enabled but with nothing scheduled
+  Runtime inert(m, opts);
+  double t_inert = workload(inert);
+  EXPECT_DOUBLE_EQ(t_plain, t_inert);
+  EXPECT_EQ(plain.engine().report(), inert.engine().report());
+}
+
+TEST(Recovery, SameSeedSameStats) {
+  auto m = gpu_machine(3);
+  auto run = [&]() {
+    RuntimeOptions opts;
+    opts.faults.enabled = true;
+    opts.faults.seed = 1234;
+    opts.faults.task_fault_rate = 0.2;
+    Runtime rt(m, opts);
+    Store a = rt.create_store(DType::F64, {512});
+    for (int i = 0; i < 10; ++i) run_fill(rt, a, static_cast<double>(i));
+    run_sum(rt, a);
+    return rt.engine().report();
+  };
+  std::string first = run();
+  std::string second = run();
+  EXPECT_GT(first.find("faults{"), 0U);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Recovery, OomPressureSpillsInsteadOfFailing) {
+  sim::PerfParams pp;
+  auto m = sim::Machine::gpus(2, pp);
+  // Shrink every framebuffer to ~40 KB of usable space.
+  double fb_cap = 0;
+  for (const auto& mem : m.memories()) {
+    if (mem.kind == sim::MemKind::Frame) fb_cap = mem.capacity;
+  }
+  RuntimeOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.oom_pressure_bytes = fb_cap - 40e3;
+
+  Runtime rt(m, opts);
+  // Keep many live stores cycling through the tiny framebuffers; without
+  // spilling this would exceed capacity quickly.
+  std::vector<Store> stores;
+  for (int i = 0; i < 12; ++i) {
+    stores.push_back(rt.create_store(DType::F64, {1000}));
+    run_fill(rt, stores.back(), static_cast<double>(i));
+  }
+  // Everything still reads back bit-exact after eviction round-trips.
+  for (int i = 0; i < 12; ++i) {
+    Future sum = run_sum(rt, stores[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(sum.value, 1000.0 * i);
+    EXPECT_FALSE(sum.poisoned);
+  }
+  EXPECT_GT(rt.engine().stats().spills, 0);
+}
+
+TEST(Recovery, SpillDisabledSurfacesOom) {
+  sim::PerfParams pp;
+  auto m = sim::Machine::gpus(2, pp);
+  double fb_cap = 0;
+  for (const auto& mem : m.memories()) {
+    if (mem.kind == sim::MemKind::Frame) fb_cap = mem.capacity;
+  }
+  RuntimeOptions opts;
+  opts.spill_on_oom = false;
+  opts.faults.enabled = true;
+  opts.faults.oom_pressure_bytes = fb_cap - 40e3;
+  Runtime rt(m, opts);
+  std::vector<Store> stores;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 12; ++i) {
+          stores.push_back(rt.create_store(DType::F64, {1000}));
+          run_fill(rt, stores.back(), 1.0);
+        }
+      },
+      OutOfMemoryError);
+}
+
+TEST(Recovery, NodeLossPoisonsResidentStores) {
+  sim::PerfParams pp;
+  auto m = sim::Machine::gpus(4, pp, 2);  // 2 nodes x 2 GPUs
+  RuntimeOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.node_loss_time = 1e-9;  // after the fill, before the sum
+  opts.faults.node_loss_node = 1;
+  opts.faults.node_recovery_seconds = 0.1;
+  Runtime rt(m, opts);
+  Store s = rt.create_store(DType::F64, {400});
+  run_fill(rt, s, 4.0);  // writes land on GPUs of both nodes
+  // The next launch polls the schedule, loses node 1, and poisons the
+  // pieces whose only copy lived there.
+  Future sum = run_sum(rt, s);
+  EXPECT_TRUE(rt.consume_node_loss());
+  EXPECT_FALSE(rt.consume_node_loss());  // flag is one-shot
+  EXPECT_TRUE(sum.poisoned);
+  EXPECT_TRUE(rt.store_poisoned(s));
+  EXPECT_GE(rt.engine().makespan(), 0.1);  // the outage stalled the machine
+  EXPECT_EQ(rt.engine().stats().faults_injected, 1);
+}
+
+}  // namespace
+}  // namespace legate::rt

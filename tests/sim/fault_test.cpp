@@ -1,0 +1,172 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/machine.h"
+
+namespace legate::sim {
+namespace {
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 42;
+  cfg.task_fault_rate = 0.3;
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  for (long t = 0; t < 500; ++t) {
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(a.should_fail(t, k), b.should_fail(t, k));
+      EXPECT_DOUBLE_EQ(a.fail_fraction(t, k), b.fail_fraction(t, k));
+    }
+  }
+}
+
+TEST(FaultInjector, ScheduleIsPureFunctionOfArguments) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 7;
+  cfg.task_fault_rate = 0.5;
+  FaultInjector inj(cfg);
+  // Query in two different orders; answers must not depend on call history.
+  std::vector<bool> forward, backward;
+  for (long t = 0; t < 100; ++t) forward.push_back(inj.should_fail(t, 0));
+  for (long t = 99; t >= 0; --t) backward.push_back(inj.should_fail(t, 0));
+  for (long t = 0; t < 100; ++t) {
+    EXPECT_EQ(forward[static_cast<std::size_t>(t)],
+              backward[static_cast<std::size_t>(99 - t)]);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer) {
+  FaultConfig a;
+  a.enabled = true;
+  a.seed = 1;
+  a.task_fault_rate = 0.5;
+  FaultConfig b = a;
+  b.seed = 2;
+  FaultInjector ia(a), ib(b);
+  int differ = 0;
+  for (long t = 0; t < 200; ++t) {
+    if (ia.should_fail(t, 0) != ib.should_fail(t, 0)) ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, RateZeroNeverFailsRateOneAlwaysFails) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 3;
+  cfg.task_fault_rate = 0.0;
+  FaultInjector never(cfg);
+  cfg.task_fault_rate = 1.0;
+  FaultInjector always(cfg);
+  for (long t = 0; t < 100; ++t) {
+    EXPECT_FALSE(never.should_fail(t, 0));
+    EXPECT_TRUE(always.should_fail(t, 0));
+  }
+}
+
+TEST(FaultInjector, ScriptedFaultHonored) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.scripted = {{7, 0}, {7, 1}, {11, 2}};
+  FaultInjector inj(cfg);
+  EXPECT_TRUE(inj.should_fail(7, 0));
+  EXPECT_TRUE(inj.should_fail(7, 1));
+  EXPECT_FALSE(inj.should_fail(7, 2));
+  EXPECT_TRUE(inj.should_fail(11, 2));
+  EXPECT_FALSE(inj.should_fail(8, 0));
+}
+
+TEST(FaultInjector, FailFractionInRange) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 9;
+  FaultInjector inj(cfg);
+  for (long t = 0; t < 200; ++t) {
+    double f = inj.fail_fraction(t, 0);
+    EXPECT_GE(f, 0.1);
+    EXPECT_LT(f, 1.0);
+  }
+}
+
+TEST(FaultInjector, NodeLossFiresExactlyOnce) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.node_loss_time = 1.0;
+  FaultInjector inj(cfg);
+  EXPECT_FALSE(inj.node_loss_due(0.5));
+  EXPECT_FALSE(inj.node_loss_fired());
+  EXPECT_TRUE(inj.node_loss_due(1.5));
+  EXPECT_TRUE(inj.node_loss_fired());
+  EXPECT_FALSE(inj.node_loss_due(2.0));
+}
+
+TEST(Engine, FreeBytesUnderflowIsCaught) {
+  PerfParams pp;
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  int mem = m.proc(0).mem;
+  e.alloc_bytes(mem, 1000.0);
+  e.free_bytes(mem, 1000.0);
+  // Releasing more than is reserved is a double-free in the alloc store.
+  EXPECT_THROW(e.free_bytes(mem, 4096.0), std::logic_error);
+}
+
+TEST(Engine, OomMessageReportsUsage) {
+  PerfParams pp;
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  int mem = m.proc(0).mem;
+  double cap = e.capacity(mem);
+  try {
+    e.alloc_bytes(mem, cap + 1.0);
+    FAIL() << "expected OutOfMemoryError";
+  } catch (const OutOfMemoryError& err) {
+    std::string msg = err.what();
+    EXPECT_NE(msg.find("GB used of"), std::string::npos) << msg;
+  }
+}
+
+TEST(Engine, CheckpointIoChargesAndCounts) {
+  PerfParams pp;
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  double t1 = e.checkpoint_io(1e6, 0.0, /*restore=*/false);
+  EXPECT_GT(t1, pp.checkpoint_lat);  // latency + bytes/bw
+  double t2 = e.checkpoint_io(1e6, 0.0, /*restore=*/true);
+  EXPECT_GT(t2, t1);  // one shared PFS channel serializes traffic
+  EXPECT_EQ(e.stats().checkpoints, 1);
+  EXPECT_EQ(e.stats().restores, 1);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_ckpt, 2e6);
+  EXPECT_GE(e.makespan(), t2);
+}
+
+TEST(Engine, StallAllAdvancesEveryClock) {
+  PerfParams pp;
+  Machine m = Machine::gpus(2, pp);
+  Engine e(m);
+  double before = e.makespan();
+  double after = e.stall_all(before, 0.25);
+  EXPECT_GE(after, before + 0.25);
+  // Processors cannot start work before the outage ends.
+  double done = e.busy_proc(0, 0.0, 0.0);
+  EXPECT_GE(done, 0.25);
+}
+
+TEST(Engine, ResilienceCountersOnlyInReportWhenNonzero) {
+  PerfParams pp;
+  Machine m = Machine::gpus(1, pp);
+  Engine clean(m);
+  EXPECT_EQ(clean.report().find("faults{"), std::string::npos);
+  Engine faulty(m);
+  faulty.note_fault();
+  EXPECT_NE(faulty.report().find("faults{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace legate::sim

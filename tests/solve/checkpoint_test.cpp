@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "solve/krylov.h"
+#include "sparse/formats.h"
+
+namespace legate::solve {
+namespace {
+
+using dense::DArray;
+using sparse::CsrMatrix;
+
+/// Two-node machine (2 GPUs per node). Node 0 holds the home system memory
+/// (the attached A and b), so tests lose node 1 — the recoverable case.
+sim::Machine two_node_machine() {
+  sim::PerfParams pp;
+  return sim::Machine::gpus(4, pp, /*gpus_per_node=*/2);
+}
+
+CsrMatrix poisson1d(rt::Runtime& rt, coord_t n) {
+  return sparse::diags(rt, n, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
+}
+
+CsrMatrix nonsym1d(rt::Runtime& rt, coord_t n) {
+  return sparse::diags(rt, n, {{-1, -1.0}, {0, 2.5}, {1, -0.7}});
+}
+
+TEST(CheckpointRecovery, CgSurvivesNodeLossBitExact) {
+  const coord_t n = 64;
+  const CheckpointPolicy every4{4};
+
+  // Fault-free reference (same checkpoint cadence, no injection).
+  SolveResult ref;
+  {
+    auto m = two_node_machine();
+    rt::Runtime rt(m);
+    CsrMatrix A = poisson1d(rt, n);
+    auto b = DArray::random(rt, n, 1);
+    ref = cg(A, b, 1e-10, 500, nullptr, every4);
+    ASSERT_TRUE(ref.converged);
+    EXPECT_GT(rt.engine().stats().checkpoints, 0);
+    EXPECT_EQ(rt.engine().stats().restores, 0);
+  }
+
+  // Same solve with node 1 lost mid-stream.
+  auto m = two_node_machine();
+  rt::RuntimeOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.node_loss_time = 2e-3;
+  opts.faults.node_loss_node = 1;
+  opts.faults.node_recovery_seconds = 0.01;
+  rt::Runtime rt(m, opts);
+  CsrMatrix A = poisson1d(rt, n);
+  auto b = DArray::random(rt, n, 1);
+  SolveResult res = cg(A, b, 1e-10, 500, nullptr, every4);
+
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, ref.iterations);
+  EXPECT_DOUBLE_EQ(res.residual, ref.residual);
+  std::vector<double> xs = res.x.to_vector();
+  std::vector<double> xr = ref.x.to_vector();
+  ASSERT_EQ(xs.size(), xr.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(xs[i], xr[i]) << i;
+
+  const auto& st = rt.engine().stats();
+  EXPECT_EQ(st.faults_injected, 1);
+  EXPECT_GE(st.restores, 1);
+  EXPECT_GT(st.checkpoints, 0);
+  // The recovered run pays for the outage, the restore and the replay.
+  EXPECT_GE(rt.engine().makespan(), opts.faults.node_recovery_seconds);
+}
+
+TEST(CheckpointRecovery, GmresSurvivesNodeLossBitExact) {
+  const coord_t n = 64;
+  const CheckpointPolicy every10{10};
+
+  SolveResult ref;
+  {
+    auto m = two_node_machine();
+    rt::Runtime rt(m);
+    CsrMatrix A = nonsym1d(rt, n);
+    auto b = DArray::random(rt, n, 3);
+    ref = gmres(A, b, 30, 1e-9, 400, every10);
+    ASSERT_TRUE(ref.converged);
+  }
+
+  auto m = two_node_machine();
+  rt::RuntimeOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.node_loss_time = 2e-3;
+  opts.faults.node_loss_node = 1;
+  opts.faults.node_recovery_seconds = 0.01;
+  rt::Runtime rt(m, opts);
+  CsrMatrix A = nonsym1d(rt, n);
+  auto b = DArray::random(rt, n, 3);
+  SolveResult res = gmres(A, b, 30, 1e-9, 400, every10);
+
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, ref.iterations);
+  EXPECT_DOUBLE_EQ(res.residual, ref.residual);
+  std::vector<double> xs = res.x.to_vector();
+  std::vector<double> xr = ref.x.to_vector();
+  ASSERT_EQ(xs.size(), xr.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(xs[i], xr[i]) << i;
+  EXPECT_GE(rt.engine().stats().restores, 1);
+}
+
+TEST(CheckpointRecovery, CgTransientRetriesStayBitExact) {
+  // Transient faults below the retry limit never need a rollback: the
+  // values are bit-exact and only simulated time grows.
+  const coord_t n = 48;
+  SolveResult ref;
+  double clean_makespan;
+  {
+    auto m = two_node_machine();
+    rt::Runtime rt(m);
+    CsrMatrix A = poisson1d(rt, n);
+    auto b = DArray::random(rt, n, 7);
+    ref = cg(A, b, 1e-10, 500);
+    ASSERT_TRUE(ref.converged);
+    clean_makespan = rt.engine().makespan();
+  }
+  auto m = two_node_machine();
+  rt::RuntimeOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.seed = 99;
+  opts.faults.task_fault_rate = 0.02;
+  rt::Runtime rt(m, opts);
+  CsrMatrix A = poisson1d(rt, n);
+  auto b = DArray::random(rt, n, 7);
+  SolveResult res = cg(A, b, 1e-10, 500);
+
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, ref.iterations);
+  std::vector<double> xs = res.x.to_vector();
+  std::vector<double> xr = ref.x.to_vector();
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(xs[i], xr[i]) << i;
+  EXPECT_GT(rt.engine().stats().retries, 0);
+  // Retry time is charged to the processor clocks; at this scale the control
+  // clock dominates the makespan, so only require it not to shrink.
+  EXPECT_GE(rt.engine().makespan(), clean_makespan);
+}
+
+TEST(CheckpointRecovery, FaultedRunsAreDeterministic) {
+  const coord_t n = 48;
+  auto run = [&]() {
+    auto m = two_node_machine();
+    rt::RuntimeOptions opts;
+    opts.faults.enabled = true;
+    opts.faults.seed = 4242;
+    opts.faults.task_fault_rate = 0.03;
+    opts.faults.node_loss_time = 2e-3;
+    opts.faults.node_loss_node = 1;
+    opts.faults.node_recovery_seconds = 0.01;
+    rt::Runtime rt(m, opts);
+    CsrMatrix A = poisson1d(rt, n);
+    auto b = DArray::random(rt, n, 5);
+    SolveResult res = cg(A, b, 1e-10, 500, nullptr, CheckpointPolicy{5});
+    return std::make_pair(rt.engine().report(), res.x.to_vector());
+  };
+  auto [report1, x1] = run();
+  auto [report2, x2] = run();
+  EXPECT_EQ(report1, report2);  // identical schedule, Stats and makespan
+  EXPECT_EQ(x1, x2);
+  EXPECT_NE(report1.find("faults{"), std::string::npos);
+}
+
+TEST(CheckpointRecovery, LossWithoutPolicyAborts) {
+  // Without a checkpoint policy the solver cannot recover: it must report
+  // failure rather than return silently-wrong values.
+  const coord_t n = 64;
+  auto m = two_node_machine();
+  rt::RuntimeOptions opts;
+  opts.faults.enabled = true;
+  opts.faults.task_fault_rate = 1.0;  // every task exhausts its retries
+  opts.faults.max_attempts = 2;
+  rt::Runtime rt(m, opts);
+  CsrMatrix A = poisson1d(rt, n);
+  auto b = DArray::random(rt, n, 1);
+  SolveResult res = cg(A, b, 1e-10, 50);
+  EXPECT_FALSE(res.converged);
+}
+
+}  // namespace
+}  // namespace legate::solve
