@@ -19,7 +19,8 @@ constexpr double kScale = 64.0;
 
 /// Power iteration (x = A@x; x /= ||x||) on a banded matrix: the Fig. 5
 /// workload. Returns seconds/iteration; exports copied bytes as counters.
-void power_iteration_ablation(benchmark::State& state, bool coalescing) {
+void power_iteration_ablation(benchmark::State& state, bool coalescing,
+                              const std::string& point) {
   sim::PerfParams pp;
   sim::Machine machine = sim::Machine::gpus(6, pp);
   rt::RuntimeOptions opts;
@@ -35,6 +36,7 @@ void power_iteration_ablation(benchmark::State& state, bool coalescing) {
     auto n = x.norm();
     x.iscale({1.0 / n.value, n.ready});
   }
+  lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
   auto st0 = runtime.engine().stats();
   constexpr int kIters = 10;
@@ -44,6 +46,7 @@ void power_iteration_ablation(benchmark::State& state, bool coalescing) {
     x.iscale({1.0 / n.value, n.ready});
   }
   double sec = (runtime.sim_time() - t0) / kIters;
+  lsr_bench::profile_end(runtime.engine(), point);
   for (auto _ : state) state.SetIterationTime(sec);
   const auto& st = runtime.engine().stats();
   state.counters["iters_per_s"] = 1.0 / sec;
@@ -55,7 +58,8 @@ void power_iteration_ablation(benchmark::State& state, bool coalescing) {
 
 /// Repeated aligned element-wise chains: with reuse the solver re-partitions
 /// nothing after the first launch.
-void partition_reuse_ablation(benchmark::State& state, bool reuse) {
+void partition_reuse_ablation(benchmark::State& state, bool reuse,
+                              const std::string& point) {
   sim::PerfParams pp;
   sim::Machine machine = sim::Machine::gpus(6, pp);
   rt::RuntimeOptions opts;
@@ -66,10 +70,12 @@ void partition_reuse_ablation(benchmark::State& state, bool reuse) {
   auto b = dense::DArray::full(runtime, 1 << 20, 2.0);
   a.iadd(b);  // warmup
   long parts0 = runtime.partitions_created();
+  lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
   constexpr int kIters = 50;
   for (int i = 0; i < kIters; ++i) a.iadd(b);
   double sec = (runtime.sim_time() - t0) / kIters;
+  lsr_bench::profile_end(runtime.engine(), point);
   for (auto _ : state) state.SetIterationTime(sec);
   state.counters["iters_per_s"] = 1.0 / sec;
   state.counters["partitions_per_iter"] =
@@ -77,7 +83,8 @@ void partition_reuse_ablation(benchmark::State& state, bool reuse) {
 }
 
 /// SpMV with and without the Section-3 local reshape cost.
-void reshape_ablation(benchmark::State& state, bool reshape) {
+void reshape_ablation(benchmark::State& state, bool reshape,
+                      const std::string& point) {
   sim::PerfParams pp;
   sim::Machine machine = sim::Machine::gpus(6, pp);
   rt::RuntimeOptions opts;
@@ -89,6 +96,7 @@ void reshape_ablation(benchmark::State& state, bool reshape) {
                                         prob.indices, prob.values);
   auto x = dense::DArray::full(runtime, prob.rows, 1.0);
   auto warm = A.spmv(x);
+  lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
   constexpr int kIters = 10;
   for (int i = 0; i < kIters; ++i) {
@@ -96,13 +104,15 @@ void reshape_ablation(benchmark::State& state, bool reshape) {
     benchmark::DoNotOptimize(y.size());
   }
   double sec = (runtime.sim_time() - t0) / kIters;
+  lsr_bench::profile_end(runtime.engine(), point);
   for (auto _ : state) state.SetIterationTime(sec);
   state.counters["iters_per_s"] = 1.0 / sec;
 }
 
 /// CG at 192 GPUs with Legion's all-reduce vs a hypothetical MPI-quality
 /// tree (the fix the Legion developers planned, per the paper's footnote).
-void allreduce_ablation(benchmark::State& state, bool legion_style) {
+void allreduce_ablation(benchmark::State& state, bool legion_style,
+                        const std::string& point) {
   sim::PerfParams pp;
   if (!legion_style) {
     pp.legate_allreduce_alpha = pp.mpi_allreduce_alpha;
@@ -117,20 +127,24 @@ void allreduce_ablation(benchmark::State& state, bool legion_style) {
                                         prob.indices, prob.values);
   auto b = dense::DArray::full(runtime, prob.rows, 1.0);
   auto warm = solve::cg(A, b, 0.0, 2);
+  lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
   constexpr int kIters = 10;
   auto res = solve::cg(A, b, 0.0, kIters);
   benchmark::DoNotOptimize(res.residual);
   double sec = (runtime.sim_time() - t0) / kIters;
+  lsr_bench::profile_end(runtime.engine(), point);
   for (auto _ : state) state.SetIterationTime(sec);
   state.counters["iters_per_s"] = 1.0 / sec;
 }
 
 void register_all() {
-  auto reg = [](const std::string& name, void (*fn)(benchmark::State&, bool),
+  auto reg = [](const std::string& name,
+                void (*fn)(benchmark::State&, bool, const std::string&),
                 bool flag) {
-    benchmark::RegisterBenchmark(name.c_str(),
-                                 [fn, flag](benchmark::State& s) { fn(s, flag); })
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [fn, flag, name](benchmark::State& s) { fn(s, flag, name); })
         ->UseManualTime()
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
@@ -149,4 +163,4 @@ const int registered = (register_all(), 0);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LSR_BENCH_MAIN();

@@ -75,7 +75,7 @@ sparse::CsrMatrix make_batch(rt::Runtime& rt, const apps::RatingsDataset& d,
 
 /// One Legate training run; returns samples/s. Throws OutOfMemoryError when
 /// the configuration does not fit.
-double run_legate(const Sample& s, int gpus) {
+double run_legate(const Sample& s, int gpus, const std::string& point = {}) {
   sim::PerfParams pp;
   sim::Machine machine = sim::Machine::gpus(gpus, pp);
   rt::Runtime runtime(machine);
@@ -109,9 +109,11 @@ double run_legate(const Sample& s, int gpus) {
     bi.axpy(-lr, dbi);
   };
   step(0);  // warmup: distributes factors, reaches allocation steady state
+  lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
   for (int k = 1; k <= kSteps; ++k) step(k * s.batch);
   double dt = (runtime.sim_time() - t0) / kSteps;
+  lsr_bench::profile_end(runtime.engine(), point);
   return s.modeled_samples / dt;
 }
 
@@ -206,8 +208,9 @@ void register_all() {
       try {
         double thr = run_legate(*sample, gpus);
         (void)thr;
-        register_point(base + "/Legate-minGPUs", gpus, [sample, gpus] {
-          return 1.0 / run_legate(*sample, gpus);
+        std::string pname = base + "/Legate-minGPUs";
+        register_point(pname, gpus, [sample, gpus, pname] {
+          return 1.0 / run_legate(*sample, gpus, pname);
         });
         break;
       } catch (const OutOfMemoryError&) {
@@ -218,8 +221,9 @@ void register_all() {
     // gradient's dense transposes onto Infiniband — the throughput cliff it
     // reports. Register that configuration too.
     if (std::string(prof.name) == "ML-100M") {
-      register_point(base + "/Legate-2nodes", 12,
-                     [sample] { return 1.0 / run_legate(*sample, 12); });
+      std::string pname = base + "/Legate-2nodes";
+      register_point(pname, 12,
+                     [sample, pname] { return 1.0 / run_legate(*sample, 12, pname); });
     }
   }
 }
@@ -228,4 +232,4 @@ const int registered = (register_all(), 0);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LSR_BENCH_MAIN();

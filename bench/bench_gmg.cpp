@@ -28,7 +28,7 @@ coord_t grid_for(int procs) {
   return (g / 2) * 2;  // even, so injection restriction divides cleanly
 }
 
-double run_legate(sim::ProcKind kind, int procs) {
+double run_legate(sim::ProcKind kind, int procs, const std::string& point) {
   sim::PerfParams pp;
   sim::Machine machine = kind == sim::ProcKind::GPU ? sim::Machine::gpus(procs, pp)
                                                     : sim::Machine::sockets(procs, pp);
@@ -42,9 +42,11 @@ double run_legate(sim::ProcKind kind, int procs) {
   solve::TwoLevelGmg gmg(A, R);
   auto b = dense::DArray::full(runtime, prob.rows, 1.0);
   auto warm = solve::cg(A, b, 0.0, 2, gmg.preconditioner());
+  lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
   auto res = solve::cg(A, b, /*tol=*/0.0, kIters, gmg.preconditioner());
   benchmark::DoNotOptimize(res.residual);
+  lsr_bench::profile_end(runtime.engine(), point);
   return (runtime.sim_time() - t0) / kIters;
 }
 
@@ -123,12 +125,14 @@ double run_ref(baselines::ref::Device dev, int scale_procs) {
 void register_all() {
   using lsr_bench::register_point;
   for (int p : lsr_bench::gpu_points()) {
-    register_point("Fig10/GMG/Legate-GPU/" + std::to_string(p), p,
-                   [p] { return run_legate(sim::ProcKind::GPU, p); });
+    std::string name = "Fig10/GMG/Legate-GPU/" + std::to_string(p);
+    register_point(name, p,
+                   [p, name] { return run_legate(sim::ProcKind::GPU, p, name); });
   }
   for (int p : lsr_bench::socket_points()) {
-    register_point("Fig10/GMG/Legate-CPU/" + std::to_string(p), p,
-                   [p] { return run_legate(sim::ProcKind::CPU, p); });
+    std::string name = "Fig10/GMG/Legate-CPU/" + std::to_string(p);
+    register_point(name, p,
+                   [p, name] { return run_legate(sim::ProcKind::CPU, p, name); });
     register_point("Fig10/GMG/SciPy/" + std::to_string(p), p, [p] {
       return run_ref(baselines::ref::Device::ScipyCpu, p);
     });
@@ -141,4 +145,4 @@ const int registered = (register_all(), 0);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LSR_BENCH_MAIN();

@@ -42,7 +42,7 @@ double scale_for(int procs, coord_t dim) {
   return kStateBytesPerProc / real_block;
 }
 
-double run_legate(sim::ProcKind kind, int procs) {
+double run_legate(sim::ProcKind kind, int procs, const std::string& point = {}) {
   sim::PerfParams pp;
   sim::Machine machine = kind == sim::ProcKind::GPU
                              ? sim::Machine::gpus(procs, pp, kGpusPerNode)
@@ -60,9 +60,11 @@ double run_legate(sim::ProcKind kind, int procs) {
   solve::OdeRhs rhs = [&](double, const dense::DArray& s) { return H.spmv(s); };
   const auto& tab = solve::ButcherTableau::rk8();
   auto warm = solve::integrate(tab, rhs, y, 0.0, 0.01, 1);
+  lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
   auto res = solve::integrate(tab, rhs, warm.y, 0.01, 0.01 + 0.01 * kSteps, kSteps);
   benchmark::DoNotOptimize(res.steps);
+  lsr_bench::profile_end(runtime.engine(), point);
   return (runtime.sim_time() - t0) / kSteps;
 }
 
@@ -113,13 +115,15 @@ void register_all() {
     try {
       double probe = run_legate(sim::ProcKind::GPU, p);
       (void)probe;
-      register_point("Fig11/Quantum/Legate-GPU/" + std::to_string(p), p,
-                     [p] { return run_legate(sim::ProcKind::GPU, p); });
+      std::string gname = "Fig11/Quantum/Legate-GPU/" + std::to_string(p);
+      register_point(gname, p,
+                     [p, gname] { return run_legate(sim::ProcKind::GPU, p, gname); });
     } catch (const OutOfMemoryError&) {
       register_oom("Fig11/Quantum/Legate-GPU-OOM/" + std::to_string(p), p);
     }
-    register_point("Fig11/Quantum/Legate-CPU/" + std::to_string(p), p,
-                   [p] { return run_legate(sim::ProcKind::CPU, p); });
+    std::string cname = "Fig11/Quantum/Legate-CPU/" + std::to_string(p);
+    register_point(cname, p,
+                   [p, cname] { return run_legate(sim::ProcKind::CPU, p, cname); });
     register_point("Fig11/Quantum/SciPy/" + std::to_string(p), p, [p] {
       return run_ref(baselines::ref::Device::ScipyCpu, p);
     });
@@ -132,4 +136,4 @@ const int registered = (register_all(), 0);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LSR_BENCH_MAIN();

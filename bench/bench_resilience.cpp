@@ -19,31 +19,36 @@ using namespace legate;
 constexpr coord_t kRows = 4096;
 constexpr int kGpus = 4;  // 2 nodes x 2 GPUs: node 1 is expendable
 
-double run_cg(const rt::RuntimeOptions& opts, const solve::CheckpointPolicy& ckpt) {
+double run_cg(const rt::RuntimeOptions& opts, const solve::CheckpointPolicy& ckpt,
+              const std::string& point) {
   sim::PerfParams pp;
   sim::Machine machine = sim::Machine::gpus(kGpus, pp, /*gpus_per_node=*/2);
   rt::Runtime runtime(machine, opts);
   auto A = sparse::diags(runtime, kRows, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
   auto b = dense::DArray::random(runtime, kRows, 1);
+  // Profile the whole solve: the fault/retry/checkpoint instants are the
+  // interesting part of these timelines, and there is no warmup phase.
+  lsr_bench::profile_begin(runtime.engine(), point);
   auto res = solve::cg(A, b, /*tol=*/1e-8, /*maxiter=*/500, nullptr, ckpt);
   benchmark::DoNotOptimize(res.residual);
+  lsr_bench::profile_end(runtime.engine(), point);
   return res.iterations > 0 ? runtime.engine().makespan() / res.iterations : 0;
 }
 
 void register_all() {
   using lsr_bench::register_point;
   register_point("Resilience/CG/clean", kGpus, [] {
-    return run_cg({}, {});
+    return run_cg({}, {}, "Resilience/CG/clean");
   });
   register_point("Resilience/CG/ckpt-every-10", kGpus, [] {
-    return run_cg({}, solve::CheckpointPolicy{10});
+    return run_cg({}, solve::CheckpointPolicy{10}, "Resilience/CG/ckpt-every-10");
   });
   register_point("Resilience/CG/transient-1pct", kGpus, [] {
     rt::RuntimeOptions opts;
     opts.faults.enabled = true;
     opts.faults.seed = 7;
     opts.faults.task_fault_rate = 0.01;
-    return run_cg(opts, {});
+    return run_cg(opts, {}, "Resilience/CG/transient-1pct");
   });
   register_point("Resilience/CG/node-loss+ckpt10", kGpus, [] {
     rt::RuntimeOptions opts;
@@ -51,7 +56,8 @@ void register_all() {
     opts.faults.node_loss_time = 2e-3;
     opts.faults.node_loss_node = 1;
     opts.faults.node_recovery_seconds = 0.01;
-    return run_cg(opts, solve::CheckpointPolicy{10});
+    return run_cg(opts, solve::CheckpointPolicy{10},
+                  "Resilience/CG/node-loss+ckpt10");
   });
 }
 
@@ -59,4 +65,4 @@ const int registered = (register_all(), 0);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LSR_BENCH_MAIN();

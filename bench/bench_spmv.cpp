@@ -24,7 +24,7 @@ constexpr coord_t kHalfBand = 5;
 constexpr double kScale = 64.0;
 constexpr int kIters = 5;
 
-double run_legate(sim::ProcKind kind, int procs) {
+double run_legate(sim::ProcKind kind, int procs, const std::string& point) {
   sim::PerfParams pp;
   sim::Machine machine = kind == sim::ProcKind::GPU ? sim::Machine::gpus(procs, pp)
                                                     : sim::Machine::sockets(procs, pp);
@@ -35,11 +35,13 @@ double run_legate(sim::ProcKind kind, int procs) {
                                         prob.indices, prob.values);
   auto x = dense::DArray::full(runtime, prob.rows, 1.0);
   auto warm = A.spmv(x);  // first iteration pays startup copies
+  lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
   for (int i = 0; i < kIters; ++i) {
     auto y = A.spmv(x);
     benchmark::DoNotOptimize(y.store().span<double>().data());
   }
+  lsr_bench::profile_end(runtime.engine(), point);
   return (runtime.sim_time() - t0) / kIters;
 }
 
@@ -78,14 +80,16 @@ double run_ref(baselines::ref::Device dev, int scale_procs) {
 void register_all() {
   using lsr_bench::register_point;
   for (int p : lsr_bench::gpu_points()) {
-    register_point("Fig8/SpMV/Legate-GPU/" + std::to_string(p), p,
-                   [p] { return run_legate(sim::ProcKind::GPU, p); });
+    std::string name = "Fig8/SpMV/Legate-GPU/" + std::to_string(p);
+    register_point(name, p,
+                   [p, name] { return run_legate(sim::ProcKind::GPU, p, name); });
     register_point("Fig8/SpMV/PETSc-GPU/" + std::to_string(p), p,
                    [p] { return run_petsc(sim::ProcKind::GPU, p); });
   }
   for (int p : lsr_bench::socket_points()) {
-    register_point("Fig8/SpMV/Legate-CPU/" + std::to_string(p), p,
-                   [p] { return run_legate(sim::ProcKind::CPU, p); });
+    std::string name = "Fig8/SpMV/Legate-CPU/" + std::to_string(p);
+    register_point(name, p,
+                   [p, name] { return run_legate(sim::ProcKind::CPU, p, name); });
     register_point("Fig8/SpMV/PETSc-CPU/" + std::to_string(p), p,
                    [p] { return run_petsc(sim::ProcKind::CPU, p); });
     // SciPy runs the growing problem on one thread: no weak scaling.
@@ -101,4 +105,4 @@ const int registered = (register_all(), 0);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+LSR_BENCH_MAIN();

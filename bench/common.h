@@ -11,12 +11,95 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <functional>
+#include <iostream>
 #include <string>
 
+#include "prof/analysis.h"
+#include "prof/trace.h"
+#include "sim/engine.h"
 #include "sim/machine.h"
 
 namespace lsr_bench {
+
+// ---------------------------------------------------------------------------
+// Profiling hooks (off by default; zero effect on simulated time and stats).
+//
+//   bench_cg --prof                  print utilization / traffic-matrix /
+//                                    critical-path summary per profiled point
+//   bench_cg --trace out.json        additionally dump a Chrome-trace JSON
+//                                    (chrome://tracing, Perfetto); the file is
+//                                    rewritten per point, so the last profiled
+//                                    point's timeline is what remains — use
+//                                    --prof-filter to pick one
+//   bench_cg --prof-filter 192       only profile points whose name contains
+//                                    the substring
+// ---------------------------------------------------------------------------
+
+struct ProfOptions {
+  bool enabled = false;       ///< --prof or --trace given
+  std::string trace_path;     ///< empty: summary only
+  std::string filter;         ///< substring of the point name; empty: all
+};
+
+inline ProfOptions& prof_options() {
+  static ProfOptions po;
+  return po;
+}
+
+/// Strip --prof / --trace PATH / --trace=PATH / --prof-filter SUB from argv
+/// before handing the rest to google-benchmark (which rejects unknown flags).
+inline void init_prof_flags(int* argc, char** argv) {
+  ProfOptions& po = prof_options();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string a = argv[i];
+    auto value_of = [&](const std::string& flag) -> const char* {
+      if (a.rfind(flag + "=", 0) == 0) return argv[i] + flag.size() + 1;
+      if (a == flag && i + 1 < *argc) return argv[++i];
+      return nullptr;
+    };
+    if (a == "--prof") {
+      po.enabled = true;
+    } else if (const char* v = value_of("--trace")) {
+      po.enabled = true;
+      po.trace_path = v;
+    } else if (const char* v2 = value_of("--prof-filter")) {
+      po.filter = v2;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Whether the point `name` should be profiled under the current flags.
+/// Unnamed runs (registration-time probes) are never profiled.
+inline bool profiling_point(const std::string& name) {
+  const ProfOptions& po = prof_options();
+  return po.enabled && !name.empty() &&
+         (po.filter.empty() || name.find(po.filter) != std::string::npos);
+}
+
+/// Enable timeline recording on `eng` if this point is being profiled.
+inline void profile_begin(legate::sim::Engine& eng, const std::string& point) {
+  if (profiling_point(point)) eng.recorder().enable();
+}
+
+/// Print the utilization / traffic / critical-path summary for a profiled
+/// run and dump the Chrome trace when --trace was given.
+inline void profile_end(legate::sim::Engine& eng, const std::string& point) {
+  if (!eng.recorder().enabled()) return;
+  std::cerr << "\n== profile: " << point << "\n"
+            << legate::prof::summary(eng.recorder(), eng.makespan());
+  const ProfOptions& po = prof_options();
+  if (!po.trace_path.empty()) {
+    legate::prof::write_chrome_trace(eng.recorder(), po.trace_path);
+    std::cerr << "trace written to " << po.trace_path << " ("
+              << eng.recorder().events().size() << " events)\n";
+  }
+}
 
 /// GPU scale points of the paper's weak-scaling plots (Figs. 8-10):
 /// 1 GPU, then whole sockets' worth (3) up to 32 nodes (192).
@@ -68,3 +151,16 @@ inline void register_oom(const std::string& name, int procs) {
 }
 
 }  // namespace lsr_bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that strips the profiling flags
+/// (--prof, --trace, --prof-filter) before google-benchmark sees argv.
+#define LSR_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                       \
+    lsr_bench::init_prof_flags(&argc, argv);                              \
+    benchmark::Initialize(&argc, argv);                                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    benchmark::RunSpecifiedBenchmarks();                                  \
+    benchmark::Shutdown();                                                \
+    return 0;                                                             \
+  }                                                                       \
+  int main(int, char**)

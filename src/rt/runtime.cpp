@@ -100,6 +100,9 @@ std::span<std::byte> TaskContext::arg_bytes(int arg) const {
 }
 
 void TaskContext::add_cost(double bytes, double flops, double efficiency) {
+  // Catch misconfigured kernel descriptors at the source (CostModel rejects
+  // non-positive efficiency too, but here the task name is on the stack).
+  LSR_CHECK_MSG(efficiency > 0, "kernel efficiency must be positive");
   cost_.bytes += bytes;
   cost_.flops += flops;
   if (efficiency < cost_.efficiency) cost_.efficiency = efficiency;
@@ -263,7 +266,7 @@ PartitionRef Runtime::image_partition(const Store& src, const PartitionRef& src_
   if (auto it = image_cache_.find(key); it != image_cache_.end()) return it->second;
 
   // Dependent partitioning runs on the runtime's control path.
-  engine_->control_advance(5e-6);
+  engine_->control_advance(5e-6, "dependent-partitioning");
   std::vector<Interval> subs;
   subs.reserve(src_part->colors());
   if (kind == ConstraintKind::ImageRects) {
@@ -654,7 +657,7 @@ void Runtime::poll_faults() {
 
 Checkpoint Runtime::checkpoint(const std::vector<Store>& stores) {
   Checkpoint ck;
-  double ready = engine_->control_advance(task_overhead_);
+  double ready = engine_->control_advance(task_overhead_, "checkpoint");
   double bytes = 0;
   for (const Store& s : stores) {
     auto& ss = sync(s.id());
@@ -673,7 +676,7 @@ Checkpoint Runtime::checkpoint(const std::vector<Store>& stores) {
 }
 
 double Runtime::restore(const Checkpoint& ckpt) {
-  double ready = engine_->control_advance(task_overhead_);
+  double ready = engine_->control_advance(task_overhead_, "restore");
   double done = engine_->checkpoint_io(ckpt.bytes(), ready, /*restore=*/true);
   for (const auto& e : ckpt.entries_) {
     auto raw = e.store.raw();
@@ -699,7 +702,7 @@ double Runtime::shuffle(const Store& in, const Store& out,
                         const std::function<void()>& body) {
   const int P = machine_.num_procs();
   poll_faults();
-  double t_launch = engine_->control_advance(task_overhead_);
+  double t_launch = engine_->control_advance(task_overhead_, "shuffle");
   pinned_.insert(in.id());
   pinned_.insert(out.id());
 
@@ -742,7 +745,8 @@ double Runtime::shuffle(const Store& in, const Store& out,
         proc.kind, cost, proc.kind == sim::ProcKind::CPU ? cpu_fraction_ : 1.0);
     if (proc.kind == sim::ProcKind::GPU) dur += machine_.params().gpu_kernel_launch;
     engine_->note_task();
-    double done = engine_->busy_proc(d, dst_ready[static_cast<std::size_t>(d)], dur);
+    double done = engine_->busy_proc(d, dst_ready[static_cast<std::size_t>(d)], dur,
+                                     "shuffle_repack");
     sout.version.assign(elem, sout.version_counter);
     sout.owner.assign(elem, proc.mem);
     sout.last_write.assign(elem, done);
@@ -767,7 +771,18 @@ double Runtime::shuffle(const Store& in, const Store& out,
 Future Runtime::execute(TaskLauncher& L) {
   const auto& pp = machine_.params();
   poll_faults();
-  double t_launch = engine_->control_advance(task_overhead_);
+  double t_launch = engine_->control_advance(task_overhead_, L.name_);
+
+  // Timeline label: operation name plus provenance (launcher tag, else the
+  // enclosing provenance scope). Built only while profiling — with the
+  // recorder off this is one branch and an empty string_view.
+  std::string prof_label;
+  if (engine_->profiling()) {
+    prof_label = L.name_;
+    const std::string& prov =
+        !L.provenance_.empty() ? L.provenance_ : current_provenance();
+    if (!prov.empty()) prof_label += " @" + prov;
+  }
 
   const int nargs = static_cast<int>(L.args_.size());
   LSR_CHECK_MSG(L.leaf_ != nullptr, "task has no leaf function");
@@ -1013,7 +1028,8 @@ Future Runtime::execute(TaskLauncher& L) {
       while (injector_->should_fail(seq, attempt)) {
         engine_->note_fault();
         double wasted = duration * injector_->fail_fraction(seq, attempt);
-        double failed_at = engine_->busy_proc(proc_id, start_ready, wasted);
+        double failed_at =
+            engine_->busy_proc(proc_id, start_ready, wasted, prof_label);
         double detected = failed_at + fc.detect_seconds;
         ++attempt;
         if (attempt >= fc.max_attempts) {
@@ -1034,7 +1050,7 @@ Future Runtime::execute(TaskLauncher& L) {
       done = start_ready;
       engine_->bump_to(done);
     } else {
-      done = engine_->busy_proc(proc_id, start_ready, duration);
+      done = engine_->busy_proc(proc_id, start_ready, duration, prof_label);
     }
     completion[static_cast<std::size_t>(c)] = done;
     max_completion = std::max(max_completion, done);

@@ -131,6 +131,10 @@ class TaskLauncher {
   }
 
   void set_leaf(std::function<void(TaskContext&)> fn) { leaf_ = std::move(fn); }
+  /// Tag this launch with provenance for the profiler (e.g. the sparse
+  /// format or algorithm phase). Overrides the runtime's provenance scope;
+  /// purely observational — has no effect on scheduling or timing.
+  void set_provenance(std::string p) { provenance_ = std::move(p); }
   /// Force the number of point tasks (e.g. 1 for sequential glue work).
   void require_colors(int n) { forced_colors_ = n; }
   /// Add a dependence on a scalar future (tasks consume futures without
@@ -166,6 +170,7 @@ class TaskLauncher {
   int forced_colors_{-1};
   double future_dep_{0};
   bool poisoned_dep_{false};
+  std::string provenance_;
 };
 
 /// Behaviour toggles, used by the ablation benchmarks.
@@ -210,6 +215,20 @@ class Runtime {
 
   [[nodiscard]] sim::Engine& engine() { return *engine_; }
   [[nodiscard]] const sim::Machine& machine() const { return machine_; }
+
+  // -- profiling -------------------------------------------------------------
+  /// Nested provenance scopes label every event recorded while active
+  /// (solver name, algorithm phase) — Legate's provenance strings. Use the
+  /// RAII ProvenanceScope below rather than calling these directly.
+  void push_provenance(std::string p) { provenance_.push_back(std::move(p)); }
+  void pop_provenance() {
+    if (!provenance_.empty()) provenance_.pop_back();
+  }
+  [[nodiscard]] const std::string& current_provenance() const {
+    static const std::string empty;
+    return provenance_.empty() ? empty : provenance_.back();
+  }
+
   [[nodiscard]] const RuntimeOptions& options() const { return opts_; }
   [[nodiscard]] int default_colors() const { return machine_.num_procs(); }
   [[nodiscard]] double sim_time() const { return engine_->makespan(); }
@@ -321,6 +340,23 @@ class Runtime {
   std::unordered_set<StoreId> pinned_;
   bool node_loss_pending_{false};
   bool spilling_{false};  ///< guards against recursive spill
+
+  std::vector<std::string> provenance_;  ///< profiler provenance scope stack
+};
+
+/// RAII provenance scope: every task launched while alive is labeled
+/// `name @scope` on the profiler timeline.
+class ProvenanceScope {
+ public:
+  ProvenanceScope(Runtime& rt, std::string p) : rt_(rt) {
+    rt_.push_provenance(std::move(p));
+  }
+  ~ProvenanceScope() { rt_.pop_provenance(); }
+  ProvenanceScope(const ProvenanceScope&) = delete;
+  ProvenanceScope& operator=(const ProvenanceScope&) = delete;
+
+ private:
+  Runtime& rt_;
 };
 
 }  // namespace legate::rt

@@ -16,17 +16,48 @@ Engine::Engine(const Machine& machine)
   nic_out_.assign(machine.nodes(), 0.0);
 }
 
-double Engine::control_advance(double overhead) {
+// --- Recorder track interning (profiling-enabled paths only) ---------------
+
+int Engine::proc_track(int proc) {
+  const auto& p = machine_.proc(proc);
+  return recorder_.track(
+      (p.kind == ProcKind::GPU ? "GPU" : "CPU") + std::to_string(proc), p.node);
+}
+
+int Engine::control_track() { return recorder_.track("control", 0); }
+int Engine::io_track() { return recorder_.track("pfs", 0); }
+int Engine::collective_track() { return recorder_.track("collective", 0); }
+
+void Engine::mark(prof::Category cat) {
+  recorder_.record(cat, control_track(), makespan_, makespan_, -1.0,
+                   prof::category_name(cat));
+}
+
+double Engine::control_advance(double overhead, std::string_view label) {
+  double start = control_clock_;
   control_clock_ += overhead;
   bump(control_clock_);
+  if (recorder_.enabled()) {
+    int tr = control_track();
+    recorder_.record(prof::Category::Launch, tr, start, control_clock_, -1.0,
+                     label.empty() ? "launch" : std::string(label));
+    recorder_.add_busy(tr, overhead);
+  }
   return control_clock_;
 }
 
-double Engine::busy_proc(int proc, double ready, double duration) {
+double Engine::busy_proc(int proc, double ready, double duration,
+                         std::string_view label) {
   double& clk = proc_clock_.at(proc);
   double start = std::max(clk, ready);
   clk = start + duration;
   bump(clk);
+  if (recorder_.enabled()) {
+    int tr = proc_track(proc);
+    recorder_.record(prof::Category::Kernel, tr, start, clk, ready,
+                     label.empty() ? "task" : std::string(label));
+    recorder_.add_busy(tr, duration);
+  }
   return clk;
 }
 
@@ -40,22 +71,34 @@ double Engine::copy(int src, int dst, double bytes, double ready) {
   bytes *= cost_scale_;
   const auto& sm = machine_.memory(src);
   const auto& dm = machine_.memory(dst);
+  const bool rec = recorder_.enabled();
   double done;
+  int track = -1;
+  double start = ready, busy = 0;
   if (src == dst) {
     // Intra-memory movement: allocation resizing, local reshape.
     double bw = sm.kind == MemKind::Frame ? pp_.gpu_mem_bw : pp_.sysmem_bw;
     double& clk = mem_copy_clock_.at(src);
-    double start = std::max(clk, ready);
+    start = std::max(clk, ready);
     done = start + pp_.sysmem_lat + bytes / bw;
+    busy = done - start;
     clk = done;
     stats_.bytes_intra += bytes;
+    if (rec) track = recorder_.track("mem" + std::to_string(src), sm.node);
   } else if (sm.node == dm.node) {
     // Intra-node: NVLink-class point-to-point link per memory pair.
     double& clk = pair_link(src, dst);
-    double start = std::max(clk, ready);
+    start = std::max(clk, ready);
     done = start + pp_.nvlink_lat + bytes / pp_.nvlink_bw;
+    busy = done - start;
     clk = done;
     stats_.bytes_nvlink += bytes;
+    if (rec) {
+      auto key = std::minmax(src, dst);
+      track = recorder_.track(
+          "link" + std::to_string(key.first) + "-" + std::to_string(key.second),
+          sm.node);
+    }
   } else {
     // Inter-node: the transfer occupies the source NIC-out and destination
     // NIC-in queues independently (LogGP-style). Each side serializes its
@@ -65,27 +108,56 @@ double Engine::copy(int src, int dst, double bytes, double ready) {
     double& out = nic_out_.at(sm.node);
     double& in = nic_in_.at(dm.node);
     double tx = bytes / pp_.ib_bw;
-    out = std::max(out, ready) + tx;
+    start = std::max(out, ready);
+    out = start + tx;
     in = std::max(in, ready) + tx;
     done = std::max(out, in) + pp_.ib_lat;
     stats_.bytes_ib += bytes;
+    if (rec) {
+      // The timeline shows the copy once, on the sender's NIC queue; both
+      // queues get their transmission time counted toward utilization.
+      track = recorder_.track("nic-out" + std::to_string(sm.node), sm.node);
+      recorder_.add_busy(track, tx);
+      recorder_.add_busy(
+          recorder_.track("nic-in" + std::to_string(dm.node), dm.node), tx);
+    }
   }
   bump(done);
+  if (rec) {
+    if (busy > 0) recorder_.add_busy(track, busy);
+    recorder_.record(prof::Category::Copy, track, start, done, ready,
+                     "copy mem" + std::to_string(src) + "->mem" +
+                         std::to_string(dst));
+    auto& ev = recorder_.last();
+    ev.bytes = bytes;
+    ev.src_mem = src;
+    ev.dst_mem = dst;
+    ev.src_node = sm.node;
+    ev.dst_node = dm.node;
+    recorder_.add_traffic(sm.node, dm.node, bytes);
+  }
   return done;
 }
 
 double Engine::allreduce(int nprocs, double ready, bool legate_style) {
   ++stats_.allreduces;
-  if (nprocs <= 1) return ready;
-  double hops = std::ceil(std::log2(static_cast<double>(nprocs)));
-  double t;
-  if (legate_style) {
-    t = ready + hops * pp_.legate_allreduce_alpha +
-        nprocs * pp_.legate_allreduce_linear;
-  } else {
-    t = ready + hops * pp_.mpi_allreduce_alpha;
+  double t = ready;
+  if (nprocs > 1) {
+    double hops = std::ceil(std::log2(static_cast<double>(nprocs)));
+    if (legate_style) {
+      t = ready + hops * pp_.legate_allreduce_alpha +
+          nprocs * pp_.legate_allreduce_linear;
+    } else {
+      t = ready + hops * pp_.mpi_allreduce_alpha;
+    }
+    bump(t);
   }
-  bump(t);
+  if (recorder_.enabled()) {
+    int tr = collective_track();
+    recorder_.record(prof::Category::Allreduce, tr, ready, t, ready,
+                     legate_style ? "allreduce" : "mpi_allreduce");
+    recorder_.add_busy(tr, t - ready);
+  }
   return t;
 }
 
@@ -105,9 +177,36 @@ double Engine::allreduce_bytes(int nprocs, double bytes, double ready,
       bw = pp_.sysmem_bw;
     }
     double p = static_cast<double>(nprocs);
-    t += 2.0 * bytes * ((p - 1.0) / p) / bw;
-    stats_.bytes_ib += machine_.nodes() > 1 ? 2.0 * bytes : 0.0;
+    double ring = 2.0 * bytes * ((p - 1.0) / p) / bw;
+    t += ring;
     bump(t);
+    // Traffic attribution: in a ring all-reduce every hop i -> i+1 carries
+    // 2*b*(p-1)/p bytes. Book each hop by its locality — only hops crossing
+    // a node boundary touch the NIC; hops between memories of one node ride
+    // NVLink; ring neighbors sharing a memory (CPU sockets on one socket
+    // pair's sysmem) stay intra-memory. Previously every multi-node run
+    // booked a flat 2*b to bytes_ib and single-node rings booked nothing.
+    double hop_bytes = 2.0 * bytes * ((p - 1.0) / p);
+    int np = machine_.num_procs();
+    for (int i = 0; i < nprocs; ++i) {
+      const auto& a = machine_.proc(i % np);
+      const auto& b = machine_.proc(((i + 1) % nprocs) % np);
+      if (a.id == b.id) continue;  // degenerate ring position, no movement
+      if (a.mem == b.mem) {
+        stats_.bytes_intra += hop_bytes;
+      } else if (a.node == b.node) {
+        stats_.bytes_nvlink += hop_bytes;
+      } else {
+        stats_.bytes_ib += hop_bytes;
+      }
+      if (recorder_.enabled()) recorder_.add_traffic(a.node, b.node, hop_bytes);
+    }
+    if (recorder_.enabled()) {
+      // Fold the ring term into the event allreduce() just recorded.
+      recorder_.extend_last(t);
+      recorder_.last().bytes = bytes;
+      recorder_.add_busy(collective_track(), ring);
+    }
   }
   return t;
 }
@@ -144,7 +243,8 @@ void Engine::free_bytes(int mem, double bytes) {
 }
 
 double Engine::stall_all(double at, double seconds) {
-  control_clock_ = std::max(control_clock_, at) + seconds;
+  double stall_start = std::max(control_clock_, at);
+  control_clock_ = stall_start + seconds;
   double latest = control_clock_;
   for (double& clk : proc_clock_) {
     clk = std::max(clk, at) + seconds;
@@ -154,6 +254,10 @@ double Engine::stall_all(double at, double seconds) {
   for (double& clk : nic_in_) clk = std::max(clk, at) + seconds;
   for (double& clk : nic_out_) clk = std::max(clk, at) + seconds;
   bump(latest);
+  if (recorder_.enabled()) {
+    recorder_.record(prof::Category::Stall, control_track(), stall_start,
+                     stall_start + seconds, -1.0, "stall");
+  }
   return latest;
 }
 
@@ -168,7 +272,28 @@ double Engine::checkpoint_io(double bytes, double ready, bool restore) {
   double start = std::max(io_clock_, ready);
   io_clock_ = start + pp_.checkpoint_lat + bytes / pp_.checkpoint_bw;
   bump(io_clock_);
+  if (recorder_.enabled()) {
+    int tr = io_track();
+    recorder_.record(prof::Category::Checkpoint, tr, start, io_clock_, ready,
+                     restore ? "restore" : "checkpoint");
+    recorder_.add_busy(tr, io_clock_ - start);
+    recorder_.last().bytes = bytes;
+  }
   return io_clock_;
+}
+
+void Engine::reset() {
+  control_clock_ = 0;
+  io_clock_ = 0;
+  proc_clock_.assign(proc_clock_.size(), 0.0);
+  mem_copy_clock_.assign(mem_copy_clock_.size(), 0.0);
+  nic_in_.assign(nic_in_.size(), 0.0);
+  nic_out_.assign(nic_out_.size(), 0.0);
+  pair_links_.clear();
+  stats_ = Stats{};
+  makespan_ = 0;
+  mem_peak_ = mem_used_;
+  recorder_.reset();
 }
 
 std::string Engine::report() const {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "prof/prof.h"
 #include "sim/machine.h"
 #include "util/common.h"
 
@@ -55,8 +57,12 @@ class CostModel {
         fl = pp_.gpu_flops;
         break;
     }
+    // A non-positive efficiency is always a misconfigured kernel descriptor
+    // (the multiplier divides the roofline time); failing loudly here beats
+    // silently charging full-speed time for a kernel someone meant to derate.
+    LSR_CHECK_MSG(c.efficiency > 0, "kernel cost has non-positive efficiency");
     double t = std::max(c.bytes / bw, c.flops / fl);
-    return t / (c.efficiency > 0 ? c.efficiency : 1.0);
+    return t / c.efficiency;
   }
 
  private:
@@ -75,12 +81,15 @@ class Engine {
   explicit Engine(const Machine& machine);
 
   /// Occupy the sequential launch path (Python / library op dispatch) for
-  /// `overhead` seconds; returns the time the launch is finished.
-  double control_advance(double overhead);
+  /// `overhead` seconds; returns the time the launch is finished. `label`
+  /// names the dispatched operation on the recorded timeline.
+  double control_advance(double overhead, std::string_view label = {});
 
   /// Occupy processor `proc` starting no earlier than `ready` for `duration`
-  /// seconds; returns completion time.
-  double busy_proc(int proc, double ready, double duration);
+  /// seconds; returns completion time. `label` names the task on the
+  /// recorded timeline (ignored unless profiling is enabled).
+  double busy_proc(int proc, double ready, double duration,
+                   std::string_view label = {});
 
   /// Model a copy of `bytes` from memory `src` to memory `dst` whose source
   /// data is available at `ready`; returns completion time. `src == dst`
@@ -123,9 +132,18 @@ class Engine {
   void bump_to(double t) { bump(t); }
 
   void note_task() { ++stats_.tasks; }
-  void note_fault() { ++stats_.faults_injected; }
-  void note_retry() { ++stats_.retries; }
-  void note_spill() { ++stats_.spills; }
+  void note_fault() {
+    ++stats_.faults_injected;
+    if (recorder_.enabled()) mark(prof::Category::Fault);
+  }
+  void note_retry() {
+    ++stats_.retries;
+    if (recorder_.enabled()) mark(prof::Category::Retry);
+  }
+  void note_spill() {
+    ++stats_.spills;
+    if (recorder_.enabled()) mark(prof::Category::Spill);
+  }
 
   /// Workload scale factor S: benchmarks execute a 1/S functional sample of
   /// the modeled problem and charge S x the bytes/flops/capacity, which is
@@ -139,11 +157,31 @@ class Engine {
   [[nodiscard]] const Machine& machine() const { return machine_; }
   [[nodiscard]] const CostModel& cost_model() const { return cost_model_; }
 
+  /// Timeline recorder (legate::prof). Disabled by default: every engine
+  /// path checks `recorder().enabled()` before building labels or events,
+  /// so simulated times and stats are bit-identical with recording off.
+  [[nodiscard]] prof::Recorder& recorder() { return recorder_; }
+  [[nodiscard]] const prof::Recorder& recorder() const { return recorder_; }
+  [[nodiscard]] bool profiling() const { return recorder_.enabled(); }
+
+  /// Rewind the engine for reuse across benchmark repetitions: clears every
+  /// resource clock, the makespan, all Stats counters, and the recorded
+  /// timeline. Capacity accounting survives (allocations owned by a live
+  /// Runtime stay reserved); peaks restart from current usage.
+  void reset();
+
   [[nodiscard]] std::string report() const;
 
  private:
   double& pair_link(int src_mem, int dst_mem);
   void bump(double t) { makespan_ = std::max(makespan_, t); }
+  // Track interning for the recorder (profiling-enabled paths only).
+  int proc_track(int proc);
+  int control_track();
+  int io_track();
+  int collective_track();
+  /// Record an instant resilience marker at the current makespan.
+  void mark(prof::Category cat);
 
   const Machine& machine_;
   CostModel cost_model_;
@@ -160,6 +198,7 @@ class Engine {
   Stats stats_;
   double makespan_{0};
   double cost_scale_{1.0};
+  prof::Recorder recorder_;
 };
 
 }  // namespace legate::sim

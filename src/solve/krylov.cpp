@@ -29,6 +29,7 @@ constexpr int kMaxRestores = 8;
 SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter,
                const Precond& M, const CheckpointPolicy& ckpt) {
   rt::Runtime& rt = A.runtime();
+  rt::ProvenanceScope prof_scope(rt, "cg");
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   DArray r = b.copy();
@@ -287,6 +288,7 @@ SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
 SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
                   double tol, int maxiter, const CheckpointPolicy& ckpt) {
   rt::Runtime& rt = A.runtime();
+  rt::ProvenanceScope prof_scope(rt, "gmres");
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   double bnorm = b.norm().value;

@@ -59,6 +59,7 @@ LanczosResult lanczos(const sparse::CsrMatrix& A, int k, int max_iter,
                       std::uint64_t seed) {
   LSR_CHECK_MSG(A.rows() == A.cols(), "lanczos needs a square (symmetric) matrix");
   rt::Runtime& rt = A.runtime();
+  rt::ProvenanceScope prof_scope(rt, "lanczos");
   coord_t n = A.rows();
   int m = std::min<int>(max_iter, static_cast<int>(n));
 

@@ -57,6 +57,7 @@ void TwoLevelGmg::jacobi_sweeps(const CsrMatrix& A, const DArray& dinv, DArray& 
 
 DArray TwoLevelGmg::apply(const DArray& r) const {
   rt::Runtime& rt = A_.runtime();
+  rt::ProvenanceScope prof_scope(rt, "gmg-vcycle");
   DArray x = DArray::zeros(rt, r.size());
   jacobi_sweeps(A_, dinv_fine_, x, r, pre_);
   // Coarse-grid correction.

@@ -100,6 +100,7 @@ OdeResult integrate(const ButcherTableau& tab, const OdeRhs& f, const DArray& y0
   LSR_CHECK(steps > 0);
   double h = (t1 - t0) / steps;
   DArray y = y0.copy();
+  rt::ProvenanceScope prof_scope(y.runtime(), "rk-step");
   OdeResult res;
   for (int step = 0; step < steps; ++step) {
     double t = t0 + h * step;

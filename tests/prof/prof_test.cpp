@@ -1,0 +1,464 @@
+// Tests for the legate::prof timeline recorder, the Chrome-trace exporter
+// and the utilization / traffic / critical-path analyses, including an
+// end-to-end CG run through the real runtime stack.
+#include "prof/prof.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.h"
+#include "prof/analysis.h"
+#include "prof/trace.h"
+#include "rt/runtime.h"
+#include "solve/krylov.h"
+#include "sparse/csr.h"
+
+namespace legate::prof {
+namespace {
+
+// --- Minimal JSON parser (validation + structural access) ------------------
+//
+// Enough of RFC 8259 to load what chrome_trace_json emits; throws
+// std::runtime_error on any syntax violation, which is the point: the
+// golden-file test fails if the exporter ever produces invalid JSON.
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind{Kind::Null};
+  bool boolean{false};
+  double number{0};
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", JsonValue{JsonValue::Kind::Bool, true});
+      case 'f': return literal("false", JsonValue{JsonValue::Kind::Bool, false});
+      case 'n': return literal("null", JsonValue{});
+      default: return number();
+    }
+  }
+
+  JsonValue literal(const std::string& word, JsonValue v) {
+    if (s_.compare(pos_, word.size(), word) != 0) fail("bad literal");
+    pos_ += word.size();
+    return v;
+  }
+
+  JsonValue number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    try {
+      v.number = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        v.str += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("bad escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': v.str += '"'; break;
+        case '\\': v.str += '\\'; break;
+        case '/': v.str += '/'; break;
+        case 'b': v.str += '\b'; break;
+        case 'f': v.str += '\f'; break;
+        case 'n': v.str += '\n'; break;
+        case 'r': v.str += '\r'; break;
+        case 't': v.str += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit");
+          }
+          // The exporter only escapes control characters; keep ASCII simple.
+          v.str += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.str] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_{0};
+};
+
+JsonValue parse_json(const std::string& text) { return JsonParser(text).parse(); }
+
+// --- Recorder unit tests ---------------------------------------------------
+
+TEST(RecorderTest, DisabledRecorderStoresNothingThroughEngine) {
+  sim::PerfParams pp;
+  sim::Machine m = sim::Machine::gpus(2, pp);
+  sim::Engine e(m);
+  e.busy_proc(0, 0.0, 1.0, "t");
+  e.copy(m.proc(0).mem, m.proc(1).mem, 1e6, 0.0);
+  e.allreduce_bytes(2, 1e3, 0.0, true);
+  EXPECT_FALSE(e.recorder().enabled());
+  EXPECT_TRUE(e.recorder().events().empty());
+  EXPECT_TRUE(e.recorder().tracks().empty());
+  EXPECT_TRUE(e.recorder().traffic().empty());
+}
+
+TEST(RecorderTest, TrackInterningIsStable) {
+  Recorder r;
+  r.enable();
+  int a = r.track("GPU0", 0);
+  int b = r.track("GPU1", 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(r.track("GPU0", 0), a);
+  EXPECT_EQ(r.tracks()[static_cast<std::size_t>(b)].node, 1);
+}
+
+TEST(RecorderTest, PredResolvesProducerByCompletionTime) {
+  Recorder r;
+  r.enable();
+  int p0 = r.track("p0", 0);
+  int p1 = r.track("p1", 0);
+  std::uint64_t a = r.record(Category::Kernel, p0, 0.0, 1.0, -1.0, "a");
+  // b starts exactly when a completes and was gated by it (ready == 1.0).
+  std::uint64_t b = r.record(Category::Copy, p1, 1.0, 1.5, 1.0, "b");
+  // c queues behind b on the same track with no data gate: track pred.
+  std::uint64_t c = r.record(Category::Kernel, p1, 1.5, 2.0, -1.0, "c");
+  EXPECT_EQ(r.events()[b].pred, static_cast<std::int64_t>(a));
+  EXPECT_EQ(r.events()[c].pred, static_cast<std::int64_t>(b));
+}
+
+TEST(RecorderTest, ResetDropsEventsBusyAndTraffic) {
+  Recorder r;
+  r.enable();
+  int t = r.track("p", 0);
+  r.record(Category::Kernel, t, 0.0, 1.0, -1.0, "a");
+  r.add_busy(t, 1.0);
+  r.add_traffic(0, 1, 100.0);
+  r.reset();
+  EXPECT_TRUE(r.enabled());
+  EXPECT_TRUE(r.events().empty());
+  EXPECT_TRUE(r.tracks().empty());
+  EXPECT_TRUE(r.traffic().empty());
+}
+
+// --- Analysis unit tests ---------------------------------------------------
+
+TEST(AnalysisTest, UtilizationSkipsIdleTracks) {
+  Recorder r;
+  r.enable();
+  int a = r.track("gpu0", 0);
+  r.track("gpu1", 0);  // never busy
+  r.add_busy(a, 2.0);
+  auto rows = utilization(r, 4.0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].track, "gpu0");
+  EXPECT_DOUBLE_EQ(rows[0].fraction, 0.5);
+}
+
+TEST(AnalysisTest, TrafficMatrixAccumulatesPerNodePair) {
+  Recorder r;
+  r.enable();
+  r.add_traffic(0, 1, 5.0);
+  r.add_traffic(0, 1, 7.0);
+  r.add_traffic(1, 0, 1.0);
+  EXPECT_DOUBLE_EQ(r.traffic().at({0, 1}), 12.0);
+  EXPECT_DOUBLE_EQ(r.traffic().at({1, 0}), 1.0);
+}
+
+TEST(AnalysisTest, CriticalPathFollowsReadyChain) {
+  Recorder r;
+  r.enable();
+  int p0 = r.track("p0", 0);
+  int p1 = r.track("p1", 0);
+  std::uint64_t a = r.record(Category::Kernel, p0, 0.0, 1.0, -1.0, "a");
+  std::uint64_t b = r.record(Category::Copy, p1, 1.0, 1.5, 1.0, "b");
+  std::uint64_t c = r.record(Category::Kernel, p0, 1.5, 3.0, 1.5, "c");
+  // A short event elsewhere must not divert the chain.
+  r.record(Category::Kernel, p1, 1.5, 1.6, -1.0, "short");
+  CriticalPath cp = critical_path(r);
+  EXPECT_DOUBLE_EQ(cp.total_seconds, 3.0);
+  ASSERT_EQ(cp.chain.size(), 3u);
+  EXPECT_EQ(cp.chain[0], a);
+  EXPECT_EQ(cp.chain[1], b);
+  EXPECT_EQ(cp.chain[2], c);
+  EXPECT_DOUBLE_EQ(cp.by_category.at("kernel"), 2.5);
+  EXPECT_DOUBLE_EQ(cp.by_category.at("copy"), 0.5);
+  EXPECT_DOUBLE_EQ(cp.wait_seconds, 0.0);
+}
+
+TEST(AnalysisTest, CriticalPathAttributesGapsAsWait) {
+  Recorder r;
+  r.enable();
+  int p0 = r.track("p0", 0);
+  std::uint64_t a = r.record(Category::Kernel, p0, 0.0, 1.0, -1.0, "a");
+  // Gated by a (ready == 1.0) but started 0.5 s later: fan-in wait.
+  std::uint64_t b = r.record(Category::Kernel, p0, 1.5, 2.0, 1.0, "b");
+  (void)a;
+  (void)b;
+  CriticalPath cp = critical_path(r);
+  EXPECT_DOUBLE_EQ(cp.total_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(cp.wait_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(cp.by_category.at("kernel"), 1.5);
+}
+
+// --- Chrome-trace exporter -------------------------------------------------
+
+TEST(TraceTest, EscapesSpecialCharactersInNames) {
+  Recorder r;
+  r.enable();
+  int t = r.track("tr\"ack\\one", 0);
+  r.record(Category::Kernel, t, 0.0, 1.0, -1.0, "na\"me\\with\nnewline");
+  JsonValue doc = parse_json(chrome_trace_json(r));
+  bool found = false;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    if (ev.at("ph").str == "X" && ev.at("name").str == "na\"me\\with\nnewline")
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceTest, InstantMarkersUseInstantPhase) {
+  sim::PerfParams pp;
+  sim::Machine m = sim::Machine::gpus(1, pp);
+  sim::Engine e(m);
+  e.recorder().enable();
+  e.note_fault();
+  e.note_retry();
+  JsonValue doc = parse_json(chrome_trace_json(e.recorder()));
+  int instants = 0;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    if (ev.at("ph").str == "i") ++instants;
+  }
+  EXPECT_EQ(instants, 2);
+}
+
+// --- End-to-end: a small CG solve through the real stack -------------------
+
+struct CgRun {
+  std::unique_ptr<rt::Runtime> runtime;
+  solve::SolveResult result;
+};
+
+CgRun run_small_cg(bool profile) {
+  sim::PerfParams pp;
+  sim::Machine machine = sim::Machine::gpus(12, pp);  // 2 nodes
+  auto runtime = std::make_unique<rt::Runtime>(machine);
+  if (profile) runtime->engine().recorder().enable();
+  apps::HostProblem prob = apps::poisson2d(48);
+  auto A = sparse::CsrMatrix::from_host(*runtime, prob.rows, prob.cols,
+                                        prob.indptr, prob.indices, prob.values);
+  auto b = dense::DArray::full(*runtime, prob.rows, 1.0);
+  CgRun run;
+  run.result = solve::cg(A, b, /*tol=*/0.0, /*maxiter=*/8);
+  run.runtime = std::move(runtime);
+  return run;
+}
+
+TEST(ProfEndToEndTest, RecordingDoesNotPerturbSimulation) {
+  CgRun off = run_small_cg(false);
+  CgRun on = run_small_cg(true);
+  // Bit-identical times and counters: profiling only observes.
+  EXPECT_DOUBLE_EQ(off.runtime->sim_time(), on.runtime->sim_time());
+  const auto& so = off.runtime->engine().stats();
+  const auto& sn = on.runtime->engine().stats();
+  EXPECT_EQ(so.tasks, sn.tasks);
+  EXPECT_EQ(so.copies, sn.copies);
+  EXPECT_EQ(so.allreduces, sn.allreduces);
+  EXPECT_DOUBLE_EQ(so.bytes_ib, sn.bytes_ib);
+  EXPECT_DOUBLE_EQ(so.bytes_nvlink, sn.bytes_nvlink);
+  EXPECT_DOUBLE_EQ(so.bytes_intra, sn.bytes_intra);
+  EXPECT_DOUBLE_EQ(off.result.residual, on.result.residual);
+  EXPECT_TRUE(off.runtime->engine().recorder().events().empty());
+  EXPECT_FALSE(on.runtime->engine().recorder().events().empty());
+}
+
+TEST(ProfEndToEndTest, ChromeTraceIsValidJsonWithOneEventPerOperation) {
+  CgRun run = run_small_cg(true);
+  const auto& rec = run.runtime->engine().recorder();
+  const auto& stats = run.runtime->engine().stats();
+
+  JsonValue doc = parse_json(chrome_trace_json(rec));
+  EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+  const auto& evs = doc.at("traceEvents").array;
+
+  long kernels = 0, copies = 0, allreduces = 0, launches = 0, metadata = 0;
+  for (const auto& ev : evs) {
+    const std::string& ph = ev.at("ph").str;
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_TRUE(ph == "X" || ph == "i");
+    const std::string& cat = ev.at("cat").str;
+    if (cat == "kernel") ++kernels;
+    else if (cat == "copy") ++copies;
+    else if (cat == "allreduce") ++allreduces;
+    else if (cat == "launch-overhead") ++launches;
+    // Every complete event carries non-negative duration and a name.
+    if (ph == "X") {
+      EXPECT_GE(ev.at("dur").number, 0.0);
+      EXPECT_FALSE(ev.at("name").str.empty());
+    }
+  }
+  // One timeline event per simulated operation. Kernel events cover point
+  // tasks plus fault retries (none here).
+  EXPECT_EQ(kernels, stats.tasks + stats.retries);
+  EXPECT_EQ(copies, stats.copies);
+  EXPECT_EQ(allreduces, stats.allreduces);
+  EXPECT_GT(launches, 0);
+  EXPECT_GT(metadata, 0);
+}
+
+TEST(ProfEndToEndTest, TaskLabelsCarryProvenance) {
+  CgRun run = run_small_cg(true);
+  bool saw_cg_scope = false;
+  for (const auto& ev : run.runtime->engine().recorder().events()) {
+    if (ev.cat == Category::Kernel &&
+        ev.name.find("@cg") != std::string::npos)
+      saw_cg_scope = true;
+  }
+  EXPECT_TRUE(saw_cg_scope);
+}
+
+TEST(ProfEndToEndTest, SummaryReportsAllSections) {
+  CgRun run = run_small_cg(true);
+  std::string s = summary(run.runtime->engine().recorder(),
+                          run.runtime->engine().makespan());
+  EXPECT_NE(s.find("utilization"), std::string::npos);
+  EXPECT_NE(s.find("traffic matrix"), std::string::npos);
+  EXPECT_NE(s.find("critical path"), std::string::npos);
+  EXPECT_NE(s.find("kernel"), std::string::npos);
+}
+
+TEST(ProfEndToEndTest, TrafficMatrixSeesInterNodeBytes) {
+  CgRun run = run_small_cg(true);
+  const auto& traffic = run.runtime->engine().recorder().traffic();
+  // 2-node machine: the CG allreduces cross the node boundary both ways.
+  ASSERT_TRUE(traffic.count({0, 1}));
+  ASSERT_TRUE(traffic.count({1, 0}));
+  EXPECT_GT(traffic.at({0, 1}), 0.0);
+  EXPECT_GT(traffic.at({1, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace legate::prof

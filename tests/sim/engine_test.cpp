@@ -137,5 +137,109 @@ TEST_F(EngineTest, AllreduceBytesAddsRingTerm) {
   EXPECT_NEAR(t1 - t0, 2.0 * 12e9 * (11.0 / 12.0) / pp.ib_bw, 1e-6);
 }
 
+TEST_F(EngineTest, KernelSecondsRejectsNonPositiveEfficiency) {
+  CostModel cm(pp);
+  Cost zero{1e9, 0, 0.0};
+  Cost negative{1e9, 0, -0.5};
+  EXPECT_THROW(cm.kernel_seconds(ProcKind::GPU, zero), std::logic_error);
+  EXPECT_THROW(cm.kernel_seconds(ProcKind::CPU, negative), std::logic_error);
+}
+
+// Ring all-reduce traffic attribution: every hop i -> i+1 carries
+// 2*b*(p-1)/p bytes, booked by hop locality. The pre-fix accounting charged
+// a flat 2*b to bytes_ib on any multi-node machine and nothing on one node.
+
+TEST_F(EngineTest, SingleNodeGpuAllreduceBooksNvlink) {
+  Machine m = Machine::gpus(6, pp);  // 1 node, 6 framebuffers
+  Engine e(m);
+  double bytes = 6e6;
+  e.allreduce_bytes(6, bytes, 0.0, true);
+  double hop = 2.0 * bytes * (5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_nvlink, 6 * hop);  // full ring on NVLink
+  EXPECT_DOUBLE_EQ(e.stats().bytes_ib, 0.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_intra, 0.0);
+}
+
+TEST_F(EngineTest, SharedSysmemAllreduceBooksIntra) {
+  Machine m = Machine::sockets(2, pp);  // 1 node, sockets share sysmem
+  Engine e(m);
+  double bytes = 4e6;
+  e.allreduce_bytes(2, bytes, 0.0, true);
+  double hop = 2.0 * bytes * (1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_intra, 2 * hop);  // hops 0->1 and 1->0
+  EXPECT_DOUBLE_EQ(e.stats().bytes_nvlink, 0.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_ib, 0.0);
+}
+
+TEST_F(EngineTest, MultiNodeAllreduceBooksOnlyBoundaryHopsToIb) {
+  Machine m = Machine::gpus(12, pp);  // 2 nodes x 6 GPUs
+  Engine e(m);
+  double bytes = 12e6;
+  e.allreduce_bytes(12, bytes, 0.0, true);
+  double hop = 2.0 * bytes * (11.0 / 12.0);
+  // Ring 0..11: hops 5->6 and 11->0 cross the node boundary, the other ten
+  // stay on NVLink inside a node.
+  EXPECT_DOUBLE_EQ(e.stats().bytes_ib, 2 * hop);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_nvlink, 10 * hop);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_intra, 0.0);
+}
+
+TEST_F(EngineTest, SingleProcAllreduceMovesNothing) {
+  Machine m = Machine::gpus(1, pp);
+  Engine e(m);
+  e.allreduce_bytes(1, 1e9, 0.0, true);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_ib, 0.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_nvlink, 0.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_intra, 0.0);
+  EXPECT_EQ(e.stats().allreduces, 1);
+}
+
+TEST_F(EngineTest, NicInSerializesAtDestination) {
+  Machine m = Machine::gpus(18, pp);  // 3 nodes x 6 GPUs
+  Engine e(m);
+  int src0 = m.proc(0).mem;    // node 0
+  int src1 = m.proc(6).mem;    // node 1
+  int dst = m.proc(12).mem;    // node 2
+  double bytes = pp.ib_bw;     // one second of transmission each
+  double t1 = e.copy(src0, dst, bytes, 0.0);
+  // Different source nodes, so NIC-out queues are independent — but both
+  // transfers drain through node 2's NIC-in, which serializes them.
+  double t2 = e.copy(src1, dst, bytes, 0.0);
+  EXPECT_NEAR(t1, 1.0 + pp.ib_lat, 1e-9);
+  EXPECT_NEAR(t2, 2.0 + pp.ib_lat, 1e-9);
+}
+
+TEST_F(EngineTest, ResetClearsClocksStatsAndTimeline) {
+  Machine m = Machine::gpus(2, pp);
+  Engine e(m);
+  e.recorder().enable();
+  int mem = m.proc(0).mem;
+  e.alloc_bytes(mem, 1e6);
+  e.busy_proc(0, 0.0, 1.0, "work");
+  e.copy(m.proc(0).mem, m.proc(1).mem, 1e6, 0.0);
+  e.allreduce_bytes(2, 1e3, 0.0, true);
+  e.control_advance(10e-6);
+  ASSERT_GT(e.makespan(), 0.0);
+  ASSERT_GT(e.stats().copies, 0);
+
+  e.reset();
+  EXPECT_DOUBLE_EQ(e.makespan(), 0.0);
+  EXPECT_EQ(e.stats().copies, 0);
+  EXPECT_EQ(e.stats().tasks, 0);
+  EXPECT_EQ(e.stats().allreduces, 0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_intra, 0.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_nvlink, 0.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_ib, 0.0);
+  EXPECT_TRUE(e.recorder().events().empty());
+  // Live allocations survive (they belong to the owning Runtime); peak
+  // restarts from current usage.
+  EXPECT_DOUBLE_EQ(e.used_bytes(mem), 1e6);
+  EXPECT_DOUBLE_EQ(e.peak_bytes(mem), 1e6);
+  // Every clock rewound: identical work replays to identical times.
+  EXPECT_DOUBLE_EQ(e.busy_proc(0, 0.0, 1.0), 1.0);
+  EXPECT_NEAR(e.copy(m.proc(0).mem, m.proc(1).mem, 45e9, 0.0),
+              1.0 + pp.nvlink_lat, 1e-9);
+}
+
 }  // namespace
 }  // namespace legate::sim
