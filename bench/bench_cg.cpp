@@ -28,11 +28,19 @@ apps::HostProblem problem_for(int procs) {
   return apps::poisson2d(grid);
 }
 
-double run_legate(sim::ProcKind kind, int procs, const std::string& point) {
+struct LegateRun {
+  double sim_per_iter;
+  double wall_per_iter;
+};
+
+LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& point,
+                          int threads) {
   sim::PerfParams pp;
   sim::Machine machine = kind == sim::ProcKind::GPU ? sim::Machine::gpus(procs, pp)
                                                     : sim::Machine::sockets(procs, pp);
-  rt::Runtime runtime(machine);
+  rt::RuntimeOptions opts;
+  opts.exec_threads = threads;
+  rt::Runtime runtime(machine, opts);
   runtime.engine().set_cost_scale(kScale);
   apps::HostProblem prob = problem_for(procs);
   auto A = sparse::CsrMatrix::from_host(runtime, prob.rows, prob.cols, prob.indptr,
@@ -45,10 +53,25 @@ double run_legate(sim::ProcKind kind, int procs, const std::string& point) {
   // steady-state falloff (Fig. 9: allreduce time), not data distribution.
   lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
+  double w0 = lsr_bench::wall_now();
   auto res = solve::cg(A, b, /*tol=*/0.0, kIters);
   benchmark::DoNotOptimize(res.residual);
+  runtime.fence();  // drain deferred launches before stopping the wall clock
+  double wall = (lsr_bench::wall_now() - w0) / kIters;
   lsr_bench::profile_end(runtime.engine(), point);
-  return (runtime.sim_time() - t0) / kIters;
+  return {(runtime.sim_time() - t0) / kIters, wall};
+}
+
+double run_legate(sim::ProcKind kind, int procs, const std::string& point) {
+  int threads = lsr_bench::bench_threads();
+  LegateRun run = run_legate_once(kind, procs, point, threads);
+  double wall_seq = run.wall_per_iter;
+  if (threads > 1) {
+    // Sequential reference for the measured wall-clock speedup counter.
+    wall_seq = run_legate_once(kind, procs, "", 1).wall_per_iter;
+  }
+  lsr_bench::note_wall(point, run.wall_per_iter, wall_seq, threads);
+  return run.sim_per_iter;
 }
 
 double run_petsc(sim::ProcKind kind, int procs) {

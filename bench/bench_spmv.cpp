@@ -24,11 +24,19 @@ constexpr coord_t kHalfBand = 5;
 constexpr double kScale = 64.0;
 constexpr int kIters = 5;
 
-double run_legate(sim::ProcKind kind, int procs, const std::string& point) {
+struct LegateRun {
+  double sim_per_iter;
+  double wall_per_iter;
+};
+
+LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& point,
+                          int threads) {
   sim::PerfParams pp;
   sim::Machine machine = kind == sim::ProcKind::GPU ? sim::Machine::gpus(procs, pp)
                                                     : sim::Machine::sockets(procs, pp);
-  rt::Runtime runtime(machine);
+  rt::RuntimeOptions opts;
+  opts.exec_threads = threads;
+  rt::Runtime runtime(machine, opts);
   runtime.engine().set_cost_scale(kScale);
   apps::HostProblem prob = apps::banded_matrix(kRowsPerProc * procs, kHalfBand);
   auto A = sparse::CsrMatrix::from_host(runtime, prob.rows, prob.cols, prob.indptr,
@@ -37,12 +45,27 @@ double run_legate(sim::ProcKind kind, int procs, const std::string& point) {
   auto warm = A.spmv(x);  // first iteration pays startup copies
   lsr_bench::profile_begin(runtime.engine(), point);
   double t0 = runtime.sim_time();
+  double w0 = lsr_bench::wall_now();
   for (int i = 0; i < kIters; ++i) {
     auto y = A.spmv(x);
     benchmark::DoNotOptimize(y.store().span<double>().data());
   }
+  runtime.fence();  // drain deferred launches before stopping the wall clock
+  double wall = (lsr_bench::wall_now() - w0) / kIters;
   lsr_bench::profile_end(runtime.engine(), point);
-  return (runtime.sim_time() - t0) / kIters;
+  return {(runtime.sim_time() - t0) / kIters, wall};
+}
+
+double run_legate(sim::ProcKind kind, int procs, const std::string& point) {
+  int threads = lsr_bench::bench_threads();
+  LegateRun run = run_legate_once(kind, procs, point, threads);
+  double wall_seq = run.wall_per_iter;
+  if (threads > 1) {
+    // Sequential reference for the measured wall-clock speedup counter.
+    wall_seq = run_legate_once(kind, procs, "", 1).wall_per_iter;
+  }
+  lsr_bench::note_wall(point, run.wall_per_iter, wall_seq, threads);
+  return run.sim_per_iter;
 }
 
 double run_petsc(sim::ProcKind kind, int procs) {

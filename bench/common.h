@@ -11,8 +11,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <iostream>
 #include <string>
 
@@ -41,6 +44,7 @@ struct ProfOptions {
   bool enabled = false;       ///< --prof or --trace given
   std::string trace_path;     ///< empty: summary only
   std::string filter;         ///< substring of the point name; empty: all
+  int threads = 0;            ///< --threads N executor threads (0 = env/default)
 };
 
 inline ProfOptions& prof_options() {
@@ -48,8 +52,9 @@ inline ProfOptions& prof_options() {
   return po;
 }
 
-/// Strip --prof / --trace PATH / --trace=PATH / --prof-filter SUB from argv
-/// before handing the rest to google-benchmark (which rejects unknown flags).
+/// Strip --prof / --trace PATH / --trace=PATH / --prof-filter SUB /
+/// --threads N from argv before handing the rest to google-benchmark
+/// (which rejects unknown flags).
 inline void init_prof_flags(int* argc, char** argv) {
   ProfOptions& po = prof_options();
   int out = 1;
@@ -67,11 +72,42 @@ inline void init_prof_flags(int* argc, char** argv) {
       po.trace_path = v;
     } else if (const char* v2 = value_of("--prof-filter")) {
       po.filter = v2;
+    } else if (const char* v3 = value_of("--threads")) {
+      po.threads = std::atoi(v3);
     } else {
       argv[out++] = argv[i];
     }
   }
   *argc = out;
+}
+
+/// Executor threads requested with --threads (0: let the runtime read
+/// LSR_EXEC_THREADS / default to 1).
+inline int bench_threads() { return prof_options().threads; }
+
+/// Extra per-point counters (real wall-clock seconds, measured speedup)
+/// attached by the run functions and exported by register_point.
+inline std::map<std::string, std::map<std::string, double>>& extra_counters() {
+  static std::map<std::string, std::map<std::string, double>> m;
+  return m;
+}
+
+/// Record the measured wall-clock seconds/iteration of a run executed with
+/// `threads` executor threads, plus the sequential reference when one was
+/// taken; register_point exports them as wall_s / wall_speedup counters.
+inline void note_wall(const std::string& point, double wall_s, double wall_seq_s,
+                      int threads) {
+  auto& c = extra_counters()[point];
+  c["wall_s"] = wall_s;
+  c["threads"] = threads > 0 ? threads : 1;
+  if (wall_seq_s > 0 && wall_s > 0) c["wall_speedup"] = wall_seq_s / wall_s;
+}
+
+/// Monotonic wall-clock seconds (for the real-execution speedup counters).
+inline double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 /// Whether the point `name` should be profiled under the current flags.
@@ -120,7 +156,7 @@ inline const std::vector<int>& socket_points() {
 inline void register_point(const std::string& name, int procs,
                            std::function<double()> run) {
   benchmark::RegisterBenchmark(name.c_str(),
-                               [procs, run](benchmark::State& state) {
+                               [name, procs, run](benchmark::State& state) {
                                  double sec_per_iter = 0;
                                  for (auto _ : state) {
                                    sec_per_iter = run();
@@ -129,6 +165,11 @@ inline void register_point(const std::string& name, int procs,
                                  state.counters["procs"] = procs;
                                  state.counters["iters_per_s"] =
                                      sec_per_iter > 0 ? 1.0 / sec_per_iter : 0;
+                                 auto it = extra_counters().find(name);
+                                 if (it != extra_counters().end()) {
+                                   for (const auto& [k, v] : it->second)
+                                     state.counters[k] = v;
+                                 }
                                })
       ->UseManualTime()
       ->Iterations(1)

@@ -1,17 +1,47 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full suite in the default build, then the util + rt
-# subset under ASan/UBSan so the recovery paths (spill, checkpoint/restore
-# buffer juggling) stay sanitizer-clean.
+# Tier-1 verification. Presets:
+#   (no arg)  full suite in the default build, then the asan subset
+#   default   full suite in the default build only
+#   asan      util + rt subset under ASan/UBSan (recovery paths stay clean)
+#   tsan      exec + rt subset under ThreadSanitizer with a parallel,
+#             pipelined executor (LSR_EXEC_THREADS=4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build -j
-ctest --test-dir build --output-on-failure -j
+preset="${1:-all}"
 
-cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_SANITIZE=ON
-cmake --build build-sanitize -j --target util_tests rt_tests
-ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/util_tests
-ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/rt_tests
+run_default() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j
+}
 
-echo "tier1: OK"
+run_asan() {
+  cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_SANITIZE=ON
+  cmake --build build-sanitize -j --target util_tests rt_tests
+  ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/util_tests
+  ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/rt_tests
+}
+
+run_tsan() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_TSAN=ON
+  cmake --build build-tsan -j --target exec_tests rt_tests
+  LSR_EXEC_THREADS=4 ./build-tsan/tests/exec_tests
+  LSR_EXEC_THREADS=4 ./build-tsan/tests/rt_tests
+}
+
+case "$preset" in
+  all)
+    run_default
+    run_asan
+    ;;
+  default) run_default ;;
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  *)
+    echo "usage: $0 [default|asan|tsan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "tier1 ($preset): OK"

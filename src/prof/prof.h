@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -40,6 +41,13 @@ struct Event {
   double bytes{0};
   int src_mem{-1}, dst_mem{-1};
   int src_node{-1}, dst_node{-1};
+  /// Measured wall-clock interval of the real leaf execution backing this
+  /// event (seconds since Recorder::wall_epoch()); negative when the event
+  /// has no real counterpart (copies, collectives, simulated-only paths).
+  /// Emitted as a separate process in the Chrome trace so simulated and
+  /// measured timelines can be compared side by side.
+  double wall_start{-1};
+  double wall_end{-1};
 };
 
 /// A timeline row: one hardware resource (processor, link, NIC side, copy
@@ -59,8 +67,16 @@ struct Track {
 /// timeline) and a node x node traffic matrix.
 class Recorder {
  public:
-  void enable(bool on = true) { enabled_ = on; }
+  void enable(bool on = true) {
+    enabled_ = on;
+    // Epoch for the measured wall-clock track: leaf executions stamp their
+    // real duration relative to this instant.
+    if (on) wall_epoch_ = std::chrono::steady_clock::now();
+  }
   [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::chrono::steady_clock::time_point wall_epoch() const {
+    return wall_epoch_;
+  }
 
   /// Intern a track by name; repeated calls with the same name return the
   /// same index.
@@ -78,6 +94,15 @@ class Recorder {
   /// The most recently recorded event, for attaching payload fields.
   /// Only valid immediately after record() while enabled.
   Event& last() { return events_.back(); }
+
+  /// Attach the measured wall-clock interval of the real execution backing
+  /// the most recent event (seconds since wall_epoch()). No-op when disabled
+  /// or when nothing has been recorded yet.
+  void set_last_wall(double w0, double w1) {
+    if (!enabled_ || events_.empty()) return;
+    events_.back().wall_start = w0;
+    events_.back().wall_end = w1;
+  }
 
   /// Push the most recent event's end time out to `new_end`, keeping the
   /// completion index and track clock consistent (payload collectives add a
@@ -103,6 +128,7 @@ class Recorder {
 
  private:
   bool enabled_{false};
+  std::chrono::steady_clock::time_point wall_epoch_{};
   std::vector<Event> events_;
   std::vector<Track> tracks_;
   std::unordered_map<std::string, int> track_ids_;

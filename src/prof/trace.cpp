@@ -94,6 +94,45 @@ std::string chrome_trace_json(const Recorder& rec) {
     if (ev.dst_node >= 0) os << ",\"dst_node\":" << ev.dst_node;
     os << "}}";
   }
+
+  // Measured wall-clock timeline: events carrying a real leaf-execution
+  // interval are emitted a second time under a dedicated process, on the
+  // same logical track ids, so the simulated and measured timelines can be
+  // compared side by side in the viewer. Wall timestamps are seconds since
+  // Recorder::wall_epoch().
+  constexpr int kWallPid = 999;
+  bool wall_meta = false;
+  std::vector<int> wall_tracks;
+  for (const Event& ev : rec.events()) {
+    if (ev.wall_end < 0) continue;
+    if (!wall_meta) {
+      wall_meta = true;
+      sep();
+      os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << kWallPid
+         << ",\"args\":{\"name\":\"measured wall-clock\"}}";
+    }
+    bool new_track = true;
+    for (int t : wall_tracks) new_track = new_track && t != ev.track;
+    if (new_track) {
+      wall_tracks.push_back(ev.track);
+      const Track& tr = rec.tracks()[static_cast<std::size_t>(ev.track)];
+      sep();
+      os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << kWallPid
+         << ",\"tid\":" << ev.track << ",\"args\":{";
+      append_str(os, "name", tr.name, /*comma=*/false);
+      os << "}}";
+    }
+    sep();
+    os << '{';
+    append_str(os, "name", ev.name.empty() ? category_name(ev.cat) : ev.name);
+    append_str(os, "cat", "wall");
+    os << "\"ph\":\"X\",\"ts\":" << ev.wall_start * 1e6
+       << ",\"dur\":" << (ev.wall_end - ev.wall_start) * 1e6 << ',';
+    os << "\"pid\":" << kWallPid << ",\"tid\":" << ev.track << ",\"args\":{";
+    os << "\"id\":" << ev.id << ",\"sim_start\":" << ev.start
+       << ",\"sim_end\":" << ev.end;
+    os << "}}";
+  }
   os << "]}";
   return os.str();
 }

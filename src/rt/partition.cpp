@@ -2,6 +2,12 @@
 
 namespace legate::rt {
 
+std::uint64_t Partition::next_uid() {
+  // Atomic only for safety; partitions are created on the control thread.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::shared_ptr<const Partition> Partition::equal(coord_t extent, int colors) {
   LSR_CHECK(colors >= 1);
   std::vector<Interval> subs;

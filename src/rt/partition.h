@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -21,10 +23,18 @@ namespace legate::rt {
 class Partition {
  public:
   Partition(std::vector<Interval> subs, bool disjoint)
-      : subs_(std::move(subs)), disjoint_(disjoint) {}
+      : subs_(std::move(subs)), disjoint_(disjoint), uid_(next_uid()) {}
   Partition(std::vector<Interval> subs, std::vector<IntervalSet> precise,
             bool disjoint)
-      : subs_(std::move(subs)), precise_(std::move(precise)), disjoint_(disjoint) {}
+      : subs_(std::move(subs)), precise_(std::move(precise)), disjoint_(disjoint),
+        uid_(next_uid()) {}
+
+  /// Process-unique identity, assigned at construction. Caches key on this
+  /// instead of the object address: a freed partition's address can be
+  /// reused by an unrelated one, which would silently alias cache entries
+  /// (and made cache hit/miss sequences — hence simulated control-lane
+  /// time — depend on heap layout).
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
 
   [[nodiscard]] int colors() const { return static_cast<int>(subs_.size()); }
   [[nodiscard]] Interval sub(int color) const { return subs_.at(color); }
@@ -45,9 +55,12 @@ class Partition {
   }
 
  private:
+  static std::uint64_t next_uid();
+
   std::vector<Interval> subs_;
   std::vector<IntervalSet> precise_;  ///< empty, or one set per color
   bool disjoint_;
+  std::uint64_t uid_;
 };
 
 using PartitionRef = std::shared_ptr<const Partition>;

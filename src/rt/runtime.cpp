@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
 #include "rt/checkpoint.h"
+#include "rt/runtime_detail.h"
 
 namespace legate::rt {
+
+using detail::LaunchRecord;
 
 // ---------------------------------------------------------------------------
 // StoreImpl
@@ -19,7 +23,10 @@ StoreImpl::StoreImpl(Runtime* rt_, StoreId id_, DType dtype_,
                      std::vector<coord_t> shape_)
     : rt(rt_), id(id_), dtype(dtype_), shape(std::move(shape_)) {
   LSR_CHECK(shape.size() == 1 || shape.size() == 2);
-  data.resize(static_cast<std::size_t>(volume()) * dtype_size(dtype));
+  // Shared buffer: deferred launches (legate::exec) keep the bytes alive
+  // through StoreViews past this handle's destruction.
+  data = std::make_shared<std::vector<std::byte>>(
+      static_cast<std::size_t>(volume()) * dtype_size(dtype));
 }
 
 StoreImpl::~StoreImpl() {
@@ -66,37 +73,23 @@ struct Runtime::MemState {
 // TaskContext
 // ---------------------------------------------------------------------------
 
-Interval TaskContext::interval(int arg) const { return (*arg_intervals_)[arg]; }
-
-Interval TaskContext::elem_interval(int arg) const {
-  Interval iv = (*arg_intervals_)[arg];
-  coord_t stride = launcher_->args_[arg].store.stride();
-  return {iv.lo * stride, iv.hi * stride};
+Interval TaskContext::interval(int arg) const {
+  return rec_->ivs[static_cast<std::size_t>(color_)][static_cast<std::size_t>(arg)];
 }
 
-const Store& TaskContext::store(int arg) const { return launcher_->args_[arg].store; }
+Interval TaskContext::elem_interval(int arg) const {
+  Interval iv = interval(arg);
+  coord_t stride = rec_->args[static_cast<std::size_t>(arg)].view.stride;
+  return {iv.lo * stride, iv.hi * stride};
+}
 
 std::span<std::byte> TaskContext::arg_bytes(int arg) const {
   if (reduce_bufs_ != nullptr && !(*reduce_bufs_)[arg].empty()) {
     return {(*reduce_bufs_)[arg].data(), (*reduce_bufs_)[arg].size()};
   }
-  // Access the raw buffer through the typed span of the store's real dtype.
-  const Store& s = launcher_->args_[arg].store;
-  switch (s.dtype()) {
-    case DType::F64: {
-      auto t = s.span<double>();
-      return {reinterpret_cast<std::byte*>(t.data()), t.size_bytes()};
-    }
-    case DType::I64: {
-      auto t = s.span<coord_t>();
-      return {reinterpret_cast<std::byte*>(t.data()), t.size_bytes()};
-    }
-    case DType::Rect1: {
-      auto t = s.span<Rect1>();
-      return {reinterpret_cast<std::byte*>(t.data()), t.size_bytes()};
-    }
-  }
-  return {};
+  // Canonical bytes through the record's view — deliberately NOT Store::raw()
+  // (that is a fence point; leaves may run mid-pipeline on pool threads).
+  return rec_->args[static_cast<std::size_t>(arg)].view.raw();
 }
 
 void TaskContext::add_cost(double bytes, double flops, double efficiency) {
@@ -187,6 +180,24 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   for (std::size_t i = 0; i < machine_.memories().size(); ++i) {
     mem_state_.push_back(std::make_unique<MemState>());
   }
+  // Real execution backend (legate::exec). Thread count / pipelining come
+  // from options, falling back to LSR_EXEC_THREADS / LSR_EXEC_PIPELINE.
+  int threads = opts_.exec_threads;
+  if (threads <= 0) {
+    if (const char* e = std::getenv("LSR_EXEC_THREADS")) threads = std::atoi(e);
+    if (threads <= 0) threads = 1;
+  }
+  exec_threads_ = threads;
+  int pl = opts_.exec_pipeline;
+  if (pl < 0) {
+    pl = 1;
+    if (const char* e = std::getenv("LSR_EXEC_PIPELINE")) pl = std::atoi(e);
+  }
+  // Fault-injection retries must observe real completion at every launch, so
+  // pipelining is only active on fault-free runs.
+  pipeline_ = exec_threads_ > 1 && pl != 0 && !opts_.faults.enabled;
+  if (exec_threads_ > 1) pool_ = std::make_unique<exec::Pool>(exec_threads_);
+
   if (opts_.faults.enabled) {
     injector_ = std::make_unique<sim::FaultInjector>(opts_.faults);
     // Phantom reservation shrinking every framebuffer, so the spill path can
@@ -202,6 +213,13 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
 }
 
 Runtime::~Runtime() {
+  // Finish any deferred work before tearing the machine state down; errors
+  // surfacing this late have nowhere to go.
+  try {
+    fence();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+  pool_.reset();
   for (auto* impl : live_stores_) impl->rt = nullptr;
 }
 
@@ -214,6 +232,7 @@ Store Runtime::create_store(DType dtype, std::vector<coord_t> shape) {
 }
 
 void Runtime::mark_attached(const Store& s) {
+  fence();  // attachment observes and republishes the canonical bytes
   auto& ss = sync(s.id());
   ss.version_counter = 1;
   ss.version.assign(s.extent(), 1);
@@ -231,9 +250,30 @@ void Runtime::mark_attached(const Store& s) {
 
 void Runtime::on_store_destroyed(detail::StoreImpl* impl) {
   live_stores_.erase(impl);
+  StoreId id = impl->id;
+  if (pipeline_) {
+    // The id is unreachable from future launches; retire its eager state.
+    // (Pending nodes stay alive through the pool queue and their records.)
+    hazards_.erase(id);
+    eager_epoch_.erase(id);
+    for (auto it = eager_images_.begin(); it != eager_images_.end();) {
+      it = it->first.src == id ? eager_images_.erase(it) : std::next(it);
+    }
+  }
   double esize = static_cast<double>(dtype_size(impl->dtype));
+  if (!sim_queue_.empty()) {
+    // Queued launches may still reference this store's sync state; release
+    // at the store's position in the replayed stream so pool/coalescing/OOM
+    // behavior is identical to sequential execution.
+    sim_queue_.push_back([this, id, esize] { release_store(id, esize); });
+  } else {
+    release_store(id, esize);
+  }
+}
+
+void Runtime::release_store(StoreId id, double esize) {
   for (std::size_t mem = 0; mem < mem_state_.size(); ++mem) {
-    auto it = mem_state_[mem]->allocs.find(impl->id);
+    auto it = mem_state_[mem]->allocs.find(id);
     if (it == mem_state_[mem]->allocs.end()) continue;
     for (auto& a : it->second) {
       engine_->free_bytes(static_cast<int>(mem),
@@ -245,7 +285,7 @@ void Runtime::on_store_destroyed(detail::StoreImpl* impl) {
     }
     mem_state_[mem]->allocs.erase(it);
   }
-  sync_.erase(impl->id);
+  sync_.erase(id);
 }
 
 Runtime::SyncState& Runtime::sync(StoreId id) {
@@ -254,25 +294,22 @@ Runtime::SyncState& Runtime::sync(StoreId id) {
   return *it->second;
 }
 
-PartitionRef Runtime::key_partition(const Store& s) const {
+PartitionRef Runtime::key_partition(const Store& s) {
+  fence();  // key assignment happens during simulated replay
   auto it = sync_.find(s.id());
   return it == sync_.end() ? nullptr : it->second->key;
 }
 
-PartitionRef Runtime::image_partition(const Store& src, const PartitionRef& src_part,
-                                      ConstraintKind kind) {
-  auto& ss = sync(src.id());
-  ImageKey key{src.id(), src_part.get(), kind, ss.epoch};
-  if (auto it = image_cache_.find(key); it != image_cache_.end()) return it->second;
+namespace detail {
 
-  // Dependent partitioning runs on the runtime's control path.
-  engine_->control_advance(5e-6, "dependent-partitioning");
+PartitionRef build_image_partition(const StoreView& src, const Partition& src_part,
+                                   ConstraintKind kind) {
   std::vector<Interval> subs;
-  subs.reserve(src_part->colors());
+  subs.reserve(src_part.colors());
   if (kind == ConstraintKind::ImageRects) {
     auto data = src.span<Rect1>();
-    for (int c = 0; c < src_part->colors(); ++c) {
-      Interval s = src_part->sub(c).intersect(src.extent());
+    for (int c = 0; c < src_part.colors(); ++c) {
+      Interval s = src_part.sub(c).intersect(src.extent());
       coord_t lo = 0, hi = -1;
       bool any = false;
       for (coord_t i = s.lo; i < s.hi; ++i) {
@@ -289,10 +326,7 @@ PartitionRef Runtime::image_partition(const Store& src, const PartitionRef& src_
       }
       subs.emplace_back(any ? Interval{lo, hi + 1} : Interval{});
     }
-    auto part = std::make_shared<const Partition>(std::move(subs), /*disjoint=*/false);
-    ++partitions_created_;
-    image_cache_.emplace(key, part);
-    return part;
+    return std::make_shared<const Partition>(std::move(subs), /*disjoint=*/false);
   }
 
   LSR_CHECK(kind == ConstraintKind::ImagePoints);
@@ -304,11 +338,11 @@ PartitionRef Runtime::image_partition(const Store& src, const PartitionRef& src_
   // balloon (the paper's 64-GPU OOM).
   auto data = src.span<coord_t>();
   std::vector<IntervalSet> precise;
-  precise.reserve(static_cast<std::size_t>(src_part->colors()));
+  precise.reserve(static_cast<std::size_t>(src_part.colors()));
   std::vector<coord_t> touched;
   bool any_sparse = false;
-  for (int c = 0; c < src_part->colors(); ++c) {
-    Interval s = src_part->sub(c).intersect(src.extent());
+  for (int c = 0; c < src_part.colors(); ++c) {
+    Interval s = src_part.sub(c).intersect(src.extent());
     coord_t lo = 0, hi = -1;
     bool any = false;
     touched.clear();
@@ -343,34 +377,65 @@ PartitionRef Runtime::image_partition(const Store& src, const PartitionRef& src_
     }
     precise.push_back(std::move(set));
   }
-  PartitionRef part;
   if (any_sparse) {
-    part = std::make_shared<const Partition>(std::move(subs), std::move(precise),
+    return std::make_shared<const Partition>(std::move(subs), std::move(precise),
                                              /*disjoint=*/false);
+  }
+  // Dense image: the bounding interval is (nearly) exact; skip the
+  // precise sets to keep validity bookkeeping cheap.
+  return std::make_shared<const Partition>(std::move(subs), /*disjoint=*/false);
+}
+
+}  // namespace detail
+
+PartitionRef Runtime::image_partition(const detail::StoreView& src,
+                                      const PartitionRef& src_part,
+                                      ConstraintKind kind,
+                                      const PartitionRef& precomputed) {
+  auto& ss = sync(src.id);
+  ImageKey key{src.id, src_part->uid(), kind, ss.epoch};
+  if (auto it = image_cache_.find(key); it != image_cache_.end()) return it->second;
+
+  // Dependent partitioning runs on the runtime's control path.
+  engine_->control_advance(5e-6, "dependent-partitioning");
+  // Deferred replay must not scan the canonical bytes (later launches have
+  // already overwritten them) — it injects the image computed eagerly at
+  // issue time, which saw exactly the data this stream position implies.
+  // Rewrap the injected image in a fresh Partition: an eager run builds a
+  // new object on every miss, and chained-image cache keys embed that
+  // object's uid, so reusing the memoized eager object (stable uid across
+  // launches) would turn downstream misses into hits and skew accounting.
+  PartitionRef part;
+  if (precomputed) {
+    std::vector<IntervalSet> precise;
+    if (precomputed->colors() > 0 && precomputed->precise(0) != nullptr) {
+      precise.reserve(precomputed->subs().size());
+      for (int c = 0; c < precomputed->colors(); ++c) precise.push_back(*precomputed->precise(c));
+    }
+    part = std::make_shared<const Partition>(precomputed->subs(), std::move(precise),
+                                             precomputed->disjoint());
   } else {
-    // Dense image: the bounding interval is (nearly) exact; skip the
-    // precise sets to keep validity bookkeeping cheap.
-    part = std::make_shared<const Partition>(std::move(subs), /*disjoint=*/false);
+    part = detail::build_image_partition(src, *src_part, kind);
   }
   ++partitions_created_;
   image_cache_.emplace(key, part);
   return part;
 }
 
-Runtime::Alloc& Runtime::find_or_create_alloc(const Store& store, Interval elem,
-                                              int mem) {
-  auto& allocs = mem_state_[mem]->allocs[store.id()];
+Runtime::Alloc& Runtime::find_or_create_alloc(const detail::StoreView& store,
+                                              Interval elem, int mem) {
+  auto& allocs = mem_state_[mem]->allocs[store.id];
   for (auto& a : allocs) {
     if (a.extent.contains(elem)) {
       a.last_use = ++use_tick_;
       return a;
     }
   }
-  double esize = static_cast<double>(dtype_size(store.dtype()));
+  double esize = static_cast<double>(dtype_size(store.dtype));
 
   if (!opts_.coalescing) {
     // Ablation mode: exact-extent allocation per new requirement.
-    alloc_with_spill(mem, static_cast<double>(elem.size()) * esize, store.id());
+    alloc_with_spill(mem, static_cast<double>(elem.size()) * esize, store.id);
     allocs.push_back(Alloc{elem, {}, {}, ++use_tick_, esize});
     return allocs.back();
   }
@@ -385,7 +450,7 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const Store& store, Interval elem,
       if (it->contains(elem) && it->size() <= 2 * elem.size() + 64) {
         Interval ext = *it;
         pool.erase(it);
-        alloc_with_spill(mem, static_cast<double>(ext.size()) * esize, store.id());
+        alloc_with_spill(mem, static_cast<double>(ext.size()) * esize, store.id);
         allocs.push_back(Alloc{ext, {}, {}, ++use_tick_, esize});
         return allocs.back();
       }
@@ -411,7 +476,7 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const Store& store, Interval elem,
   }
 
   Alloc merged_alloc{ext, {}, {}, ++use_tick_, esize};
-  alloc_with_spill(mem, static_cast<double>(ext.size()) * esize, store.id());
+  alloc_with_spill(mem, static_cast<double>(ext.size()) * esize, store.id);
   for (std::size_t i : merged) {
     Alloc& old = allocs[i];
     // Intra-memory copy of the valid contents into the resized allocation.
@@ -441,15 +506,15 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const Store& store, Interval elem,
   return allocs.back();
 }
 
-double Runtime::ensure_in_memory(const Store& store, Interval elem, int mem,
-                                 bool discard, const IntervalSet* precise) {
+double Runtime::ensure_in_memory(const detail::StoreView& store, Interval elem,
+                                 int mem, bool discard, const IntervalSet* precise) {
   if (elem.empty()) return 0.0;
-  auto& ss = sync(store.id());
+  auto& ss = sync(store.id);
   // The instance always covers the bounding interval (rectangular
   // allocation), but when a precise image is available only the touched
   // pieces are staged.
   Alloc& alloc = find_or_create_alloc(store, elem, mem);
-  double esize = static_cast<double>(dtype_size(store.dtype()));
+  double esize = static_cast<double>(dtype_size(store.dtype));
 
   double data_ready = 0;
   // Resize copies recorded their completion in `ready`; account for them.
@@ -656,6 +721,7 @@ void Runtime::poll_faults() {
 }
 
 Checkpoint Runtime::checkpoint(const std::vector<Store>& stores) {
+  fence();  // the snapshot must observe fully-written real data
   Checkpoint ck;
   double ready = engine_->control_advance(task_overhead_, "checkpoint");
   double bytes = 0;
@@ -676,6 +742,7 @@ Checkpoint Runtime::checkpoint(const std::vector<Store>& stores) {
 }
 
 double Runtime::restore(const Checkpoint& ckpt) {
+  fence();  // in-flight work must not race the canonical rewrite
   double ready = engine_->control_advance(task_overhead_, "restore");
   double done = engine_->checkpoint_io(ckpt.bytes(), ready, /*restore=*/true);
   for (const auto& e : ckpt.entries_) {
@@ -690,7 +757,7 @@ double Runtime::restore(const Checkpoint& ckpt) {
     ss.owner.assign(ext, machine_.home_memory());
     ss.last_write.assign(ext, done);
     ss.readers.clear();
-    Alloc& a = find_or_create_alloc(e.store, ext, machine_.home_memory());
+    Alloc& a = find_or_create_alloc(e.store.view(), ext, machine_.home_memory());
     a.held.assign(ext, ss.version_counter);
     a.ready.assign(ext, done);
     poisoned_stores_.erase(e.store.id());
@@ -700,6 +767,7 @@ double Runtime::restore(const Checkpoint& ckpt) {
 
 double Runtime::shuffle(const Store& in, const Store& out,
                         const std::function<void()>& body) {
+  fence();  // `body` reads/writes canonical bytes on the control thread
   const int P = machine_.num_procs();
   poll_faults();
   double t_launch = engine_->control_advance(task_overhead_, "shuffle");
@@ -750,7 +818,7 @@ double Runtime::shuffle(const Store& in, const Store& out,
     sout.version.assign(elem, sout.version_counter);
     sout.owner.assign(elem, proc.mem);
     sout.last_write.assign(elem, done);
-    Alloc& alloc = find_or_create_alloc(out, elem, proc.mem);
+    Alloc& alloc = find_or_create_alloc(out.view(), elem, proc.mem);
     alloc.held.assign(elem, sout.version_counter);
     alloc.ready.assign(elem, done);
     max_done = std::max(max_done, done);
@@ -768,61 +836,92 @@ double Runtime::shuffle(const Store& in, const Store& out,
   return max_done;
 }
 
-Future Runtime::execute(TaskLauncher& L) {
-  const auto& pp = machine_.params();
-  poll_faults();
-  double t_launch = engine_->control_advance(task_overhead_, L.name_);
 
-  // Timeline label: operation name plus provenance (launcher tag, else the
-  // enclosing provenance scope). Built only while profiling — with the
-  // recorder off this is one branch and an empty string_view.
-  std::string prof_label;
-  if (engine_->profiling()) {
-    prof_label = L.name_;
-    const std::string& prov =
-        !L.provenance_.empty() ? L.provenance_ : current_provenance();
-    if (!prov.empty()) prof_label += " @" + prov;
+// ---------------------------------------------------------------------------
+// Task execution: issue (execute) + simulated accounting (sim_apply)
+// ---------------------------------------------------------------------------
+
+Future Runtime::execute(TaskLauncher& L) {
+  LSR_CHECK_MSG(L.leaf_ != nullptr, "task has no leaf function");
+  auto R = make_record(L);
+
+  if (!pipeline_ || R->has_redop) {
+    // Scalar futures resolve immediately (a fence point); without pipelining
+    // the launch is applied in place. Leaves still run on the pool when
+    // exec_threads > 1 — intra-launch parallelism needs no deferral.
+    if (R->has_redop) fence();
+    sim_apply(*R, /*deferred=*/false);
+    return R->result;
   }
 
-  const int nargs = static_cast<int>(L.args_.size());
-  LSR_CHECK_MSG(L.leaf_ != nullptr, "task has no leaf function");
+  // Pipelined: solve constraints now (images need real data, waiting only on
+  // this launch's producers), hand the leaf bodies to the task graph, and
+  // defer every simulated effect to the fence, replayed in issue order.
+  eager_solve(*R);
+  enqueue_record(R);
+  sim_queue_.push_back([this, R] {
+    if (R->node) pool_->wait(R->node);
+    sim_apply(*R, /*deferred=*/true);
+  });
+  // Backstop: bound deferred state so pathological fence-free programs can't
+  // accumulate unbounded records.
+  if (sim_queue_.size() >= 1024) fence();
+  // Non-scalar launches return an empty future, exactly as the sequential
+  // path does on a fault-free run (poison requires fault injection, which
+  // disables pipelining).
+  return Future{};
+}
+
+void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
+  const auto& pp = machine_.params();
+  if (deferred) {
+    // Leaves already ran on the pool; surface the first (lowest-color) leaf
+    // failure at the fence, in issue order.
+    if (auto err = R.first_error()) std::rethrow_exception(err);
+  }
+  poll_faults();
+  double t_launch = engine_->control_advance(task_overhead_, R.name);
+
+  const int nargs = static_cast<int>(R.args.size());
 
   // ---- 1. Choose the color count ----------------------------------------
-  int colors = L.forced_colors_ > 0 ? L.forced_colors_ : default_colors();
+  int colors = R.forced_colors > 0 ? R.forced_colors : default_colors();
   coord_t primary_basis = 0;
-  for (const auto& a : L.args_) {
+  for (const auto& a : R.args) {
     if (a.ckind == ConstraintKind::None && a.priv != Priv::Reduce) {
-      primary_basis = std::max(primary_basis, a.store.basis());
+      primary_basis = std::max(primary_basis, a.view.basis);
     }
   }
   if (primary_basis > 0) {
     colors = static_cast<int>(
         std::min<coord_t>(colors, std::max<coord_t>(1, primary_basis)));
   }
+  LSR_CHECK_MSG(!deferred || colors == R.colors,
+                "deferred color count diverged from eager solve");
 
   // ---- 2. Solve partitioning constraints (Section 4.1) -------------------
-  std::vector<PartitionRef> parts(nargs);
+  std::vector<PartitionRef> parts(static_cast<std::size_t>(nargs));
   // Alignment groups first: reuse a key partition of the largest member when
   // it satisfies the constraints, else make a fresh equal partition.
   std::unordered_map<int, std::vector<int>> groups;
   for (int i = 0; i < nargs; ++i) {
-    auto& a = L.args_[i];
+    const auto& a = R.args[i];
     if (a.ckind == ConstraintKind::None && a.priv != Priv::Reduce) {
-      groups[L.find_root(i)].push_back(i);
+      groups[a.root].push_back(i);
     }
   }
   for (auto& [root, members] : groups) {
-    coord_t basis = L.args_[members[0]].store.basis();
+    coord_t basis = R.args[members[0]].view.basis;
     PartitionRef chosen;
     if (opts_.partition_reuse) {
       // Prefer the key partition of the largest store in the group
       // ("keep the largest region in place").
       std::vector<int> order = members;
       std::sort(order.begin(), order.end(), [&](int x, int y) {
-        return L.args_[x].store.volume() > L.args_[y].store.volume();
+        return R.args[x].view.volume > R.args[y].view.volume;
       });
       for (int m : order) {
-        auto key = sync(L.args_[m].store.id()).key;
+        auto key = sync(R.args[m].view.id).key;
         if (key && key->colors() == colors && key->disjoint()) {
           // The key partition must cover this basis exactly.
           coord_t hi = 0;
@@ -842,10 +941,10 @@ Future Runtime::execute(TaskLauncher& L) {
   }
   // Broadcast & reduce arguments see the whole store from every point.
   for (int i = 0; i < nargs; ++i) {
-    auto& a = L.args_[i];
+    const auto& a = R.args[i];
     if (a.ckind == ConstraintKind::Broadcast || a.priv == Priv::Reduce) {
       std::vector<Interval> whole(static_cast<std::size_t>(colors),
-                                  Interval{0, a.store.basis()});
+                                  Interval{0, a.view.basis});
       parts[i] = std::make_shared<const Partition>(std::move(whole), false);
     }
   }
@@ -853,7 +952,7 @@ Future Runtime::execute(TaskLauncher& L) {
   for (int pass = 0; pass < nargs; ++pass) {
     bool progress = false, pending = false;
     for (int i = 0; i < nargs; ++i) {
-      auto& a = L.args_[i];
+      const auto& a = R.args[i];
       if (a.ckind != ConstraintKind::ImageRects &&
           a.ckind != ConstraintKind::ImagePoints && a.ckind != ConstraintKind::Halo)
         continue;
@@ -871,13 +970,14 @@ Future Runtime::execute(TaskLauncher& L) {
             continue;
           }
           Interval expanded{s.lo + a.halo_lo, s.hi + a.halo_hi};
-          subs.push_back(expanded.intersect({0, a.store.basis()}));
+          subs.push_back(expanded.intersect({0, a.view.basis}));
         }
         parts[i] = std::make_shared<const Partition>(std::move(subs), false);
         ++partitions_created_;
       } else {
-        parts[i] =
-            image_partition(L.args_[a.image_src].store, parts[a.image_src], a.ckind);
+        parts[i] = image_partition(
+            R.args[a.image_src].view, parts[a.image_src], a.ckind,
+            deferred ? R.eager_parts[static_cast<std::size_t>(i)] : nullptr);
       }
       progress = true;
     }
@@ -889,25 +989,58 @@ Future Runtime::execute(TaskLauncher& L) {
   // Pin this launch's stores so OOM spilling never evicts in-flight
   // arguments, and compute launch-level poison: a poisoned future dependence
   // or a poisoned input taints everything this launch writes.
-  bool poisoned = L.poisoned_dep_;
-  for (const auto& a : L.args_) {
-    pinned_.insert(a.store.id());
-    if (a.priv != Priv::WriteDiscard && poisoned_stores_.count(a.store.id()) > 0) {
+  bool poisoned = R.poisoned_dep;
+  for (const auto& a : R.args) {
+    pinned_.insert(a.view.id);
+    if (a.priv != Priv::WriteDiscard && poisoned_stores_.count(a.view.id) > 0) {
       poisoned = true;
     }
   }
 
+  // Per-point basis intervals. For a deferred launch these must match what
+  // the eager solve used — the proof that key-partition reuse only ever
+  // reuses structurally-equal partitions, checked here at runtime.
+  std::vector<std::vector<Interval>> point_ivs(static_cast<std::size_t>(colors));
+  std::vector<char> all_empty(static_cast<std::size_t>(colors), 1);
+  for (int c = 0; c < colors; ++c) {
+    auto& ivs = point_ivs[static_cast<std::size_t>(c)];
+    ivs.resize(static_cast<std::size_t>(nargs));
+    for (int i = 0; i < nargs; ++i) {
+      ivs[i] = parts[i]->sub(c).intersect({0, R.args[i].view.basis});
+      if (!ivs[i].empty() && R.args[i].ckind != ConstraintKind::Broadcast) {
+        all_empty[static_cast<std::size_t>(c)] = 0;
+      }
+    }
+    if (deferred) {
+      for (int i = 0; i < nargs; ++i) {
+        LSR_CHECK_MSG(ivs[i] == R.ivs[static_cast<std::size_t>(c)][i],
+                      "deferred point intervals diverged from eager solve");
+      }
+    }
+  }
+  if (!deferred) {
+    R.colors = colors;
+    R.ivs = point_ivs;
+    R.all_empty = all_empty;
+    // Run the leaf bodies for real (inline, or parallel-for on the pool).
+    // Leaves touch no simulated state, so running them before the
+    // dependence/accounting passes keeps the engine-op sequence identical
+    // to the pre-exec runtime.
+    run_leaves(R);
+    if (auto err = R.first_error()) std::rethrow_exception(err);
+  }
+
   // ---- 3. Pass A: dependence analysis against pre-launch state -----------
-  double t_base = std::max(t_launch, L.future_dep_);
+  double t_base = std::max(t_launch, R.future_dep);
   std::vector<double> dep_time(static_cast<std::size_t>(colors), t_base);
   for (int c = 0; c < colors; ++c) {
     double t = t_base;
     for (int i = 0; i < nargs; ++i) {
-      auto& a = L.args_[i];
-      Interval iv = parts[i]->sub(c).intersect({0, a.store.basis()});
-      Interval elem{iv.lo * a.store.stride(), iv.hi * a.store.stride()};
+      const auto& a = R.args[i];
+      Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
+      Interval elem{iv.lo * a.view.stride, iv.hi * a.view.stride};
       if (elem.empty()) continue;
-      auto& ss = sync(a.store.id());
+      auto& ss = sync(a.view.id);
       if (a.priv != Priv::WriteDiscard) {
         // RAW: wait for writers of data we read (also ReadWrite/Reduce).
         ss.last_write.for_each_in(elem,
@@ -925,22 +1058,9 @@ Future Runtime::execute(TaskLauncher& L) {
     dep_time[c] = t;
   }
 
-  // ---- 4. Pass B: map, move data, and execute ----------------------------
+  // ---- 4. Pass B: map, move data, account execution ----------------------
   std::vector<double> completion(static_cast<std::size_t>(colors), t_launch);
-  std::vector<std::vector<Interval>> point_ivs(static_cast<std::size_t>(colors));
   std::vector<int> point_mem(static_cast<std::size_t>(colors), machine_.home_memory());
-
-  // Reduction partial buffers (zero-initialized per point) + accumulators.
-  std::vector<std::vector<std::byte>> reduce_bufs(static_cast<std::size_t>(nargs));
-  std::vector<std::vector<double>> reduce_acc(static_cast<std::size_t>(nargs));
-  for (int i = 0; i < nargs; ++i) {
-    if (L.args_[i].priv == Priv::Reduce) {
-      LSR_CHECK_MSG(L.args_[i].store.dtype() == DType::F64,
-                    "store reductions support f64 only");
-      reduce_acc[i].assign(static_cast<std::size_t>(L.args_[i].store.volume()), 0.0);
-    }
-  }
-
   std::vector<double> partials;
   double max_completion = t_launch;
 
@@ -950,16 +1070,7 @@ Future Runtime::execute(TaskLauncher& L) {
     const auto& proc = machine_.proc(proc_id);
     point_mem[static_cast<std::size_t>(c)] = proc.mem;
 
-    // Compute per-arg basis intervals; skip fully-empty points.
-    std::vector<Interval> ivs(static_cast<std::size_t>(nargs));
-    bool all_empty = true;
-    for (int i = 0; i < nargs; ++i) {
-      ivs[i] = parts[i]->sub(c).intersect({0, L.args_[i].store.basis()});
-      if (!ivs[i].empty() && L.args_[i].ckind != ConstraintKind::Broadcast)
-        all_empty = false;
-    }
-    point_ivs[static_cast<std::size_t>(c)] = ivs;
-    if (all_empty) {
+    if (all_empty[static_cast<std::size_t>(c)] != 0) {
       completion[static_cast<std::size_t>(c)] = dep_time[static_cast<std::size_t>(c)];
       continue;
     }
@@ -967,45 +1078,24 @@ Future Runtime::execute(TaskLauncher& L) {
     // Stage the data (allocation + validity machinery).
     double data_ready = dep_time[static_cast<std::size_t>(c)];
     for (int i = 0; i < nargs; ++i) {
-      auto& a = L.args_[i];
+      const auto& a = R.args[i];
       if (a.priv == Priv::Reduce) continue;  // partials live in temp buffers
-      Interval elem{ivs[i].lo * a.store.stride(), ivs[i].hi * a.store.stride()};
+      Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
+      Interval elem{iv.lo * a.view.stride, iv.hi * a.view.stride};
       bool discard = a.priv == Priv::WriteDiscard;
       const IntervalSet* precise =
-          a.store.stride() == 1 ? parts[i]->precise(c) : nullptr;
+          a.view.stride == 1 ? parts[i]->precise(c) : nullptr;
       data_ready = std::max(
-          data_ready, ensure_in_memory(a.store, elem, proc.mem, discard, precise));
+          data_ready, ensure_in_memory(a.view, elem, proc.mem, discard, precise));
     }
 
-    // Execute the leaf for real.
-    TaskContext ctx;
-    ctx.color_ = c;
-    ctx.colors_ = colors;
-    ctx.launcher_ = &L;
-    ctx.arg_intervals_ = &point_ivs[static_cast<std::size_t>(c)];
-    for (int i = 0; i < nargs; ++i) {
-      if (L.args_[i].priv == Priv::Reduce) {
-        reduce_bufs[i].assign(
-            static_cast<std::size_t>(L.args_[i].store.volume()) * sizeof(double),
-            std::byte{0});
-      }
-    }
-    ctx.reduce_bufs_ = &reduce_bufs;
-    L.leaf_(ctx);
-
-    // Fold reduction partials into the accumulators.
-    for (int i = 0; i < nargs; ++i) {
-      if (L.args_[i].priv != Priv::Reduce) continue;
-      const double* src = reinterpret_cast<const double*>(reduce_bufs[i].data());
-      for (std::size_t k = 0; k < reduce_acc[i].size(); ++k) reduce_acc[i][k] += src[k];
-      reduce_bufs[i].clear();
-    }
-    if (ctx.contributed_) partials.push_back(ctx.partial_);
-
-    // Charge simulated time.
-    sim::Cost cost = ctx.cost_;
+    // Charge the recorded leaf cost (the real execution already happened in
+    // run_leaves — inline for this launch, or earlier on the pool).
+    const auto& po = R.out[static_cast<std::size_t>(c)];
+    if (po.contributed) partials.push_back(po.partial);
+    sim::Cost cost = po.cost;
     if (opts_.model_reshape && proc.kind == sim::ProcKind::GPU) {
-      cost.bytes += ctx.reshape_bytes_ * pp.legate_csr_reshape_fraction;
+      cost.bytes += po.reshape * pp.legate_csr_reshape_fraction;
     }
     cost.bytes *= engine_->cost_scale();
     cost.flops *= engine_->cost_scale();
@@ -1013,12 +1103,12 @@ Future Runtime::execute(TaskLauncher& L) {
         proc.kind, cost, proc.kind == sim::ProcKind::CPU ? cpu_fraction_ : 1.0);
     if (proc.kind == sim::ProcKind::GPU) duration += pp.gpu_kernel_launch;
     engine_->note_task();
-    // Transient-fault model. The leaf above ran exactly once, so canonical
-    // data is always the fault-free bits; failures cost only time and
-    // metadata. Each failed attempt occupies the processor for part of the
-    // duration, then pays detection latency and exponential backoff before
-    // the retry. Exhausting max_attempts poisons the launch instead of
-    // producing a wrong value.
+    // Transient-fault model. The leaf ran exactly once, so canonical data is
+    // always the fault-free bits; failures cost only time and metadata. Each
+    // failed attempt occupies the processor for part of the duration, then
+    // pays detection latency and exponential backoff before the retry.
+    // Exhausting max_attempts poisons the launch instead of producing a
+    // wrong value.
     long seq = task_seq_++;
     double start_ready = data_ready;
     bool exhausted = false;
@@ -1029,7 +1119,7 @@ Future Runtime::execute(TaskLauncher& L) {
         engine_->note_fault();
         double wasted = duration * injector_->fail_fraction(seq, attempt);
         double failed_at =
-            engine_->busy_proc(proc_id, start_ready, wasted, prof_label);
+            engine_->busy_proc(proc_id, start_ready, wasted, R.prof_label);
         double detected = failed_at + fc.detect_seconds;
         ++attempt;
         if (attempt >= fc.max_attempts) {
@@ -1050,7 +1140,12 @@ Future Runtime::execute(TaskLauncher& L) {
       done = start_ready;
       engine_->bump_to(done);
     } else {
-      done = engine_->busy_proc(proc_id, start_ready, duration, prof_label);
+      done = engine_->busy_proc(proc_id, start_ready, duration, R.prof_label);
+      // Pair the simulated event with the measured wall-clock interval of
+      // the real leaf execution (Chrome trace wall process).
+      if (R.wall_prof && po.wall0 >= 0) {
+        engine_->recorder().set_last_wall(po.wall0, po.wall1);
+      }
     }
     completion[static_cast<std::size_t>(c)] = done;
     max_completion = std::max(max_completion, done);
@@ -1058,15 +1153,15 @@ Future Runtime::execute(TaskLauncher& L) {
 
   // ---- 5. Pass C: publish writes into the dependence state ---------------
   for (int i = 0; i < nargs; ++i) {
-    auto& a = L.args_[i];
+    const auto& a = R.args[i];
     if (a.priv == Priv::Read) continue;
-    auto& ss = sync(a.store.id());
+    auto& ss = sync(a.view.id);
     if (a.priv == Priv::Reduce) continue;  // handled below
     ++ss.version_counter;
     ++ss.epoch;
     for (int c = 0; c < colors; ++c) {
       Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
-      Interval elem{iv.lo * a.store.stride(), iv.hi * a.store.stride()};
+      Interval elem{iv.lo * a.view.stride, iv.hi * a.view.stride};
       if (elem.empty()) continue;
       int mem = point_mem[static_cast<std::size_t>(c)];
       double done = completion[static_cast<std::size_t>(c)];
@@ -1074,7 +1169,7 @@ Future Runtime::execute(TaskLauncher& L) {
       ss.owner.assign(elem, mem);
       ss.last_write.assign(elem, done);
       // The writer's allocation now holds the fresh data.
-      Alloc& alloc = find_or_create_alloc(a.store, elem, mem);
+      Alloc& alloc = find_or_create_alloc(a.view, elem, mem);
       alloc.held.assign(elem, ss.version_counter);
       alloc.ready.assign(elem, done);
     }
@@ -1082,7 +1177,7 @@ Future Runtime::execute(TaskLauncher& L) {
     std::erase_if(ss.readers, [&](const std::pair<Interval, double>& r) {
       for (int c = 0; c < colors; ++c) {
         Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
-        Interval elem{iv.lo * a.store.stride(), iv.hi * a.store.stride()};
+        Interval elem{iv.lo * a.view.stride, iv.hi * a.view.stride};
         if (r.first.overlaps(elem)) return true;
       }
       return false;
@@ -1090,15 +1185,15 @@ Future Runtime::execute(TaskLauncher& L) {
     // Poison bookkeeping: a poisoned launch taints what it writes; a healthy
     // launch that rewrites a store's full extent washes old poison out.
     if (poisoned) {
-      poisoned_stores_.insert(a.store.id());
-    } else if (poisoned_stores_.count(a.store.id()) > 0) {
+      poisoned_stores_.insert(a.view.id);
+    } else if (poisoned_stores_.count(a.view.id) > 0) {
       IntervalSet written;
       for (int c = 0; c < colors; ++c) {
         Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
-        written.add({iv.lo * a.store.stride(), iv.hi * a.store.stride()});
+        written.add({iv.lo * a.view.stride, iv.hi * a.view.stride});
       }
-      if (written.size_within(a.store.extent()) == a.store.volume()) {
-        poisoned_stores_.erase(a.store.id());
+      if (written.size_within(a.view.extent()) == a.view.volume) {
+        poisoned_stores_.erase(a.view.id);
       }
     }
     // Track the key partition of written stores for future reuse.
@@ -1109,48 +1204,48 @@ Future Runtime::execute(TaskLauncher& L) {
   // launches (and their cached images) can align with them — read-mostly
   // data like a solver's matrix would otherwise never anchor reuse.
   for (int i = 0; i < nargs; ++i) {
-    auto& a = L.args_[i];
+    const auto& a = R.args[i];
     if (a.priv != Priv::Read) continue;
-    auto& ss = sync(a.store.id());
+    auto& ss = sync(a.view.id);
     for (int c = 0; c < colors; ++c) {
       Interval iv = point_ivs[static_cast<std::size_t>(c)][i];
-      Interval elem{iv.lo * a.store.stride(), iv.hi * a.store.stride()};
+      Interval elem{iv.lo * a.view.stride, iv.hi * a.view.stride};
       if (!elem.empty())
         ss.readers.emplace_back(elem, completion[static_cast<std::size_t>(c)]);
     }
     if (a.ckind == ConstraintKind::None && !ss.key) ss.key = parts[i];
   }
 
-  // ---- 6. Store reductions: write-back + all-reduce + replication --------
+  // ---- 6. Store reductions: all-reduce + replication ---------------------
+  // (The real write-back of the folded partials happened in run_leaves, in
+  // fixed color order; only the simulated collective is charged here.)
   for (int i = 0; i < nargs; ++i) {
-    auto& a = L.args_[i];
+    const auto& a = R.args[i];
     if (a.priv != Priv::Reduce) continue;
-    auto dst = a.store.span<double>();
-    std::copy(reduce_acc[i].begin(), reduce_acc[i].end(), dst.begin());
-    double bytes = static_cast<double>(a.store.volume()) * sizeof(double);
+    double bytes = static_cast<double>(a.view.volume) * sizeof(double);
     double t_red = engine_->allreduce_bytes(colors, bytes, max_completion, true);
-    auto& ss = sync(a.store.id());
+    auto& ss = sync(a.view.id);
     ++ss.version_counter;
     ++ss.epoch;
-    ss.version.assign(a.store.extent(), ss.version_counter);
-    ss.last_write.assign(a.store.extent(), t_red);
+    ss.version.assign(a.view.extent(), ss.version_counter);
+    ss.last_write.assign(a.view.extent(), t_red);
     ss.readers.clear();
     // After the all-reduce every participating memory holds the result.
     bool first = true;
     for (const auto& proc : machine_.procs()) {
-      Alloc& alloc = find_or_create_alloc(a.store, a.store.extent(), proc.mem);
-      alloc.held.assign(a.store.extent(), ss.version_counter);
-      alloc.ready.assign(a.store.extent(), t_red);
+      Alloc& alloc = find_or_create_alloc(a.view, a.view.extent(), proc.mem);
+      alloc.held.assign(a.view.extent(), ss.version_counter);
+      alloc.ready.assign(a.view.extent(), t_red);
       if (first) {
-        ss.owner.assign(a.store.extent(), proc.mem);
+        ss.owner.assign(a.view.extent(), proc.mem);
         first = false;
       }
     }
     // Reductions rewrite the whole store: poison follows the launch state.
     if (poisoned) {
-      poisoned_stores_.insert(a.store.id());
+      poisoned_stores_.insert(a.view.id);
     } else {
-      poisoned_stores_.erase(a.store.id());
+      poisoned_stores_.erase(a.view.id);
     }
     max_completion = std::max(max_completion, t_red);
   }
@@ -1158,7 +1253,7 @@ Future Runtime::execute(TaskLauncher& L) {
 
   // ---- 7. Scalar reduction future -----------------------------------------
   Future fut;
-  if (L.has_redop_) {
+  if (R.has_redop) {
     double v = 0;
     bool first = true;
     for (double p : partials) {
@@ -1167,7 +1262,7 @@ Future Runtime::execute(TaskLauncher& L) {
         first = false;
         continue;
       }
-      switch (*L.redop_) {
+      switch (*R.redop) {
         case ScalarRedop::Sum: v += p; break;
         case ScalarRedop::Max: v = std::max(v, p); break;
         case ScalarRedop::Min: v = std::min(v, p); break;
@@ -1178,7 +1273,7 @@ Future Runtime::execute(TaskLauncher& L) {
     fut.valid = true;
   }
   fut.poisoned = poisoned;
-  return fut;
+  R.result = fut;
 }
 
 }  // namespace legate::rt

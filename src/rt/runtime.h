@@ -1,5 +1,6 @@
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "exec/pool.h"
 #include "rt/partition.h"
 #include "rt/store.h"
 #include "sim/engine.h"
@@ -20,6 +22,10 @@ namespace legate::rt {
 class Checkpoint;
 class Runtime;
 class TaskLauncher;
+
+namespace detail {
+struct LaunchRecord;
+}
 
 /// Access privilege of a task argument.
 enum class Priv {
@@ -45,6 +51,8 @@ enum class ScalarRedop { Sum, Max, Min };
 /// all-reduce model. `poisoned` marks a value produced from data the modeled
 /// machine lost (exhausted retries, unrecovered node loss): the canonical
 /// bits are still the fault-free values, but consumers must not trust them.
+/// Producing a scalar future is a fence point of the execution pipeline:
+/// the value is fully resolved by the time execute() returns it.
 struct Future {
   double value{0};
   double ready{0};
@@ -54,6 +62,8 @@ struct Future {
 
 /// Per-point view handed to leaf task bodies. Mirrors the paper's Fig. 7
 /// tasks: leaves index the *global* store span within their assigned bounds.
+/// Under exec_threads > 1 the points of one launch run concurrently on the
+/// pool, so a context only ever touches its own intervals/buffers.
 class TaskContext {
  public:
   [[nodiscard]] int color() const { return color_; }
@@ -72,7 +82,6 @@ class TaskContext {
     auto bytes = arg_bytes(arg);
     return {reinterpret_cast<T*>(bytes.data()), bytes.size() / sizeof(T)};
   }
-  [[nodiscard]] const Store& store(int arg) const;
 
   /// Charge roofline work to this point task. Leaves report the bytes and
   /// flops they actually touched, so simulated time tracks real work.
@@ -89,8 +98,7 @@ class TaskContext {
 
   int color_{0};
   int colors_{1};
-  const TaskLauncher* launcher_{nullptr};
-  const std::vector<Interval>* arg_intervals_{nullptr};  // basis units, per arg
+  const detail::LaunchRecord* rec_{nullptr};
   std::vector<std::vector<std::byte>>* reduce_bufs_{nullptr};  // per arg; empty if none
   sim::Cost cost_;
   double reshape_bytes_{0};
@@ -147,9 +155,6 @@ class TaskLauncher {
 
   Future execute();
 
- private:
-  friend class Runtime;
-  friend class TaskContext;
   struct Arg {
     Store store;
     Priv priv;
@@ -158,6 +163,10 @@ class TaskLauncher {
     coord_t halo_lo{0}, halo_hi{0};
     int align_root{-1};  // union-find parent (index into args_)
   };
+
+ private:
+  friend class Runtime;
+  friend class TaskContext;
   int add_arg(const Store& s, Priv p);
   int find_root(int a);
 
@@ -187,12 +196,27 @@ struct RuntimeOptions {
   /// Deterministic fault schedule; disabled by default (zero overhead and
   /// bit-identical makespans to a fault-free build when off).
   sim::FaultConfig faults;
+  /// Real executor threads for leaf tasks (legate::exec). 0 reads the
+  /// LSR_EXEC_THREADS environment variable (default 1). 1 = sequential
+  /// inline execution, bit-identical to the pre-exec runtime; >1 runs the
+  /// point tasks of each launch on a work-stealing pool and (when
+  /// pipelining is on) defers launches until a fence must observe real
+  /// data. Results, simulated makespans and stats are bit-identical at any
+  /// thread count.
+  int exec_threads = 0;
+  /// Cross-launch pipelining: <0 reads LSR_EXEC_PIPELINE (default on).
+  /// Only active with exec_threads > 1 and fault injection disabled
+  /// (fault-injection retries drain at every launch by design).
+  int exec_pipeline = -1;
 };
 
 /// The Legion-model runtime: dynamic dependence analysis over the task
 /// stream, constraint solving, mapping, allocation management with
 /// coalescing, and discrete-event time accounting. Leaf tasks execute for
-/// real on canonical host buffers; only wall-clock time is simulated.
+/// real on canonical host buffers; wall-clock time is simulated, but with
+/// exec_threads > 1 the leaf bodies additionally run in parallel on a real
+/// thread pool (src/exec) without changing a single simulated or computed
+/// bit.
 class Runtime {
  public:
   explicit Runtime(const sim::Machine& machine, RuntimeOptions opts = {});
@@ -213,8 +237,27 @@ class Runtime {
     return s;
   }
 
-  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  /// Engine access observes simulated state: drains the pipeline first.
+  [[nodiscard]] sim::Engine& engine() {
+    fence();
+    return *engine_;
+  }
   [[nodiscard]] const sim::Machine& machine() const { return machine_; }
+
+  // -- execution backend -----------------------------------------------------
+  /// Drain the deferred execution pipeline: finish every enqueued leaf task
+  /// for real (on the pool) and replay the launch stream's simulated
+  /// accounting in issue order. No-op when nothing is pending. Runs
+  /// automatically at every point where the control path observes real data
+  /// or simulated state: Store::raw()/span(), scalar futures,
+  /// checkpoint/restore/shuffle, sim_time(), engine(), stats accessors.
+  void fence();
+  [[nodiscard]] int exec_threads() const { return exec_threads_; }
+  /// Whether launches are being deferred across fences (exec_threads > 1,
+  /// pipelining enabled, fault injection off).
+  [[nodiscard]] bool pipelining() const { return pipeline_; }
+  /// Launches enqueued but not yet drained (test/diagnostic hook).
+  [[nodiscard]] std::size_t pending_launches() const { return sim_queue_.size(); }
 
   // -- profiling -------------------------------------------------------------
   /// Nested provenance scopes label every event recorded while active
@@ -231,18 +274,26 @@ class Runtime {
 
   [[nodiscard]] const RuntimeOptions& options() const { return opts_; }
   [[nodiscard]] int default_colors() const { return machine_.num_procs(); }
-  [[nodiscard]] double sim_time() const { return engine_->makespan(); }
+  [[nodiscard]] double sim_time() {
+    fence();
+    return engine_->makespan();
+  }
 
   /// Key partition currently tracked for a store (may be null).
-  [[nodiscard]] PartitionRef key_partition(const Store& s) const;
+  [[nodiscard]] PartitionRef key_partition(const Store& s);
 
   /// Number of partitions materialized so far (ablation metric).
-  [[nodiscard]] long partitions_created() const { return partitions_created_; }
+  [[nodiscard]] long partitions_created() {
+    fence();
+    return partitions_created_;
+  }
 
   // -- fault tolerance ------------------------------------------------------
   /// Whether `s` holds data the modeled machine lost (retry exhaustion or a
   /// node loss whose memories owned the latest version). Cleared when the
-  /// store is fully overwritten by a healthy launch or restored.
+  /// store is fully overwritten by a healthy launch or restored. Poison can
+  /// only arise with fault injection enabled, which disables pipelining, so
+  /// this never needs to fence.
   [[nodiscard]] bool store_poisoned(const Store& s) const {
     return poisoned_stores_.count(s.id()) > 0;
   }
@@ -259,10 +310,12 @@ class Runtime {
 
   /// Snapshot the canonical contents of `stores` (plus caller-attached
   /// scalars) and charge the simulated checkpoint write. See rt/checkpoint.h.
+  /// A fence point: the snapshot observes fully-written real data.
   [[nodiscard]] Checkpoint checkpoint(const std::vector<Store>& stores);
   /// Restore a snapshot: canonical buffers are rewritten, the stores'
   /// version/ownership state is reset to the home memory, poison is cleared,
   /// and the simulated restore read is charged. Returns the completion time.
+  /// A fence point.
   double restore(const Checkpoint& ckpt);
 
   /// All-to-all repartitioning primitive (distributed transpose & friends):
@@ -270,7 +323,7 @@ class Runtime {
   /// performs the real data movement on the canonical buffers; the engine is
   /// charged one copy per (src, dst) processor pair of volume/P² bytes —
   /// the communication pattern the paper cites for the factorization's dense
-  /// transposes (Section 6.2).
+  /// transposes (Section 6.2). A fence point.
   double shuffle(const Store& in, const Store& out,
                  const std::function<void()>& body);
 
@@ -278,22 +331,52 @@ class Runtime {
   Future execute(TaskLauncher& launcher);
   void on_store_destroyed(detail::StoreImpl* impl);
   void mark_attached(const Store& s);
+  /// Store::raw()/span() hook: fence, then invalidate eager image caches of
+  /// `id` (the returned span is mutable, so assume the bytes change).
+  void sync_store_access(StoreId id);
 
  private:
   struct SyncState;
   struct Alloc;
   struct MemState;
 
-  PartitionRef image_partition(const Store& src, const PartitionRef& src_part,
-                               ConstraintKind kind);
+  PartitionRef image_partition(const detail::StoreView& src,
+                               const PartitionRef& src_part, ConstraintKind kind,
+                               const PartitionRef& precomputed);
   /// Ensure `elem` of `store` is materialized in memory `mem`; returns the
   /// simulated time at which the data is valid there. `discard` skips
   /// staleness copies (write-only outputs); `precise`, when given, restricts
   /// staleness copies to the touched subset of `elem` (precise images).
-  double ensure_in_memory(const Store& store, Interval elem, int mem, bool discard,
-                          const IntervalSet* precise = nullptr);
-  Alloc& find_or_create_alloc(const Store& store, Interval elem, int mem);
+  double ensure_in_memory(const detail::StoreView& store, Interval elem, int mem,
+                          bool discard, const IntervalSet* precise = nullptr);
+  Alloc& find_or_create_alloc(const detail::StoreView& store, Interval elem, int mem);
   SyncState& sync(StoreId id);
+
+  // -- execution backend internals ------------------------------------------
+  /// Copy a launcher into a self-contained record (views, leaf, flags).
+  std::shared_ptr<detail::LaunchRecord> make_record(TaskLauncher& L);
+  /// Issue-time constraint solving for a deferred launch: colors, concrete
+  /// partitions (images computed from real data, waiting on pending writers
+  /// of the source), per-point intervals. Touches no simulated state.
+  void eager_solve(detail::LaunchRecord& R);
+  /// Run the launch's leaf bodies for real (inline, or parallel-for on the
+  /// pool) and fold Reduce partials in fixed color order.
+  void run_leaves(detail::LaunchRecord& R);
+  /// The launch's simulated half: constraint solve (with key-partition
+  /// reuse and image caching), dependence analysis, staging, time
+  /// accounting, write publication — a faithful replay of the sequential
+  /// execute() body consuming the recorded per-point costs. When
+  /// `deferred`, leaves already ran; otherwise runs them in place.
+  void sim_apply(detail::LaunchRecord& R, bool deferred);
+  /// Submit the record's real work as a task-graph node with dependence
+  /// edges from the per-store reader/writer hazard state.
+  void enqueue_record(const std::shared_ptr<detail::LaunchRecord>& R);
+  /// Block until the last pending real writer of `id` finished (eager image
+  /// computation reads real bytes mid-pipeline).
+  void wait_store_writer(StoreId id);
+  /// Simulated release accounting for an out-of-scope store (deferred to
+  /// its stream position when the pipeline is non-empty).
+  void release_store(StoreId id, double esize);
 
   /// alloc_bytes with graceful OOM degradation: on capacity overflow, evict
   /// least-recently-used allocations (spilling dirty data to the node's
@@ -320,7 +403,7 @@ class Runtime {
 
   struct ImageKey {
     StoreId src;
-    const Partition* part;
+    std::uint64_t part;  ///< Partition::uid() — stable, never address-reused
     ConstraintKind kind;
     std::uint64_t epoch;
     bool operator<(const ImageKey& o) const {
@@ -331,6 +414,27 @@ class Runtime {
   std::map<ImageKey, PartitionRef> image_cache_;
   long partitions_created_{0};
 
+  // -- execution backend state ----------------------------------------------
+  std::unique_ptr<exec::Pool> pool_;  ///< null when exec_threads == 1
+  int exec_threads_{1};
+  bool pipeline_{false};
+  bool draining_{false};  ///< inside fence(); nested fences are no-ops
+  /// Deferred simulated accounting, one closure per launch (plus store
+  /// releases), replayed strictly in issue order at fence().
+  std::deque<std::function<void()>> sim_queue_;
+  /// Whole-store real-data hazard tracking for the node graph.
+  struct Hazard {
+    exec::NodeRef writer;                ///< last pending writer node
+    std::vector<exec::NodeRef> readers;  ///< readers since that writer
+  };
+  std::unordered_map<StoreId, Hazard> hazards_;
+  /// Bumped whenever a store's real bytes may change (writer node enqueued,
+  /// external span access); keys the eager image cache.
+  std::unordered_map<StoreId, std::uint64_t> eager_epoch_;
+  std::map<ImageKey, PartitionRef> eager_images_;
+  std::map<std::pair<coord_t, int>, PartitionRef> eager_equal_;  ///< (basis, colors)
+  std::map<std::pair<coord_t, int>, PartitionRef> eager_whole_;  ///< broadcast/reduce
+
   // -- fault-tolerance state -------------------------------------------------
   std::unique_ptr<sim::FaultInjector> injector_;
   long task_seq_{0};   ///< deterministic point-task sequence number
@@ -340,7 +444,6 @@ class Runtime {
   std::unordered_set<StoreId> pinned_;
   bool node_loss_pending_{false};
   bool spilling_{false};  ///< guards against recursive spill
-
   std::vector<std::string> provenance_;  ///< profiler provenance scope stack
 };
 

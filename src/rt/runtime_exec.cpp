@@ -1,0 +1,357 @@
+// Deferred-execution half of the runtime (legate::exec integration):
+// LaunchRecord construction, eager constraint solving, real leaf execution
+// on the work-stealing pool, hazard-graph enqueue, and fence() draining.
+// The simulated half (sim_apply) lives in runtime.cpp.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "rt/runtime.h"
+#include "rt/runtime_detail.h"
+
+namespace legate::rt {
+
+namespace detail {
+
+/// Out-of-line fence hook for Store::raw()/span(): see store.h.
+void sync_for_access(const StoreImpl* impl) {
+  if (impl != nullptr && impl->rt != nullptr) impl->rt->sync_store_access(impl->id);
+}
+
+}  // namespace detail
+
+using detail::LaunchRecord;
+
+void Runtime::sync_store_access(StoreId id) {
+  if (!pipeline_) return;
+  fence();
+  // The returned span is mutable: assume the caller changes the bytes, so
+  // eagerly computed images of this store must not be reused.
+  ++eager_epoch_[id];
+}
+
+void Runtime::fence() {
+  if (draining_ || sim_queue_.empty()) return;
+  draining_ = true;
+  try {
+    while (!sim_queue_.empty()) {
+      auto fn = std::move(sim_queue_.front());
+      sim_queue_.pop_front();
+      fn();
+    }
+  } catch (...) {
+    // Leave the remaining launches queued (a later fence continues the
+    // drain); hazard nodes may still be pending, so keep them too.
+    draining_ = false;
+    throw;
+  }
+  draining_ = false;
+  // Every queued launch waited on its node before replay, so all real work
+  // is finished: the hazard graph is fully retired.
+  hazards_.clear();
+}
+
+void Runtime::wait_store_writer(StoreId id) {
+  auto it = hazards_.find(id);
+  if (it != hazards_.end() && it->second.writer) pool_->wait(it->second.writer);
+}
+
+std::shared_ptr<LaunchRecord> Runtime::make_record(TaskLauncher& L) {
+  auto R = std::make_shared<LaunchRecord>();
+  R->name = L.name_;
+  if (engine_->profiling()) {
+    // Timeline label: operation name plus provenance (launcher tag, else the
+    // enclosing provenance scope). Provenance is an issue-time property, so
+    // it is captured here rather than at replay time.
+    R->prof_label = L.name_;
+    const std::string& prov =
+        !L.provenance_.empty() ? L.provenance_ : current_provenance();
+    if (!prov.empty()) R->prof_label += " @" + prov;
+    R->wall_prof = true;
+    R->wall_epoch = engine_->recorder().wall_epoch();
+  }
+  R->args.reserve(L.args_.size());
+  for (int i = 0; i < static_cast<int>(L.args_.size()); ++i) {
+    const auto& a = L.args_[i];
+    R->args.push_back({a.store.view(), a.priv, a.ckind, a.image_src, a.halo_lo,
+                       a.halo_hi, L.find_root(i)});
+  }
+  R->leaf = L.leaf_;
+  R->redop = L.redop_;
+  R->has_redop = L.has_redop_;
+  R->forced_colors = L.forced_colors_;
+  R->future_dep = L.future_dep_;
+  R->poisoned_dep = L.poisoned_dep_;
+
+  // A launch's points may run concurrently only when every written argument
+  // uses a disjoint equal partition (ckind None) and no other argument views
+  // the same store through a non-None constraint (a broadcast read of a
+  // store being written would race). Reduce arguments never race: partials
+  // live in private buffers and the write-back is serial.
+  bool safe = true;
+  for (std::size_t i = 0; i < R->args.size() && safe; ++i) {
+    const auto& w = R->args[i];
+    if (w.priv != Priv::WriteDiscard && w.priv != Priv::ReadWrite) continue;
+    if (w.ckind != ConstraintKind::None) {
+      safe = false;
+      break;
+    }
+    for (std::size_t j = 0; j < R->args.size(); ++j) {
+      if (j == i) continue;
+      const auto& o = R->args[j];
+      if (o.view.id != w.view.id || o.priv == Priv::Reduce) continue;
+      if (o.ckind != ConstraintKind::None) safe = false;
+    }
+  }
+  R->parallel_safe = safe;
+  return R;
+}
+
+void Runtime::eager_solve(LaunchRecord& R) {
+  const int nargs = static_cast<int>(R.args.size());
+
+  // Color count: same formula as the simulated solve (constants only).
+  int colors = R.forced_colors > 0 ? R.forced_colors : default_colors();
+  coord_t primary_basis = 0;
+  for (const auto& a : R.args) {
+    if (a.ckind == ConstraintKind::None && a.priv != Priv::Reduce) {
+      primary_basis = std::max(primary_basis, a.view.basis);
+    }
+  }
+  if (primary_basis > 0) {
+    colors = static_cast<int>(
+        std::min<coord_t>(colors, std::max<coord_t>(1, primary_basis)));
+  }
+  R.colors = colors;
+
+  // Every key partition the simulated solve can reuse is structurally an
+  // equal partition of its basis (equal partitions and shuffle keys are the
+  // only partitions ever assigned as keys, inductively), so the eager solve
+  // skips the reuse machinery and uses equal-partition math directly. The
+  // replay asserts the resulting intervals match (sim_apply).
+  auto equal_part = [&](coord_t basis) {
+    auto key = std::make_pair(basis, colors);
+    auto it = eager_equal_.find(key);
+    if (it == eager_equal_.end()) {
+      it = eager_equal_.emplace(key, Partition::equal(basis, colors)).first;
+    }
+    return it->second;
+  };
+  auto whole_part = [&](coord_t basis) {
+    auto key = std::make_pair(basis, colors);
+    auto it = eager_whole_.find(key);
+    if (it == eager_whole_.end()) {
+      std::vector<Interval> whole(static_cast<std::size_t>(colors),
+                                  Interval{0, basis});
+      it = eager_whole_
+               .emplace(key, std::make_shared<const Partition>(std::move(whole),
+                                                               false))
+               .first;
+    }
+    return it->second;
+  };
+
+  std::vector<PartitionRef> parts(static_cast<std::size_t>(nargs));
+  for (int i = 0; i < nargs; ++i) {
+    const auto& a = R.args[i];
+    if (a.ckind == ConstraintKind::None && a.priv != Priv::Reduce) {
+      parts[i] = equal_part(a.view.basis);
+    } else if (a.ckind == ConstraintKind::Broadcast || a.priv == Priv::Reduce) {
+      parts[i] = whole_part(a.view.basis);
+    }
+  }
+  // Image/halo constraints, iterated to handle chains (pos -> crd -> x).
+  // Images read real source data: wait for that store's pending writer node
+  // first, then memoize per (source, partition, epoch) so steady-state
+  // iterations skip the scan.
+  for (int pass = 0; pass < nargs; ++pass) {
+    bool progress = false, pending = false;
+    for (int i = 0; i < nargs; ++i) {
+      const auto& a = R.args[i];
+      if (a.ckind != ConstraintKind::ImageRects &&
+          a.ckind != ConstraintKind::ImagePoints && a.ckind != ConstraintKind::Halo)
+        continue;
+      if (parts[i]) continue;
+      if (!parts[a.image_src]) {
+        pending = true;
+        continue;
+      }
+      if (a.ckind == ConstraintKind::Halo) {
+        std::vector<Interval> subs;
+        subs.reserve(parts[a.image_src]->colors());
+        for (const Interval& s : parts[a.image_src]->subs()) {
+          if (s.empty()) {
+            subs.emplace_back();
+            continue;
+          }
+          Interval expanded{s.lo + a.halo_lo, s.hi + a.halo_hi};
+          subs.push_back(expanded.intersect({0, a.view.basis}));
+        }
+        parts[i] = std::make_shared<const Partition>(std::move(subs), false);
+      } else {
+        const auto& src = R.args[a.image_src].view;
+        wait_store_writer(src.id);
+        ImageKey key{src.id, parts[a.image_src]->uid(), a.ckind,
+                     eager_epoch_[src.id]};
+        auto it = eager_images_.find(key);
+        if (it == eager_images_.end()) {
+          it = eager_images_
+                   .emplace(key, detail::build_image_partition(
+                                     src, *parts[a.image_src], a.ckind))
+                   .first;
+        }
+        parts[i] = it->second;
+      }
+      progress = true;
+    }
+    if (!pending) break;
+    LSR_CHECK_MSG(progress || !pending, "cyclic image constraints");
+  }
+  for (int i = 0; i < nargs; ++i) LSR_CHECK_MSG(parts[i] != nullptr, "unsolved arg");
+
+  R.eager_parts = parts;
+  R.ivs.assign(static_cast<std::size_t>(colors),
+               std::vector<Interval>(static_cast<std::size_t>(nargs)));
+  R.all_empty.assign(static_cast<std::size_t>(colors), 1);
+  for (int c = 0; c < colors; ++c) {
+    for (int i = 0; i < nargs; ++i) {
+      Interval iv = parts[i]->sub(c).intersect({0, R.args[i].view.basis});
+      R.ivs[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)] = iv;
+      if (!iv.empty() && R.args[i].ckind != ConstraintKind::Broadcast) {
+        R.all_empty[static_cast<std::size_t>(c)] = 0;
+      }
+    }
+  }
+}
+
+void Runtime::enqueue_record(const std::shared_ptr<LaunchRecord>& R) {
+  std::vector<exec::NodeRef> deps;
+  for (const auto& a : R->args) {
+    auto& h = hazards_[a.view.id];
+    if (h.writer) deps.push_back(h.writer);
+    if (a.priv != Priv::Read) {
+      for (const auto& r : h.readers) deps.push_back(r);
+    }
+  }
+  auto node = pool_->submit([this, R] { run_leaves(*R); }, deps);
+  for (const auto& a : R->args) {
+    auto& h = hazards_[a.view.id];
+    if (a.priv == Priv::Read) {
+      h.readers.push_back(node);
+    } else {
+      // WriteDiscard / ReadWrite / Reduce all rewrite real bytes (the reduce
+      // write-back happens inside run_leaves).
+      h.writer = node;
+      h.readers.clear();
+      ++eager_epoch_[a.view.id];
+    }
+  }
+  R->node = node;
+}
+
+void Runtime::run_leaves(LaunchRecord& R) {
+  const int nargs = static_cast<int>(R.args.size());
+  const int colors = R.colors;
+  R.out.assign(static_cast<std::size_t>(colors), {});
+  R.errors.assign(static_cast<std::size_t>(colors), nullptr);
+
+  // Reduction accumulators; partials are folded in ascending color order at
+  // any thread count, so the left-fold is bit-identical to sequential.
+  std::vector<std::vector<double>> acc(static_cast<std::size_t>(nargs));
+  bool has_reduce = false;
+  for (int i = 0; i < nargs; ++i) {
+    if (R.args[i].priv == Priv::Reduce) {
+      LSR_CHECK_MSG(R.args[i].view.dtype == DType::F64,
+                    "store reductions support f64 only");
+      acc[i].assign(static_cast<std::size_t>(R.args[i].view.volume), 0.0);
+      has_reduce = true;
+    }
+  }
+
+  auto wall_now = [&R] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         R.wall_epoch)
+        .count();
+  };
+
+  auto run_point = [&](int c, std::vector<std::vector<std::byte>>& bufs) {
+    if (R.all_empty[static_cast<std::size_t>(c)] != 0) return;
+    TaskContext ctx;
+    ctx.color_ = c;
+    ctx.colors_ = colors;
+    ctx.rec_ = &R;
+    for (int i = 0; i < nargs; ++i) {
+      if (R.args[i].priv == Priv::Reduce) {
+        bufs[i].assign(
+            static_cast<std::size_t>(R.args[i].view.volume) * sizeof(double),
+            std::byte{0});
+      }
+    }
+    ctx.reduce_bufs_ = &bufs;
+    auto& po = R.out[static_cast<std::size_t>(c)];
+    if (R.wall_prof) po.wall0 = wall_now();
+    try {
+      R.leaf(ctx);
+    } catch (...) {
+      R.errors[static_cast<std::size_t>(c)] = std::current_exception();
+    }
+    if (R.wall_prof) po.wall1 = wall_now();
+    po.cost = ctx.cost_;
+    po.reshape = ctx.reshape_bytes_;
+    po.partial = ctx.partial_;
+    po.contributed = ctx.contributed_;
+  };
+
+  auto fold = [&](int i, std::vector<std::byte>& buf) {
+    if (buf.empty()) return;
+    const double* src = reinterpret_cast<const double*>(buf.data());
+    for (std::size_t k = 0; k < acc[i].size(); ++k) acc[i][k] += src[k];
+    buf.clear();
+  };
+
+  bool failed = false;
+  const bool parallel = pool_ != nullptr && R.parallel_safe && colors > 1;
+  if (!parallel) {
+    // Sequential point loop on the calling thread (deterministic color
+    // order, last-writer-wins preserved for aliased partitions).
+    std::vector<std::vector<std::byte>> bufs(static_cast<std::size_t>(nargs));
+    for (int c = 0; c < colors; ++c) {
+      run_point(c, bufs);
+      if (R.errors[static_cast<std::size_t>(c)]) {
+        failed = true;
+        break;  // sequential semantics: later points never ran
+      }
+      for (int i = 0; i < nargs; ++i) {
+        if (R.args[i].priv == Priv::Reduce) fold(i, bufs[i]);
+      }
+    }
+  } else {
+    std::vector<std::vector<std::vector<std::byte>>> bufs(
+        static_cast<std::size_t>(colors),
+        std::vector<std::vector<std::byte>>(static_cast<std::size_t>(nargs)));
+    pool_->parallel_for(colors, [&](long c) {
+      run_point(static_cast<int>(c), bufs[static_cast<std::size_t>(c)]);
+    });
+    for (int c = 0; c < colors; ++c) {
+      if (R.errors[static_cast<std::size_t>(c)]) failed = true;
+      for (int i = 0; i < nargs; ++i) {
+        if (R.args[i].priv == Priv::Reduce) {
+          fold(i, bufs[static_cast<std::size_t>(c)][i]);
+        }
+      }
+    }
+  }
+
+  // Write the folded partials back to the canonical buffers (the simulated
+  // all-reduce accounting stays in sim_apply).
+  if (has_reduce && !failed) {
+    for (int i = 0; i < nargs; ++i) {
+      if (R.args[i].priv != Priv::Reduce) continue;
+      auto dst = R.args[i].view.span<double>();
+      std::copy(acc[i].begin(), acc[i].end(), dst.begin());
+    }
+  }
+}
+
+}  // namespace legate::rt

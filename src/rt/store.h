@@ -19,6 +19,11 @@ namespace detail {
 /// simulated machine. On destruction the runtime is notified so simulated
 /// allocations are released (this is what lets the mapper reuse the
 /// out-of-scope x0 allocations in the paper's Fig. 5 walk-through).
+///
+/// The buffer itself is held through a shared_ptr: deferred launches
+/// (legate::exec) keep the *bytes* alive via StoreView without extending the
+/// store's runtime-visible lifetime, so release accounting still fires at
+/// the caller's drop position in the task stream.
 struct StoreImpl {
   StoreImpl(Runtime* rt_, StoreId id_, DType dtype_, std::vector<coord_t> shape_);
   ~StoreImpl();
@@ -29,12 +34,38 @@ struct StoreImpl {
   StoreId id;
   DType dtype;
   std::vector<coord_t> shape;  ///< 1 or 2 dims; 2-D is row-major
-  std::vector<std::byte> data;
+  std::shared_ptr<std::vector<std::byte>> data;
 
   [[nodiscard]] coord_t volume() const {
     coord_t v = 1;
     for (auto s : shape) v *= s;
     return v;
+  }
+};
+
+/// Out-of-line fence hook (Runtime is incomplete here): drains the deferred
+/// execution pipeline before the caller touches canonical bytes, and marks
+/// the store externally accessed (spans are mutable, so cached
+/// eagerly-computed image partitions of it must be invalidated).
+void sync_for_access(const StoreImpl* impl);
+
+/// Identity + canonical-buffer view of a store, used by the deferred
+/// execution path (leaf tasks on pool threads, replayed simulation
+/// accounting). Copyable into closures; does NOT fence on access.
+struct StoreView {
+  StoreId id{0};
+  DType dtype{DType::F64};
+  coord_t basis{0};   ///< partitionable units (rows for 2-D)
+  coord_t stride{1};  ///< elements per basis unit
+  coord_t volume{0};
+  std::shared_ptr<std::vector<std::byte>> data;
+
+  [[nodiscard]] Interval extent() const { return {0, volume}; }
+  [[nodiscard]] std::span<std::byte> raw() const { return {data->data(), data->size()}; }
+  template <typename T>
+  [[nodiscard]] std::span<T> span() const {
+    LSR_CHECK(dtype_of<T>::value == dtype);
+    return {reinterpret_cast<T*>(data->data()), static_cast<std::size_t>(volume)};
   }
 };
 }  // namespace detail
@@ -61,17 +92,26 @@ class Store {
   [[nodiscard]] Interval extent() const { return {0, volume()}; }
   [[nodiscard]] Runtime& runtime() const { return *impl_->rt; }
 
-  /// Raw view of the canonical byte buffer (checkpoint snapshots).
+  /// Raw view of the canonical byte buffer (checkpoint snapshots). Observes
+  /// real data: drains any deferred execution first (a fence point).
   [[nodiscard]] std::span<std::byte> raw() const {
-    return {impl_->data.data(), impl_->data.size()};
+    detail::sync_for_access(impl_.get());
+    return {impl_->data->data(), impl_->data->size()};
   }
 
-  /// Typed view of the whole canonical buffer.
+  /// Typed view of the whole canonical buffer. Observes real data: drains
+  /// any deferred execution first (a fence point).
   template <typename T>
   [[nodiscard]] std::span<T> span() const {
     LSR_CHECK(dtype_of<T>::value == impl_->dtype);
-    return {reinterpret_cast<T*>(impl_->data.data()),
+    detail::sync_for_access(impl_.get());
+    return {reinterpret_cast<T*>(impl_->data->data()),
             static_cast<std::size_t>(volume())};
+  }
+
+  /// Deferred-execution view (no fence). Internal to the runtime/exec stack.
+  [[nodiscard]] detail::StoreView view() const {
+    return {impl_->id, impl_->dtype, basis(), stride(), volume(), impl_->data};
   }
 
   [[nodiscard]] bool same_as(const Store& o) const { return impl_ == o.impl_; }

@@ -11,11 +11,30 @@ namespace legate {
 ///
 /// Used everywhere instead of <random> engines so that test oracles and
 /// benchmark workloads are bit-reproducible across platforms and runs.
+///
+/// Thread-safety: an Rng instance is NOT synchronized — it is a mutable
+/// state machine and must never be shared across concurrently-running leaf
+/// points. Code that needs randomness inside a parallel launch derives one
+/// independent stream per point with Rng(seed, color): the draws of each
+/// stream are then a pure function of (seed, color), independent of the
+/// executor's thread count or interleaving. Host-side generators (matrix
+/// construction, workload synthesis) run on the control thread only.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) {
     std::uint64_t x = seed;
     for (auto& word : s_) word = splitmix64(x);
+  }
+
+  /// Independent per-point stream: the splitmix64 avalanche decorrelates
+  /// (seed, stream) pairs, so stream k of seed s never overlaps stream k'
+  /// in practice. Use the launch color as the stream id for bit-identical
+  /// results at any exec_threads setting.
+  Rng(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t x = seed;
+    std::uint64_t mixed = splitmix64(x) ^ (stream * 0x9e3779b97f4a7c15ULL);
+    std::uint64_t y = mixed;
+    for (auto& word : s_) word = splitmix64(y);
   }
 
   std::uint64_t next_u64() {

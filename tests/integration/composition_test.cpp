@@ -62,6 +62,7 @@ TEST(Composition, SteadyStateChainsCopyOnlyHalos) {
     x = A.spmv(x);
     x.iscale(0.25);
   }
+  rt.fence();  // stats observation point: drain deferred launches
   double per_iter = (st.bytes_nvlink + st.bytes_ib + st.bytes_intra - before) / 3;
   // Tridiagonal halo: one element in each direction at each of 2 cuts.
   EXPECT_DOUBLE_EQ(per_iter, 4 * 8.0);

@@ -1,0 +1,158 @@
+// Determinism across executor thread counts: solutions, simulated
+// makespans, and engine stats must be *bit-identical* for exec_threads in
+// {1, 4, 8}. Reduction partials fold in fixed color order and the simulated
+// replay is independent of real execution interleaving, so any divergence
+// here is a scheduling leak into results or accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "apps/workloads.h"
+#include "solve/krylov.h"
+#include "solve/lanczos.h"
+#include "solve/multigrid.h"
+#include "sparse/formats.h"
+
+namespace legate {
+namespace {
+
+using dense::DArray;
+using sparse::CsrMatrix;
+
+struct RunSignature {
+  std::vector<double> solution;
+  int iterations{0};
+  double makespan{0};
+  long tasks{0};
+  long copies{0};
+  long allreduces{0};
+  double bytes_nvlink{0};
+  double bytes_ib{0};
+  double bytes_intra{0};
+
+  bool operator==(const RunSignature& o) const {
+    if (solution.size() != o.solution.size()) return false;
+    // memcmp: bit-identical, not approximately equal.
+    if (!solution.empty() &&
+        std::memcmp(solution.data(), o.solution.data(),
+                    solution.size() * sizeof(double)) != 0)
+      return false;
+    return iterations == o.iterations && makespan == o.makespan &&
+           tasks == o.tasks && copies == o.copies && allreduces == o.allreduces &&
+           bytes_nvlink == o.bytes_nvlink && bytes_ib == o.bytes_ib &&
+           bytes_intra == o.bytes_intra;
+  }
+};
+
+rt::RuntimeOptions threaded(int threads) {
+  rt::RuntimeOptions opts;
+  opts.exec_threads = threads;
+  opts.exec_pipeline = 1;
+  return opts;
+}
+
+RunSignature finish(rt::Runtime& rt, std::vector<double> solution, int iterations) {
+  RunSignature sig;
+  sig.solution = std::move(solution);
+  sig.iterations = iterations;
+  sig.makespan = rt.sim_time();
+  const auto& st = rt.engine().stats();
+  sig.tasks = st.tasks;
+  sig.copies = st.copies;
+  sig.allreduces = st.allreduces;
+  sig.bytes_nvlink = st.bytes_nvlink;
+  sig.bytes_ib = st.bytes_ib;
+  sig.bytes_intra = st.bytes_intra;
+  return sig;
+}
+
+CsrMatrix poisson2d(rt::Runtime& rt, coord_t g) {
+  CsrMatrix t = sparse::diags(rt, g, {{-1, -1.0}, {0, 2.0}, {1, -1.0}});
+  CsrMatrix i = sparse::eye(rt, g);
+  return sparse::kron(i, t).add(sparse::kron(t, i));
+}
+
+template <typename Scenario>
+void expect_thread_invariant(Scenario&& run) {
+  RunSignature base = run(1);
+  ASSERT_FALSE(base.solution.empty());
+  for (int threads : {4, 8}) {
+    RunSignature other = run(threads);
+    EXPECT_EQ(base, other) << "diverged at exec_threads=" << threads;
+  }
+}
+
+TEST(Determinism, CgBitIdenticalAcrossThreadCounts) {
+  expect_thread_invariant([](int threads) {
+    sim::PerfParams pp;
+    rt::Runtime rt(sim::Machine::gpus(4, pp), threaded(threads));
+    CsrMatrix A = poisson2d(rt, 20);
+    auto b = DArray::full(rt, A.rows(), 1.0);
+    auto res = solve::cg(A, b, 1e-10, 500);
+    EXPECT_TRUE(res.converged);
+    return finish(rt, res.x.to_vector(), res.iterations);
+  });
+}
+
+TEST(Determinism, GmresBitIdenticalAcrossThreadCounts) {
+  expect_thread_invariant([](int threads) {
+    sim::PerfParams pp;
+    rt::Runtime rt(sim::Machine::gpus(3, pp), threaded(threads));
+    auto prob = apps::banded_matrix(600, 2);
+    auto A = CsrMatrix::from_host(rt, prob.rows, prob.cols, prob.indptr,
+                                  prob.indices, prob.values);
+    auto b = DArray::random(rt, A.rows(), 5);
+    auto res = solve::gmres(A, b, 30, 1e-10, 400);
+    EXPECT_TRUE(res.converged);
+    return finish(rt, res.x.to_vector(), res.iterations);
+  });
+}
+
+TEST(Determinism, LanczosBitIdenticalAcrossThreadCounts) {
+  expect_thread_invariant([](int threads) {
+    sim::PerfParams pp;
+    rt::Runtime rt(sim::Machine::gpus(4, pp), threaded(threads));
+    CsrMatrix A = poisson2d(rt, 16);
+    auto res = solve::lanczos(A, 4, 60, 1);
+    return finish(rt, res.eigenvalues, res.iterations);
+  });
+}
+
+TEST(Determinism, GmgPreconditionedCgBitIdenticalAcrossThreadCounts) {
+  expect_thread_invariant([](int threads) {
+    sim::PerfParams pp;
+    rt::Runtime rt(sim::Machine::gpus(3, pp), threaded(threads));
+    constexpr coord_t g = 16;
+    CsrMatrix A = poisson2d(rt, g);
+    CsrMatrix R = solve::TwoLevelGmg::injection_2d(rt, g);
+    solve::TwoLevelGmg gmg(A, R);
+    auto b = DArray::full(rt, A.rows(), 1.0);
+    auto res = solve::cg(A, b, 1e-9, 300, gmg.preconditioner());
+    EXPECT_TRUE(res.converged);
+    return finish(rt, res.x.to_vector(), res.iterations);
+  });
+}
+
+TEST(Determinism, SequentialAndThreadedSpmvChainsMatch) {
+  // Mixed sparse/dense iteration stream (the Fig. 5 steady-state loop) with
+  // all stats compared, exercising image partitions and halo copies under
+  // deferred execution.
+  expect_thread_invariant([](int threads) {
+    sim::PerfParams pp;
+    rt::Runtime rt(sim::Machine::gpus(2, pp), threaded(threads));
+    auto prob = apps::banded_matrix(4000, 1);
+    auto A = CsrMatrix::from_host(rt, prob.rows, prob.cols, prob.indptr,
+                                  prob.indices, prob.values);
+    auto x = DArray::random(rt, prob.rows, 3);
+    for (int it = 0; it < 6; ++it) {
+      x = A.spmv(x);
+      x.iscale(0.25);
+    }
+    return finish(rt, x.to_vector(), 6);
+  });
+}
+
+}  // namespace
+}  // namespace legate

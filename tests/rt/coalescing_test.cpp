@@ -111,6 +111,7 @@ TEST_F(CoalescingFig5, SteadyStateOnlyHaloTraffic) {
     Store y = spmv(rt, A, x);
     scale_inplace(rt, y, 0.5);
     x = y;
+    rt.fence();  // stats observation point: drain deferred launches
     // Per iteration: exactly one 8-byte halo element in each direction.
     EXPECT_DOUBLE_EQ(st.bytes_nvlink - nvlink0, 16.0 * (it + 1));
     // And no further allocation resizing.
@@ -139,6 +140,7 @@ TEST_F(CoalescingFig5, WithoutCoalescingEveryIterationRecopies) {
     scale_inplace(rt, y, 0.5);
     x = y;
   }
+  rt.fence();  // stats observation point: drain deferred launches
   // Far more than halo traffic: each iteration re-copies whole blocks
   // (block-sized local copies plus the halo elements).
   EXPECT_GT(st.bytes_nvlink + st.bytes_intra - total0, 3 * 16.0 * 10);

@@ -32,6 +32,7 @@ TEST(HaloConstraint, ExpandsAndClips) {
     ctx.add_cost(1, 0);
   });
   launch.execute();
+  rt.fence();  // leaf side-effects (captured intervals) need a drain
   EXPECT_EQ(seen[0], (Interval{0, 33}));    // [0-2, 30+3) clipped at 0
   EXPECT_EQ(seen[1], (Interval{28, 63}));   // [30-2, 60+3)
   EXPECT_EQ(seen[2], (Interval{58, 90}));   // [60-2, 90+3) clipped at 90

@@ -217,6 +217,7 @@ TEST(Runtime, ImageRectsBoundsFollowData) {
     ctx.add_cost(1, 0);
   });
   launch.execute();
+  rt.fence();  // leaf side-effects (captured intervals) need a drain
   EXPECT_EQ(crd_ivs[0], (Interval{0, 3}));
   EXPECT_EQ(crd_ivs[1], (Interval{3, 6}));
   EXPECT_EQ(x_ivs[0], (Interval{0, 3}));
@@ -278,6 +279,7 @@ TEST(Runtime, SingleColorLaunchRunsOnce) {
     ctx.add_cost(1, 0);
   });
   launch.execute();
+  rt.fence();  // leaf side-effects (captured counter) need a drain
   EXPECT_EQ(runs, 1);
 }
 

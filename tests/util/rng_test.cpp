@@ -17,6 +17,22 @@ TEST(Rng, DifferentSeedsDiffer) {
   EXPECT_EQ(same, 0);
 }
 
+TEST(Rng, PerPointStreamsAreDeterministicAndIndependent) {
+  // Same (seed, stream) → identical draws; different streams decorrelate.
+  Rng a(42, 3), b(42, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(42, 4), d(42, 0);
+  Rng base(42);
+  int same_cd = 0, same_d_base = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t vc = c.next_u64(), vd = d.next_u64(), vb = base.next_u64();
+    same_cd += vc == vd;
+    same_d_base += vd == vb;
+  }
+  EXPECT_EQ(same_cd, 0);
+  EXPECT_EQ(same_d_base, 0);  // stream 0 is not the plain-seed stream
+}
+
 TEST(Rng, DoubleInUnitInterval) {
   Rng r(7);
   for (int i = 0; i < 10000; ++i) {
