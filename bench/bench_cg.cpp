@@ -52,14 +52,17 @@ LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& poin
   // Profile only the timed iterations, so the critical path attributes the
   // steady-state falloff (Fig. 9: allreduce time), not data distribution.
   lsr_bench::profile_begin(runtime.engine(), point);
+  auto mbase = lsr_bench::metrics_begin(runtime, point);
   double t0 = runtime.sim_time();
   double w0 = lsr_bench::wall_now();
   auto res = solve::cg(A, b, /*tol=*/0.0, kIters);
   benchmark::DoNotOptimize(res.residual);
   runtime.fence();  // drain deferred launches before stopping the wall clock
   double wall = (lsr_bench::wall_now() - w0) / kIters;
+  double sim_per_iter = (runtime.sim_time() - t0) / kIters;
+  lsr_bench::metrics_end(runtime, point, mbase, sim_per_iter);
   lsr_bench::profile_end(runtime.engine(), point);
-  return {(runtime.sim_time() - t0) / kIters, wall};
+  return {sim_per_iter, wall};
 }
 
 double run_legate(sim::ProcKind kind, int procs, const std::string& point) {

@@ -44,6 +44,7 @@ LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& poin
   auto x = dense::DArray::full(runtime, prob.rows, 1.0);
   auto warm = A.spmv(x);  // first iteration pays startup copies
   lsr_bench::profile_begin(runtime.engine(), point);
+  auto mbase = lsr_bench::metrics_begin(runtime, point);
   double t0 = runtime.sim_time();
   double w0 = lsr_bench::wall_now();
   for (int i = 0; i < kIters; ++i) {
@@ -52,8 +53,10 @@ LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& poin
   }
   runtime.fence();  // drain deferred launches before stopping the wall clock
   double wall = (lsr_bench::wall_now() - w0) / kIters;
+  double sim_per_iter = (runtime.sim_time() - t0) / kIters;
+  lsr_bench::metrics_end(runtime, point, mbase, sim_per_iter);
   lsr_bench::profile_end(runtime.engine(), point);
-  return {(runtime.sim_time() - t0) / kIters, wall};
+  return {sim_per_iter, wall};
 }
 
 double run_legate(sim::ProcKind kind, int procs, const std::string& point) {

@@ -19,8 +19,12 @@
 #include <iostream>
 #include <string>
 
+#include <fstream>
+
+#include "metrics/metrics.h"
 #include "prof/analysis.h"
 #include "prof/trace.h"
+#include "rt/runtime.h"
 #include "sim/engine.h"
 #include "sim/machine.h"
 
@@ -38,6 +42,11 @@ namespace lsr_bench {
 //                                    --prof-filter to pick one
 //   bench_cg --prof-filter 192       only profile points whose name contains
 //                                    the substring
+//   bench_cg --metrics out.json      write a per-point metrics snapshot file
+//                                    (stable metrics only, so the file is
+//                                    bit-identical at any --threads value);
+//                                    compared against the committed
+//                                    BENCH_*.json by scripts/bench_compare.py
 // ---------------------------------------------------------------------------
 
 struct ProfOptions {
@@ -45,6 +54,7 @@ struct ProfOptions {
   std::string trace_path;     ///< empty: summary only
   std::string filter;         ///< substring of the point name; empty: all
   int threads = 0;            ///< --threads N executor threads (0 = env/default)
+  std::string metrics_path;   ///< --metrics PATH metrics snapshot output
 };
 
 inline ProfOptions& prof_options() {
@@ -74,6 +84,8 @@ inline void init_prof_flags(int* argc, char** argv) {
       po.filter = v2;
     } else if (const char* v3 = value_of("--threads")) {
       po.threads = std::atoi(v3);
+    } else if (const char* v4 = value_of("--metrics")) {
+      po.metrics_path = v4;
     } else {
       argv[out++] = argv[i];
     }
@@ -137,6 +149,90 @@ inline void profile_end(legate::sim::Engine& eng, const std::string& point) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Per-point metrics snapshots (--metrics out.json).
+//
+// metrics_begin/metrics_end bracket the timed region of a Legate run: the
+// delta between the two runtime snapshots isolates the timed iterations from
+// warm-up (data distribution, steady-state allocation). Only the runtime's
+// Stable metrics are written — those are incremented exclusively during the
+// sequential replay at fence(), so the emitted file is bit-identical for any
+// --threads value. scripts/bench_compare.py gates CI on these files.
+// ---------------------------------------------------------------------------
+
+inline bool metrics_enabled() { return !prof_options().metrics_path.empty(); }
+
+/// One recorded point: simulated seconds/iteration plus the stable-metric
+/// delta across the timed region.
+struct MetricsEntry {
+  double sim_s_per_iter = 0;
+  legate::metrics::Snapshot snap;
+};
+
+inline std::map<std::string, MetricsEntry>& metrics_entries() {
+  static std::map<std::string, MetricsEntry> m;
+  return m;
+}
+
+/// Snapshot the runtime's metrics before the timed region (fences, so the
+/// warm-up's deferred launches are fully attributed to the base). Unnamed
+/// runs (sequential wall-clock references) are never recorded.
+inline legate::metrics::Snapshot metrics_begin(legate::rt::Runtime& rt,
+                                               const std::string& point) {
+  if (!metrics_enabled() || point.empty()) return {};
+  return rt.metrics_snapshot();
+}
+
+/// Record the timed region's metric delta and simulated seconds/iteration.
+inline void metrics_end(legate::rt::Runtime& rt, const std::string& point,
+                        const legate::metrics::Snapshot& base,
+                        double sim_s_per_iter) {
+  if (!metrics_enabled() || point.empty()) return;
+  MetricsEntry& e = metrics_entries()[point];
+  e.sim_s_per_iter = sim_s_per_iter;
+  e.snap = rt.metrics_snapshot().delta(base);
+}
+
+/// Write the BENCH_*.json schema consumed by scripts/bench_compare.py:
+///   {"schema":1,"bench":"<name>","points":{"<point>":
+///      {"sim_s_per_iter":S,"snapshot":{"metrics":[...]}}, ...}}
+/// Returns false (and prints to stderr) if the file cannot be written.
+inline bool metrics_write(const std::string& bench_name) {
+  if (!metrics_enabled()) return true;
+  std::ofstream os(prof_options().metrics_path);
+  if (!os) {
+    std::cerr << "error: cannot write metrics file " << prof_options().metrics_path
+              << "\n";
+    return false;
+  }
+  os << "{\"schema\":1,\"bench\":\"" << bench_name << "\",\"points\":{";
+  bool first = true;
+  for (const auto& [point, e] : metrics_entries()) {
+    if (!first) os << ',';
+    first = false;
+    std::string pname = point;  // point names never need JSON escaping, but
+    // keep the exporter honest anyway.
+    std::string quoted;
+    legate::metrics::append_json_string(quoted, pname);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", e.sim_s_per_iter);
+    os << quoted << ":{\"sim_s_per_iter\":" << buf
+       << ",\"snapshot\":" << e.snap.to_json(/*stable_only=*/true) << '}';
+  }
+  os << "}}\n";
+  std::cerr << "metrics written to " << prof_options().metrics_path << " ("
+            << metrics_entries().size() << " points)\n";
+  return true;
+}
+
+/// Benchmark name for the metrics file: basename of argv[0].
+inline std::string bench_name_from(const char* argv0) {
+  std::string s = argv0 ? argv0 : "bench";
+  std::size_t slash = s.find_last_of('/');
+  if (slash != std::string::npos) s = s.substr(slash + 1);
+  return s;
+}
+
 /// GPU scale points of the paper's weak-scaling plots (Figs. 8-10):
 /// 1 GPU, then whole sockets' worth (3) up to 32 nodes (192).
 inline const std::vector<int>& gpu_points() {
@@ -197,11 +293,13 @@ inline void register_oom(const std::string& name, int procs) {
 /// (--prof, --trace, --prof-filter) before google-benchmark sees argv.
 #define LSR_BENCH_MAIN()                                                  \
   int main(int argc, char** argv) {                                       \
+    std::string bench_name = lsr_bench::bench_name_from(argv[0]);         \
     lsr_bench::init_prof_flags(&argc, argv);                              \
     benchmark::Initialize(&argc, argv);                                   \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
     benchmark::RunSpecifiedBenchmarks();                                  \
     benchmark::Shutdown();                                                \
+    if (!lsr_bench::metrics_write(bench_name)) return 1;                  \
     return 0;                                                             \
   }                                                                       \
   int main(int, char**)

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification. Presets:
-#   (no arg)  full suite in the default build, then the asan subset
+#   (no arg / all)  full suite in the default build, then the asan subset
 #   default   full suite in the default build only
 #   asan      util + rt subset under ASan/UBSan (recovery paths stay clean)
-#   tsan      exec + rt subset under ThreadSanitizer with a parallel,
-#             pipelined executor (LSR_EXEC_THREADS=4)
-set -euo pipefail
+#   tsan      exec + rt + metrics subset under ThreadSanitizer with a
+#             parallel, pipelined executor (LSR_EXEC_THREADS=4)
+#
+# Every requested preset runs even when an earlier one fails; the script
+# then exits non-zero naming each failed preset. (Previously a failure in
+# the first preset of `all` aborted the script before the remaining
+# presets ran, and the combined result was whatever the last command
+# happened to return.)
+set -uo pipefail
 cd "$(dirname "$0")/.."
-
-preset="${1:-all}"
 
 run_default() {
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -25,23 +29,42 @@ run_asan() {
 
 run_tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_TSAN=ON
-  cmake --build build-tsan -j --target exec_tests rt_tests
+  cmake --build build-tsan -j --target exec_tests rt_tests metrics_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/exec_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/rt_tests
+  LSR_EXEC_THREADS=4 ./build-tsan/tests/metrics_tests
 }
 
-case "$preset" in
-  all)
-    run_default
-    run_asan
-    ;;
-  default) run_default ;;
-  asan) run_asan ;;
-  tsan) run_tsan ;;
-  *)
-    echo "usage: $0 [default|asan|tsan]" >&2
-    exit 2
-    ;;
-esac
+presets=()
+for arg in "$@"; do
+  case "$arg" in
+    all) presets+=(default asan) ;;
+    default|asan|tsan) presets+=("$arg") ;;
+    *)
+      echo "usage: $0 [all|default|asan|tsan]..." >&2
+      exit 2
+      ;;
+  esac
+done
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan)
+fi
 
-echo "tier1 ($preset): OK"
+failed=()
+for p in "${presets[@]}"; do
+  # Subshell with set -e: a failing step aborts this preset only, and the
+  # loop carries on to the remaining presets.
+  ( set -e; "run_$p" )
+  if [ $? -eq 0 ]; then
+    echo "tier1 ($p): OK"
+  else
+    echo "tier1 ($p): FAILED" >&2
+    failed+=("$p")
+  fi
+done
+
+if [ ${#failed[@]} -gt 0 ]; then
+  echo "tier1: FAILED presets: ${failed[*]}" >&2
+  exit 1
+fi
+echo "tier1: OK (${presets[*]})"

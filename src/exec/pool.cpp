@@ -1,10 +1,27 @@
 #include "exec/pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace legate::exec {
 
-Pool::Pool(int threads) {
+Pool::Pool(int threads, metrics::Registry* metrics) {
+  if (metrics != nullptr) {
+    using metrics::Stability;
+    met_steals_ = metrics->counter("lsr_exec_steals_total",
+                                   "tasks taken from another worker's deque",
+                                   Stability::Volatile);
+    met_queue_peak_ = metrics->gauge("lsr_exec_queue_depth_peak",
+                                     "max tasks parked across all deques",
+                                     Stability::Volatile);
+    met_grain_ = metrics->histogram(
+        "lsr_exec_parallel_for_grain",
+        "iterations claimed per parallel_for participant",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}, Stability::Volatile);
+    met_task_wall_ = metrics->histogram(
+        "lsr_exec_task_wall_seconds", "measured wall time per pool task",
+        metrics::Registry::seconds_buckets(), Stability::Volatile);
+  }
   int n = std::max(1, threads);
   deques_.resize(static_cast<std::size_t>(n));
   workers_.reserve(static_cast<std::size_t>(n));
@@ -29,20 +46,36 @@ bool Pool::pop_task(int self, std::function<void()>& out) {
     own.pop_back();
     return true;
   }
-  for (std::size_t k = 1; k <= deques_.size(); ++k) {
+  for (std::size_t k = 1; k < deques_.size(); ++k) {
     auto& victim = deques_[(static_cast<std::size_t>(self) + k) % deques_.size()].q;
     if (!victim.empty()) {
       out = std::move(victim.front());
       victim.pop_front();
+      met_steals_.inc();
       return true;
     }
   }
   return false;
 }
 
+std::size_t Pool::queued_locked() const {
+  std::size_t total = 0;
+  for (const auto& d : deques_) total += d.q.size();
+  return total;
+}
+
+void Pool::run_task(std::function<void()>& task) {
+  auto t0 = std::chrono::steady_clock::now();
+  task();
+  met_task_wall_.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 void Pool::push_task_locked(std::function<void()> fn) {
   deques_[next_deque_ % deques_.size()].q.push_back(std::move(fn));
   ++next_deque_;
+  met_queue_peak_.update_max(static_cast<double>(queued_locked()));
   cv_work_.notify_one();
 }
 
@@ -86,7 +119,7 @@ bool Pool::help_one(std::unique_lock<std::mutex>& lk) {
   if (!pop_task(0, task)) return false;
   ++running_;
   lk.unlock();
-  task();
+  run_task(task);
   lk.lock();
   --running_;
   cv_done_.notify_all();
@@ -117,7 +150,7 @@ void Pool::worker_loop(int self) {
     if (pop_task(self, task)) {
       ++running_;
       lk.unlock();
-      task();
+      run_task(task);
       lk.lock();
       --running_;
       cv_done_.notify_all();
@@ -149,13 +182,16 @@ void Pool::parallel_for(long n, const std::function<void(long)>& body) {
   st->body = &body;
 
   auto run_chunks = [this, st] {
+    long claimed = 0;
     for (long i; (i = st->next.fetch_add(1)) < st->n;) {
+      ++claimed;
       (*st->body)(i);
       if (st->completed.fetch_add(1) + 1 == st->n) {
         std::lock_guard<std::mutex> lk(mu_);
         cv_done_.notify_all();
       }
     }
+    if (claimed > 0) met_grain_.observe(static_cast<double>(claimed));
   };
 
   long helpers = std::min<long>(n - 1, threads());

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "metrics/metrics.h"
+
 namespace legate::exec {
 
 class Pool;
@@ -50,8 +52,11 @@ using NodeRef = std::shared_ptr<Node>;
 /// into their own records and surface them at the next fence.
 class Pool {
  public:
-  /// Spawn `threads` workers (clamped to >= 1).
-  explicit Pool(int threads);
+  /// Spawn `threads` workers (clamped to >= 1). When `metrics` is non-null
+  /// the pool reports scheduling telemetry there (steals, queue depth,
+  /// parallel_for grain sizes, measured task wall time) — all registered
+  /// Volatile: they legitimately vary with thread count and scheduling.
+  explicit Pool(int threads, metrics::Registry* metrics = nullptr);
   ~Pool();
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
@@ -89,6 +94,10 @@ class Pool {
   void enqueue_node_locked(const NodeRef& n);
   /// Run one queued task if any, temporarily releasing `lk`.
   bool help_one(std::unique_lock<std::mutex>& lk);
+  /// Execute a popped task outside the lock, timing it when metrics are on.
+  void run_task(std::function<void()>& task);
+  /// Total tasks parked across all deques. Lock must be held.
+  [[nodiscard]] std::size_t queued_locked() const;
 
   std::mutex mu_;  ///< guards deques, node graph edges, counters
   std::condition_variable cv_work_;  ///< new task available
@@ -99,6 +108,13 @@ class Pool {
   long running_{0};         ///< tasks currently executing
   bool stop_{false};
   std::vector<std::thread> workers_;
+
+  // Scheduling telemetry (inert no-op handles when constructed without a
+  // registry, e.g. in unit tests).
+  metrics::Counter met_steals_;
+  metrics::Gauge met_queue_peak_;
+  metrics::Histogram met_grain_;
+  metrics::Histogram met_task_wall_;
 };
 
 }  // namespace legate::exec

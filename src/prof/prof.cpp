@@ -15,6 +15,7 @@ const char* category_name(Category c) {
     case Category::Fault: return "fault";
     case Category::Retry: return "retry";
     case Category::Spill: return "spill";
+    case Category::Snapshot: return "metrics-snapshot";
   }
   return "unknown";
 }

@@ -24,6 +24,7 @@ enum class Category {
   Fault,      ///< instant marker: a fault was injected
   Retry,      ///< instant marker: a point task re-execution was scheduled
   Spill,      ///< instant marker: an allocation was evicted under OOM
+  Snapshot,   ///< instant marker: a metrics snapshot was taken
 };
 
 [[nodiscard]] const char* category_name(Category c);

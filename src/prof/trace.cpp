@@ -17,10 +17,13 @@ void append_escaped(std::ostringstream& os, std::string_view s) {
       case '\n': os << "\\n"; break;
       case '\t': os << "\\t"; break;
       case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
       default:
         if (static_cast<unsigned char>(ch) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
           os << buf;
         } else {
           os << ch;
@@ -73,7 +76,7 @@ std::string chrome_trace_json(const Recorder& rec) {
   for (const Event& ev : rec.events()) {
     const Track& tr = rec.tracks()[static_cast<std::size_t>(ev.track)];
     bool instant = ev.cat == Category::Fault || ev.cat == Category::Retry ||
-                   ev.cat == Category::Spill;
+                   ev.cat == Category::Spill || ev.cat == Category::Snapshot;
     sep();
     os << '{';
     append_str(os, "name", ev.name.empty() ? category_name(ev.cat) : ev.name);

@@ -196,7 +196,40 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   // Fault-injection retries must observe real completion at every launch, so
   // pipelining is only active on fault-free runs.
   pipeline_ = exec_threads_ > 1 && pl != 0 && !opts_.faults.enabled;
-  if (exec_threads_ > 1) pool_ = std::make_unique<exec::Pool>(exec_threads_);
+  if (exec_threads_ > 1) {
+    pool_ = std::make_unique<exec::Pool>(exec_threads_, &engine_->metrics());
+  }
+
+  auto& mreg = engine_->metrics();
+  met_.launches = mreg.counter("lsr_rt_launches_total", "task launches applied");
+  met_.part_reuse_hits = mreg.counter(
+      "lsr_rt_partition_reuse_hits_total",
+      "alignment groups satisfied by an existing key partition");
+  met_.part_reuse_misses =
+      mreg.counter("lsr_rt_partition_reuse_misses_total",
+                   "alignment groups needing a fresh equal partition");
+  met_.image_hits = mreg.counter("lsr_rt_image_cache_hits_total",
+                                 "dependent partitions served from cache");
+  met_.image_misses = mreg.counter("lsr_rt_image_cache_misses_total",
+                                   "dependent partitions computed");
+  met_.alloc_existing = mreg.counter("lsr_rt_alloc_existing_total",
+                                     "requirements served by a covering allocation");
+  met_.alloc_fresh =
+      mreg.counter("lsr_rt_alloc_fresh_total", "exact fresh allocations");
+  met_.alloc_pool_reuse = mreg.counter("lsr_rt_alloc_pool_reuse_total",
+                                       "allocations recycled from the free pool");
+  met_.alloc_coalesced = mreg.counter(
+      "lsr_rt_alloc_coalesced_total",
+      "allocations grown by merging overlapping neighbors (Section 4.2)");
+  met_.partitions_created =
+      mreg.counter("lsr_rt_partitions_created_total", "partitions materialized");
+  met_.checkpoint_bytes = mreg.counter("lsr_rt_checkpoint_bytes_total",
+                                       "bytes snapshotted to the modeled PFS");
+  met_.restore_bytes = mreg.counter("lsr_rt_restore_bytes_total",
+                                    "bytes restored from the modeled PFS");
+  met_.fences = mreg.counter("lsr_rt_fences_total",
+                             "pipeline drains (count depends on pipelining)",
+                             metrics::Stability::Volatile);
 
   if (opts_.faults.enabled) {
     injector_ = std::make_unique<sim::FaultInjector>(opts_.faults);
@@ -394,7 +427,11 @@ PartitionRef Runtime::image_partition(const detail::StoreView& src,
                                       const PartitionRef& precomputed) {
   auto& ss = sync(src.id);
   ImageKey key{src.id, src_part->uid(), kind, ss.epoch};
-  if (auto it = image_cache_.find(key); it != image_cache_.end()) return it->second;
+  if (auto it = image_cache_.find(key); it != image_cache_.end()) {
+    met_.image_hits.inc();
+    return it->second;
+  }
+  met_.image_misses.inc();
 
   // Dependent partitioning runs on the runtime's control path.
   engine_->control_advance(5e-6, "dependent-partitioning");
@@ -418,6 +455,7 @@ PartitionRef Runtime::image_partition(const detail::StoreView& src,
     part = detail::build_image_partition(src, *src_part, kind);
   }
   ++partitions_created_;
+  met_.partitions_created.inc();
   image_cache_.emplace(key, part);
   return part;
 }
@@ -428,6 +466,7 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const detail::StoreView& store,
   for (auto& a : allocs) {
     if (a.extent.contains(elem)) {
       a.last_use = ++use_tick_;
+      met_.alloc_existing.inc();
       return a;
     }
   }
@@ -435,6 +474,7 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const detail::StoreView& store,
 
   if (!opts_.coalescing) {
     // Ablation mode: exact-extent allocation per new requirement.
+    met_.alloc_fresh.inc();
     alloc_with_spill(mem, static_cast<double>(elem.size()) * esize, store.id);
     allocs.push_back(Alloc{elem, {}, {}, ++use_tick_, esize});
     return allocs.back();
@@ -450,6 +490,7 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const detail::StoreView& store,
       if (it->contains(elem) && it->size() <= 2 * elem.size() + 64) {
         Interval ext = *it;
         pool.erase(it);
+        met_.alloc_pool_reuse.inc();
         alloc_with_spill(mem, static_cast<double>(ext.size()) * esize, store.id);
         allocs.push_back(Alloc{ext, {}, {}, ++use_tick_, esize});
         return allocs.back();
@@ -475,6 +516,11 @@ Runtime::Alloc& Runtime::find_or_create_alloc(const detail::StoreView& store,
     }
   }
 
+  if (merged.empty()) {
+    met_.alloc_fresh.inc();
+  } else {
+    met_.alloc_coalesced.inc();
+  }
   Alloc merged_alloc{ext, {}, {}, ++use_tick_, esize};
   alloc_with_spill(mem, static_cast<double>(ext.size()) * esize, store.id);
   for (std::size_t i : merged) {
@@ -734,6 +780,7 @@ Checkpoint Runtime::checkpoint(const std::vector<Store>& stores) {
     ck.entries_.push_back({s, std::vector<std::byte>(raw.begin(), raw.end())});
     bytes += static_cast<double>(raw.size());
   }
+  met_.checkpoint_bytes.inc(bytes * engine_->cost_scale());
   double done = engine_->checkpoint_io(bytes, ready, /*restore=*/false);
   // The checkpoint reads the stores: subsequent writers must wait for it.
   for (const Store& s : stores) sync(s.id()).readers.emplace_back(s.extent(), done);
@@ -744,6 +791,7 @@ Checkpoint Runtime::checkpoint(const std::vector<Store>& stores) {
 double Runtime::restore(const Checkpoint& ckpt) {
   fence();  // in-flight work must not race the canonical rewrite
   double ready = engine_->control_advance(task_overhead_, "restore");
+  met_.restore_bytes.inc(ckpt.bytes() * engine_->cost_scale());
   double done = engine_->checkpoint_io(ckpt.bytes(), ready, /*restore=*/true);
   for (const auto& e : ckpt.entries_) {
     auto raw = e.store.raw();
@@ -880,6 +928,7 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
     if (auto err = R.first_error()) std::rethrow_exception(err);
   }
   poll_faults();
+  met_.launches.inc();
   double t_launch = engine_->control_advance(task_overhead_, R.name);
 
   const int nargs = static_cast<int>(R.args.size());
@@ -933,9 +982,13 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
         }
       }
     }
-    if (!chosen) {
+    if (chosen) {
+      met_.part_reuse_hits.inc();
+    } else {
+      met_.part_reuse_misses.inc();
       chosen = Partition::equal(basis, colors);
       ++partitions_created_;
+      met_.partitions_created.inc();
     }
     for (int m : members) parts[m] = chosen;
   }
@@ -974,6 +1027,7 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
         }
         parts[i] = std::make_shared<const Partition>(std::move(subs), false);
         ++partitions_created_;
+        met_.partitions_created.inc();
       } else {
         parts[i] = image_partition(
             R.args[a.image_src].view, parts[a.image_src], a.ckind,

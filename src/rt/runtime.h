@@ -244,6 +244,17 @@ class Runtime {
   }
   [[nodiscard]] const sim::Machine& machine() const { return machine_; }
 
+  // -- metrics ---------------------------------------------------------------
+  /// Always-on metrics registry (lives on this runtime's engine, so separate
+  /// Runtimes never share counters). Unlike engine(), this does NOT fence:
+  /// registering metrics and bumping volatile ones is safe mid-pipeline.
+  [[nodiscard]] metrics::Registry& metrics() { return engine_->metrics(); }
+  /// Drain the pipeline and take a consistent snapshot of every metric.
+  /// Stable-tagged values in the result are bit-identical at any exec thread
+  /// count (see src/metrics/metrics.h). Records an instant marker on the
+  /// profiler timeline when tracing is enabled.
+  [[nodiscard]] metrics::Snapshot metrics_snapshot();
+
   // -- execution backend -----------------------------------------------------
   /// Drain the deferred execution pipeline: finish every enqueued leaf task
   /// for real (on the pool) and replay the launch stream's simulated
@@ -445,6 +456,20 @@ class Runtime {
   bool node_loss_pending_{false};
   bool spilling_{false};  ///< guards against recursive spill
   std::vector<std::string> provenance_;  ///< profiler provenance scope stack
+
+  /// Runtime-layer metric handles (registered once in the constructor). All
+  /// Stable handles are bumped exclusively on the control thread during the
+  /// sequential sim_apply replay — the determinism contract of the registry.
+  struct Met {
+    metrics::Counter launches;
+    metrics::Counter part_reuse_hits, part_reuse_misses;
+    metrics::Counter image_hits, image_misses;
+    metrics::Counter alloc_existing, alloc_fresh, alloc_pool_reuse,
+        alloc_coalesced;
+    metrics::Counter partitions_created;
+    metrics::Counter checkpoint_bytes, restore_bytes;
+    metrics::Counter fences;  ///< Volatile: drain count depends on pipelining
+  } met_;
 };
 
 /// RAII provenance scope: every task launched while alive is labeled

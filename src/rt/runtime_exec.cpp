@@ -33,6 +33,7 @@ void Runtime::sync_store_access(StoreId id) {
 
 void Runtime::fence() {
   if (draining_ || sim_queue_.empty()) return;
+  met_.fences.inc();  // Volatile: drain count depends on pipelining depth
   draining_ = true;
   try {
     while (!sim_queue_.empty()) {
@@ -50,6 +51,12 @@ void Runtime::fence() {
   // Every queued launch waited on its node before replay, so all real work
   // is finished: the hazard graph is fully retired.
   hazards_.clear();
+}
+
+metrics::Snapshot Runtime::metrics_snapshot() {
+  fence();  // observe a consistent stable set (all replays applied)
+  engine_->note_snapshot();
+  return engine_->metrics().snapshot();
 }
 
 void Runtime::wait_store_writer(StoreId id) {

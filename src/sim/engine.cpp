@@ -14,6 +14,41 @@ Engine::Engine(const Machine& machine)
   mem_peak_.assign(n_mems, 0.0);
   nic_in_.assign(machine.nodes(), 0.0);
   nic_out_.assign(machine.nodes(), 0.0);
+
+  using metrics::Registry;
+  auto bytes = Registry::byte_buckets();
+  met_.tasks = metrics_.counter("lsr_sim_tasks_total", "leaf point tasks executed");
+  met_.copies = metrics_.counter("lsr_sim_copies_total", "copies issued");
+  met_.allreduces =
+      metrics_.counter("lsr_sim_allreduces_total", "collectives issued");
+  met_.bytes_intra = metrics_.counter("lsr_sim_traffic_intra_bytes_total",
+                                      "intra-memory bytes moved (scaled)");
+  met_.bytes_nvlink = metrics_.counter("lsr_sim_traffic_nvlink_bytes_total",
+                                       "intra-node inter-memory bytes (scaled)");
+  met_.bytes_ib = metrics_.counter("lsr_sim_traffic_ib_bytes_total",
+                                   "inter-node bytes (scaled)");
+  met_.bytes_ckpt = metrics_.counter("lsr_sim_traffic_ckpt_bytes_total",
+                                     "checkpoint/restore PFS bytes (scaled)");
+  met_.faults = metrics_.counter("lsr_sim_faults_total", "faults injected");
+  met_.retries = metrics_.counter("lsr_sim_retries_total",
+                                  "point-task re-executions after faults");
+  met_.spills =
+      metrics_.counter("lsr_sim_spills_total", "allocations spilled under OOM");
+  met_.checkpoints =
+      metrics_.counter("lsr_sim_checkpoints_total", "checkpoint snapshots");
+  met_.restores =
+      metrics_.counter("lsr_sim_restores_total", "restore rollbacks");
+  met_.copy_intra = metrics_.histogram("lsr_sim_copy_bytes_intra",
+                                       "per-copy intra-memory bytes", bytes);
+  met_.copy_nvlink = metrics_.histogram("lsr_sim_copy_bytes_nvlink",
+                                        "per-copy NVLink-class bytes", bytes);
+  met_.copy_ib = metrics_.histogram("lsr_sim_copy_bytes_ib",
+                                    "per-copy inter-node bytes", bytes);
+  met_.stall_seconds =
+      metrics_.histogram("lsr_sim_stall_seconds", "whole-machine stall time",
+                         Registry::seconds_buckets());
+  met_.ckpt_bytes = metrics_.histogram("lsr_sim_ckpt_bytes",
+                                       "per-checkpoint-IO bytes", bytes);
 }
 
 // --- Recorder track interning (profiling-enabled paths only) ---------------
@@ -68,6 +103,7 @@ double& Engine::pair_link(int src_mem, int dst_mem) {
 
 double Engine::copy(int src, int dst, double bytes, double ready) {
   ++stats_.copies;
+  met_.copies.inc();
   bytes *= cost_scale_;
   const auto& sm = machine_.memory(src);
   const auto& dm = machine_.memory(dst);
@@ -84,6 +120,8 @@ double Engine::copy(int src, int dst, double bytes, double ready) {
     busy = done - start;
     clk = done;
     stats_.bytes_intra += bytes;
+    met_.bytes_intra.inc(bytes);
+    met_.copy_intra.observe(bytes);
     if (rec) track = recorder_.track("mem" + std::to_string(src), sm.node);
   } else if (sm.node == dm.node) {
     // Intra-node: NVLink-class point-to-point link per memory pair.
@@ -93,6 +131,8 @@ double Engine::copy(int src, int dst, double bytes, double ready) {
     busy = done - start;
     clk = done;
     stats_.bytes_nvlink += bytes;
+    met_.bytes_nvlink.inc(bytes);
+    met_.copy_nvlink.observe(bytes);
     if (rec) {
       auto key = std::minmax(src, dst);
       track = recorder_.track(
@@ -113,6 +153,8 @@ double Engine::copy(int src, int dst, double bytes, double ready) {
     in = std::max(in, ready) + tx;
     done = std::max(out, in) + pp_.ib_lat;
     stats_.bytes_ib += bytes;
+    met_.bytes_ib.inc(bytes);
+    met_.copy_ib.observe(bytes);
     if (rec) {
       // The timeline shows the copy once, on the sender's NIC queue; both
       // queues get their transmission time counted toward utilization.
@@ -141,6 +183,7 @@ double Engine::copy(int src, int dst, double bytes, double ready) {
 
 double Engine::allreduce(int nprocs, double ready, bool legate_style) {
   ++stats_.allreduces;
+  met_.allreduces.inc();
   double t = ready;
   if (nprocs > 1) {
     double hops = std::ceil(std::log2(static_cast<double>(nprocs)));
@@ -194,10 +237,13 @@ double Engine::allreduce_bytes(int nprocs, double bytes, double ready,
       if (a.id == b.id) continue;  // degenerate ring position, no movement
       if (a.mem == b.mem) {
         stats_.bytes_intra += hop_bytes;
+        met_.bytes_intra.inc(hop_bytes);
       } else if (a.node == b.node) {
         stats_.bytes_nvlink += hop_bytes;
+        met_.bytes_nvlink.inc(hop_bytes);
       } else {
         stats_.bytes_ib += hop_bytes;
+        met_.bytes_ib.inc(hop_bytes);
       }
       if (recorder_.enabled()) recorder_.add_traffic(a.node, b.node, hop_bytes);
     }
@@ -243,6 +289,7 @@ void Engine::free_bytes(int mem, double bytes) {
 }
 
 double Engine::stall_all(double at, double seconds) {
+  met_.stall_seconds.observe(seconds);
   double stall_start = std::max(control_clock_, at);
   control_clock_ = stall_start + seconds;
   double latest = control_clock_;
@@ -265,10 +312,14 @@ double Engine::checkpoint_io(double bytes, double ready, bool restore) {
   bytes *= cost_scale_;
   if (restore) {
     ++stats_.restores;
+    met_.restores.inc();
   } else {
     ++stats_.checkpoints;
+    met_.checkpoints.inc();
   }
   stats_.bytes_ckpt += bytes;
+  met_.bytes_ckpt.inc(bytes);
+  met_.ckpt_bytes.observe(bytes);
   double start = std::max(io_clock_, ready);
   io_clock_ = start + pp_.checkpoint_lat + bytes / pp_.checkpoint_bw;
   bump(io_clock_);
@@ -294,6 +345,7 @@ void Engine::reset() {
   makespan_ = 0;
   mem_peak_ = mem_used_;
   recorder_.reset();
+  metrics_.reset();
 }
 
 std::string Engine::report() const {

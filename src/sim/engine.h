@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "metrics/metrics.h"
 #include "prof/prof.h"
 #include "sim/machine.h"
 #include "util/common.h"
@@ -131,18 +132,29 @@ class Engine {
   /// occupy no resource clock).
   void bump_to(double t) { bump(t); }
 
-  void note_task() { ++stats_.tasks; }
+  void note_task() {
+    ++stats_.tasks;
+    met_.tasks.inc();
+  }
   void note_fault() {
     ++stats_.faults_injected;
+    met_.faults.inc();
     if (recorder_.enabled()) mark(prof::Category::Fault);
   }
   void note_retry() {
     ++stats_.retries;
+    met_.retries.inc();
     if (recorder_.enabled()) mark(prof::Category::Retry);
   }
   void note_spill() {
     ++stats_.spills;
+    met_.spills.inc();
     if (recorder_.enabled()) mark(prof::Category::Spill);
+  }
+  /// Instant timeline marker for a metrics snapshot (Runtime::metrics_snapshot
+  /// calls this so snapshots show up on recorded traces).
+  void note_snapshot() {
+    if (recorder_.enabled()) mark(prof::Category::Snapshot);
   }
 
   /// Workload scale factor S: benchmarks execute a 1/S functional sample of
@@ -156,6 +168,13 @@ class Engine {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Machine& machine() const { return machine_; }
   [[nodiscard]] const CostModel& cost_model() const { return cost_model_; }
+
+  /// Always-on aggregate metrics (legate::metrics). One registry per engine,
+  /// so concurrent Runtimes (e.g. a bench's sequential reference run) never
+  /// pollute each other's counts. Engine paths record simulated traffic and
+  /// stall metrics here; the runtime and solvers register their own on top.
+  [[nodiscard]] metrics::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const metrics::Registry& metrics() const { return metrics_; }
 
   /// Timeline recorder (legate::prof). Disabled by default: every engine
   /// path checks `recorder().enabled()` before building labels or events,
@@ -199,6 +218,17 @@ class Engine {
   double makespan_{0};
   double cost_scale_{1.0};
   prof::Recorder recorder_;
+
+  metrics::Registry metrics_;
+  /// Pre-registered handles for the engine's own metrics (registered once in
+  /// the constructor; increments are lock-free).
+  struct Met {
+    metrics::Counter tasks, copies, allreduces;
+    metrics::Counter bytes_intra, bytes_nvlink, bytes_ib, bytes_ckpt;
+    metrics::Counter faults, retries, spills, checkpoints, restores;
+    metrics::Histogram copy_intra, copy_nvlink, copy_ib;
+    metrics::Histogram stall_seconds, ckpt_bytes;
+  } met_;
 };
 
 }  // namespace legate::sim

@@ -24,12 +24,57 @@ Scalar fneg(Scalar a) { return {-a.value, a.ready, a.poisoned}; }
 /// than the checkpoint cadence make no forward progress).
 constexpr int kMaxRestores = 8;
 
+/// Per-solver convergence telemetry (lsr_solve_<name>_*). Owns the
+/// ProvenanceScope labeling the solver's launches on recorded timelines and
+/// registers the solver's metrics on the runtime's registry. Everything here
+/// runs on the control thread between launches against bit-identical values
+/// (residuals, iteration counts, simulated time), so all of it is Stable.
+class Telemetry {
+ public:
+  Telemetry(rt::Runtime& rt, const char* name) : rt_(rt), scope_(rt, name) {
+    auto& reg = rt.metrics();
+    std::string p = std::string("lsr_solve_") + name + "_";
+    solves_ = reg.counter(p + "solves_total", "solve invocations");
+    iters_ = reg.counter(p + "iterations_total", "iterations summed over solves");
+    residual_ = reg.gauge(p + "residual", "final residual of the last solve");
+    converged_ = reg.gauge(p + "converged", "1 when the last solve converged");
+    time_to_tol_ = reg.gauge(p + "time_to_tol_seconds",
+                             "simulated seconds from solve start to finish");
+    res_log10_ =
+        reg.histogram(p + "residual_log10", "per-iteration log10(residual)",
+                      metrics::Registry::log10_buckets());
+    solves_.inc();
+    t0_ = rt.sim_time();
+  }
+
+  /// Record one iteration's residual (the solve's convergence history).
+  void iteration(double residual) {
+    res_log10_.observe(residual > 0 ? std::log10(residual) : -16.0);
+  }
+
+  /// Stamp the final outcome; call once before returning the result.
+  void finish(const SolveResult& res) {
+    iters_.inc(static_cast<double>(res.iterations));
+    residual_.set(res.residual);
+    converged_.set(res.converged ? 1.0 : 0.0);
+    time_to_tol_.set(rt_.sim_time() - t0_);
+  }
+
+ private:
+  rt::Runtime& rt_;
+  rt::ProvenanceScope scope_;
+  double t0_{0};
+  metrics::Counter solves_, iters_;
+  metrics::Gauge residual_, converged_, time_to_tol_;
+  metrics::Histogram res_log10_;
+};
+
 }  // namespace
 
 SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter,
                const Precond& M, const CheckpointPolicy& ckpt) {
   rt::Runtime& rt = A.runtime();
-  rt::ProvenanceScope prof_scope(rt, "cg");
+  Telemetry tel(rt, "cg");
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   DArray r = b.copy();
@@ -46,6 +91,7 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
       res.converged = true;
       res.residual = r0;
       res.x = x;
+      tel.finish(res);
       return res;
     }
   }
@@ -84,6 +130,7 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
     Scalar rnorm = r.norm();
     res.iterations = it + 1;
     res.residual = rnorm.value;
+    tel.iteration(rnorm.value);
     if (rnorm.poisoned) {
       // Exhausted task retries mid-iteration: replay from the snapshot.
       if (ckpt.every > 0 && snap && restores_left > 0) {
@@ -116,11 +163,13 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
     ++it;
   }
   res.x = x;
+  tel.finish(res);
   return res;
 }
 
 SolveResult cgs(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter) {
   rt::Runtime& rt = A.runtime();
+  Telemetry tel(rt, "cgs");
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   DArray r = b.copy();
@@ -138,6 +187,7 @@ SolveResult cgs(const sparse::CsrMatrix& A, const DArray& b, double tol, int max
       res.converged = true;
       res.residual = r0;
       res.x = x;
+      tel.finish(res);
       return res;
     }
   }
@@ -154,6 +204,7 @@ SolveResult cgs(const sparse::CsrMatrix& A, const DArray& b, double tol, int max
     Scalar rnorm = r.norm();
     res.iterations = it + 1;
     res.residual = rnorm.value;
+    tel.iteration(rnorm.value);
     if (rnorm.value / bnorm < tol) {
       res.converged = true;
       break;
@@ -170,11 +221,13 @@ SolveResult cgs(const sparse::CsrMatrix& A, const DArray& b, double tol, int max
     rho = rho_new;
   }
   res.x = x;
+  tel.finish(res);
   return res;
 }
 
 SolveResult bicg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter) {
   rt::Runtime& rt = A.runtime();
+  Telemetry tel(rt, "bicg");
   coord_t n = A.rows();
   sparse::CsrMatrix At = A.transpose();
   DArray x = DArray::zeros(rt, n);
@@ -193,6 +246,7 @@ SolveResult bicg(const sparse::CsrMatrix& A, const DArray& b, double tol, int ma
       res.converged = true;
       res.residual = r0;
       res.x = x;
+      tel.finish(res);
       return res;
     }
   }
@@ -207,6 +261,7 @@ SolveResult bicg(const sparse::CsrMatrix& A, const DArray& b, double tol, int ma
     Scalar rnorm = r.norm();
     res.iterations = it + 1;
     res.residual = rnorm.value;
+    tel.iteration(rnorm.value);
     if (rnorm.value / bnorm < tol) {
       res.converged = true;
       break;
@@ -218,12 +273,14 @@ SolveResult bicg(const sparse::CsrMatrix& A, const DArray& b, double tol, int ma
     rho = rho_new;
   }
   res.x = x;
+  tel.finish(res);
   return res;
 }
 
 SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
                      int maxiter) {
   rt::Runtime& rt = A.runtime();
+  Telemetry tel(rt, "bicgstab");
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   DArray r = b.copy();
@@ -240,6 +297,7 @@ SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
       res.converged = true;
       res.residual = r0;
       res.x = x;
+      tel.finish(res);
       return res;
     }
   }
@@ -254,6 +312,7 @@ SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
       x.axpy(alpha, p);
       res.iterations = it + 1;
       res.residual = snorm.value;
+      tel.iteration(snorm.value);
       res.converged = true;
       break;
     }
@@ -268,6 +327,7 @@ SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
     Scalar rnorm = r.norm();
     res.iterations = it + 1;
     res.residual = rnorm.value;
+    tel.iteration(rnorm.value);
     if (rnorm.value / bnorm < tol) {
       res.converged = true;
       break;
@@ -282,13 +342,14 @@ SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
     rho = rho_new;
   }
   res.x = x;
+  tel.finish(res);
   return res;
 }
 
 SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
                   double tol, int maxiter, const CheckpointPolicy& ckpt) {
   rt::Runtime& rt = A.runtime();
-  rt::ProvenanceScope prof_scope(rt, "gmres");
+  Telemetry tel(rt, "gmres");
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   double bnorm = b.norm().value;
@@ -377,6 +438,7 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
       g[static_cast<std::size_t>(k) + 1] = -sn[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
       g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
       res.residual = std::fabs(g[static_cast<std::size_t>(k) + 1]);
+      tel.iteration(res.residual);
       if (res.residual / bnorm < tol || hk1 == 0) {
         ++k;
         break;
@@ -416,6 +478,7 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
   }
   res.iterations = total_iters;
   res.x = x;
+  tel.finish(res);
   return res;
 }
 

@@ -135,6 +135,34 @@ TEST(Determinism, GmgPreconditionedCgBitIdenticalAcrossThreadCounts) {
   });
 }
 
+TEST(Determinism, StableMetricsSnapshotBitIdenticalAcrossThreadCounts) {
+  // The metrics determinism contract: the stable-only snapshot JSON (the
+  // exact exported string, not just values) must be byte-identical for
+  // exec_threads in {1, 4, 8}. Stable metrics are incremented only on the
+  // sequential replay path, so any divergence is a worker thread writing a
+  // metric that was tagged Stable.
+  auto run = [](int threads) {
+    sim::PerfParams pp;
+    rt::Runtime rt(sim::Machine::gpus(4, pp), threaded(threads));
+    CsrMatrix A = poisson2d(rt, 20);
+    auto b = DArray::full(rt, A.rows(), 1.0);
+    auto res = solve::cg(A, b, 1e-10, 500);
+    EXPECT_TRUE(res.converged);
+    return rt.metrics_snapshot().to_json(/*stable_only=*/true);
+  };
+  std::string base = run(1);
+  // Sanity: every instrumented layer shows up in the stable set...
+  EXPECT_NE(base.find("lsr_rt_launches_total"), std::string::npos);
+  EXPECT_NE(base.find("lsr_sim_tasks_total"), std::string::npos);
+  EXPECT_NE(base.find("lsr_solve_cg_iterations_total"), std::string::npos);
+  // ...and the scheduling-dependent executor metrics are excluded from it.
+  EXPECT_EQ(base.find("lsr_exec_"), std::string::npos);
+  for (int threads : {4, 8}) {
+    EXPECT_EQ(base, run(threads))
+        << "stable metrics diverged at exec_threads=" << threads;
+  }
+}
+
 TEST(Determinism, SequentialAndThreadedSpmvChainsMatch) {
   // Mixed sparse/dense iteration stream (the Fig. 5 steady-state loop) with
   // all stats compared, exercising image partitions and halo copies under

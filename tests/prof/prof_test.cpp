@@ -337,6 +337,38 @@ TEST(TraceTest, EscapesSpecialCharactersInNames) {
   EXPECT_TRUE(found);
 }
 
+TEST(TraceTest, EscapesControlCharactersInNames) {
+  // Regression: \b, \f and raw control bytes (0x01, 0x1f) in labels must
+  // produce valid JSON — parse_json throws on any raw control character or
+  // malformed escape, so a round-trip is the whole assertion.
+  const std::string nasty = std::string("a\bb\fc\x01d\x1f") + "e\tf\rg";
+  Recorder r;
+  r.enable();
+  int t = r.track(nasty, 0);
+  r.record(Category::Kernel, t, 0.0, 1.0, -1.0, nasty);
+  JsonValue doc = parse_json(chrome_trace_json(r));
+  bool found = false;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    if (ev.at("ph").str == "X" && ev.at("name").str == nasty) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceTest, MetricsSnapshotEmitsInstantMarker) {
+  sim::PerfParams pp;
+  sim::Machine m = sim::Machine::gpus(1, pp);
+  sim::Engine e(m);
+  e.recorder().enable();
+  e.note_snapshot();
+  JsonValue doc = parse_json(chrome_trace_json(e.recorder()));
+  bool found = false;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    if (ev.at("ph").str == "i" && ev.at("name").str == "metrics-snapshot")
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(TraceTest, InstantMarkersUseInstantPhase) {
   sim::PerfParams pp;
   sim::Machine m = sim::Machine::gpus(1, pp);
