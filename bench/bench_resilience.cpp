@@ -2,10 +2,14 @@
 // tolerance for the Fig. 9 CG kernel on a 2-node GPU machine.
 //
 // Reported series: a clean solve; checkpointing alone (the steady-state
-// I/O tax); transient task faults absorbed by retry; and a mid-solve node
-// loss recovered from the last checkpoint. Recovered solves converge to
-// the bit-exact fault-free answer, so the series isolate the *time* cost
-// of each failure mode.
+// I/O tax); transient task faults absorbed by retry; a mid-solve node
+// loss recovered from the last checkpoint; and the data-integrity sweep —
+// checksum verification alone (the detection tax), silent bit flips plus
+// ABFT/CRC recovery, and the same flips with integrity off (the
+// wrong-answer baseline the hardened runs are measured against). Recovered
+// solves converge to the bit-exact fault-free answer, so the series isolate
+// the *time* cost of each failure mode. Detection latency lands in the
+// lsr_integrity_detect_latency_seconds histogram of --metrics snapshots.
 #include "common.h"
 
 #include "dense/array.h"
@@ -29,10 +33,29 @@ double run_cg(const rt::RuntimeOptions& opts, const solve::CheckpointPolicy& ckp
   // Profile the whole solve: the fault/retry/checkpoint instants are the
   // interesting part of these timelines, and there is no warmup phase.
   lsr_bench::profile_begin(runtime.engine(), point);
+  auto base = lsr_bench::metrics_begin(runtime, point);
   auto res = solve::cg(A, b, /*tol=*/1e-8, /*maxiter=*/500, nullptr, ckpt);
   benchmark::DoNotOptimize(res.residual);
+  // Sweep every live region once more so flips injected after their last
+  // read still land in the detection counters (and latency histogram).
+  if (opts.integrity != rt::Integrity::Off) runtime.integrity_scrub();
+  double sec_per_iter =
+      res.iterations > 0 ? runtime.engine().makespan() / res.iterations : 0;
+  lsr_bench::metrics_end(runtime, point, base, sec_per_iter);
   lsr_bench::profile_end(runtime.engine(), point);
-  return res.iterations > 0 ? runtime.engine().makespan() / res.iterations : 0;
+  return sec_per_iter;
+}
+
+/// Silent-corruption rates of the integrity sweep: a handful of resident
+/// flips plus a few corrupted task outputs over the ~500-iteration solve.
+rt::RuntimeOptions corruption_opts(rt::Integrity mode) {
+  rt::RuntimeOptions opts;
+  opts.integrity = mode;
+  opts.faults.enabled = true;
+  opts.faults.seed = 21;
+  opts.faults.bitflip_rate = 2e-3;
+  opts.faults.output_flip_rate = 2e-3;
+  return opts;
 }
 
 void register_all() {
@@ -58,6 +81,24 @@ void register_all() {
     opts.faults.node_recovery_seconds = 0.01;
     return run_cg(opts, solve::CheckpointPolicy{10},
                   "Resilience/CG/node-loss+ckpt10");
+  });
+  // Integrity sweep. detect-clean isolates the pure verification tax (no
+  // corruption injected); bitflips-recover is the full hardened path
+  // (CRC correction + ABFT retries + residual replacement); bitflips-off is
+  // the undefended baseline, which runs the same corruption schedule and is
+  // expected to converge slowly, stall, or finish wrong.
+  register_point("Resilience/CG/integrity-detect-clean", kGpus, [] {
+    rt::RuntimeOptions opts;
+    opts.integrity = rt::Integrity::Detect;
+    return run_cg(opts, {}, "Resilience/CG/integrity-detect-clean");
+  });
+  register_point("Resilience/CG/bitflips-recover", kGpus, [] {
+    return run_cg(corruption_opts(rt::Integrity::Recover),
+                  solve::CheckpointPolicy{10}, "Resilience/CG/bitflips-recover");
+  });
+  register_point("Resilience/CG/bitflips-off", kGpus, [] {
+    return run_cg(corruption_opts(rt::Integrity::Off),
+                  solve::CheckpointPolicy{10}, "Resilience/CG/bitflips-off");
   });
 }
 

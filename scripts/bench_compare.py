@@ -21,6 +21,10 @@ Checks, in order of severity:
     counters and gauges by value, histograms by per-bucket counts, sum and
     count. Stable metrics are bit-identical across exec-thread counts by
     construction, so a mismatch means the runtime now does different work.
+    A baseline metric that never fired (counter/gauge value 0, histogram
+    count 0) and is absent from the current run is only a note: the
+    registry's metric set evolves, and a zero-valued entry carries no
+    behavioural signal whose loss could hide a regression.
 
 Improvements (faster sim_s_per_iter, new points, new metrics) never fail;
 they are reported so the baseline can be refreshed deliberately.
@@ -57,7 +61,15 @@ def rel_diff(cur, base):
     return abs(cur - base) / denom
 
 
-def compare_metric(point, base_m, cur_m, rtol, failures):
+def is_zero_valued(m):
+    """True when the metric never fired: nothing observable is lost if a
+    later build stops registering it."""
+    if m.get("kind") == "histogram":
+        return m.get("count", 0.0) == 0 and m.get("sum", 0.0) == 0
+    return m.get("value", 0.0) == 0
+
+
+def compare_metric(point, base_m, cur_m, rtol, failures, notes):
     name = base_m["name"]
 
     def check(field, base_v, cur_v):
@@ -68,7 +80,13 @@ def compare_metric(point, base_m, cur_m, rtol, failures):
             )
 
     if cur_m is None:
-        failures.append(f"{point}: metric {name} missing from current run")
+        if is_zero_valued(base_m):
+            notes.append(
+                f"{point}: zero-valued baseline metric {name} absent from "
+                "current run — consider refreshing the baseline"
+            )
+        else:
+            failures.append(f"{point}: metric {name} missing from current run")
         return
     if cur_m.get("kind") != base_m.get("kind"):
         failures.append(
@@ -149,7 +167,9 @@ def main():
 
         cur_by_name = index_metrics(cp.get("snapshot", {}))
         for bm in bp.get("snapshot", {}).get("metrics", []):
-            compare_metric(point, bm, cur_by_name.get(bm["name"]), args.rtol, failures)
+            compare_metric(
+                point, bm, cur_by_name.get(bm["name"]), args.rtol, failures, notes
+            )
         extra = set(cur_by_name) - {
             m["name"] for m in bp.get("snapshot", {}).get("metrics", [])
         }

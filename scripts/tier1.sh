@@ -2,9 +2,10 @@
 # Tier-1 verification. Presets:
 #   (no arg / all)  full suite in the default build, then the asan subset
 #   default   full suite in the default build only
-#   asan      util + rt subset under ASan/UBSan (recovery paths stay clean)
-#   tsan      exec + rt + metrics subset under ThreadSanitizer with a
-#             parallel, pipelined executor (LSR_EXEC_THREADS=4)
+#   asan      util + rt + integrity subset under ASan/UBSan (recovery and
+#             corruption paths stay clean)
+#   tsan      exec + rt + metrics + integrity subset under ThreadSanitizer
+#             with a parallel, pipelined executor (LSR_EXEC_THREADS=4)
 #
 # Every requested preset runs even when an earlier one fails; the script
 # then exits non-zero naming each failed preset. (Previously a failure in
@@ -22,17 +23,19 @@ run_default() {
 
 run_asan() {
   cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_SANITIZE=ON
-  cmake --build build-sanitize -j --target util_tests rt_tests
+  cmake --build build-sanitize -j --target util_tests rt_tests integrity_tests
   ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/util_tests
   ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/rt_tests
+  ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/integrity_tests
 }
 
 run_tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_TSAN=ON
-  cmake --build build-tsan -j --target exec_tests rt_tests metrics_tests
+  cmake --build build-tsan -j --target exec_tests rt_tests metrics_tests integrity_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/exec_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/rt_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/metrics_tests
+  LSR_EXEC_THREADS=4 ./build-tsan/tests/integrity_tests
 }
 
 presets=()

@@ -1,0 +1,73 @@
+#include "integrity/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace legate::integrity {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78U;  // reflected Castagnoli
+
+/// 8 slicing tables, 256 entries each, built once at static-init time.
+/// table[0] is the classic byte-at-a-time table; table[k][b] is the CRC of
+/// byte b followed by k zero bytes, which lets the hot loop fold eight input
+/// bytes with eight independent table loads per iteration.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1U) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        c = t[0][c & 0xffU] ^ (c >> 8);
+        t[static_cast<std::size_t>(k)][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tb;
+  return tb;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t nbytes) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+
+  // Head: align to 8 bytes so the sliced loads stay aligned.
+  while (nbytes > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7U) != 0) {
+    c = t[0][(c ^ *p++) & 0xffU] ^ (c >> 8);
+    --nbytes;
+  }
+
+  // Body: slicing-by-8, one 64-bit chunk per round.
+  while (nbytes >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= c;  // little-endian assumed (all supported targets)
+    c = t[7][chunk & 0xffU] ^ t[6][(chunk >> 8) & 0xffU] ^
+        t[5][(chunk >> 16) & 0xffU] ^ t[4][(chunk >> 24) & 0xffU] ^
+        t[3][(chunk >> 32) & 0xffU] ^ t[2][(chunk >> 40) & 0xffU] ^
+        t[1][(chunk >> 48) & 0xffU] ^ t[0][(chunk >> 56) & 0xffU];
+    p += 8;
+    nbytes -= 8;
+  }
+
+  // Tail.
+  while (nbytes > 0) {
+    c = t[0][(c ^ *p++) & 0xffU] ^ (c >> 8);
+    --nbytes;
+  }
+  return ~c;
+}
+
+}  // namespace legate::integrity

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace legate::integrity {
+
+/// Incremental CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected). The
+/// slicing-by-8 software implementation processes eight bytes per table
+/// round — the same structure hardware-accelerated versions vectorize — so
+/// the cost stays a small fraction of the memory traffic being protected
+/// while remaining dependency-free and bit-identical on every platform.
+///
+/// `crc` is the running value for the bytes already hashed (0 to start);
+/// chain calls to hash a region in pieces. The returned value matches the
+/// canonical CRC32C of the concatenated input (pre/post-inversion handled
+/// internally).
+[[nodiscard]] std::uint32_t crc32c(std::uint32_t crc, const void* data,
+                                   std::size_t nbytes);
+
+}  // namespace legate::integrity

@@ -1,0 +1,70 @@
+#include "integrity/integrity.h"
+
+#include <algorithm>
+
+#include "integrity/crc32c.h"
+#include "util/common.h"
+
+namespace legate::integrity {
+
+void ChecksumLedger::record(std::uint64_t id, const std::byte* data,
+                            std::size_t nbytes, std::size_t lo,
+                            std::size_t hi) {
+  auto& cs = chunks_[id];
+  cs.resize(chunk_count(nbytes), 0);
+  if (nbytes == 0 || hi <= lo) return;
+  hi = std::min(hi, nbytes);
+  const std::size_t first = lo / kChunkBytes;
+  const std::size_t last = (hi - 1) / kChunkBytes;
+  for (std::size_t c = first; c <= last; ++c) {
+    const std::size_t clo = c * kChunkBytes;
+    const std::size_t chi = std::min(clo + kChunkBytes, nbytes);
+    cs[c] = crc32c(0, data + clo, chi - clo);
+    hashed_.inc(static_cast<double>(chi - clo));
+  }
+}
+
+std::vector<BadChunk> ChecksumLedger::verify(std::uint64_t id,
+                                             const std::byte* data,
+                                             std::size_t nbytes) const {
+  std::vector<BadChunk> bad;
+  auto it = chunks_.find(id);
+  if (it == chunks_.end()) return bad;
+  const auto& cs = it->second;
+  LSR_CHECK_MSG(cs.size() == chunk_count(nbytes),
+                "checksum ledger chunk count disagrees with store size");
+  for (std::size_t c = 0; c < cs.size(); ++c) {
+    const std::size_t clo = c * kChunkBytes;
+    const std::size_t chi = std::min(clo + kChunkBytes, nbytes);
+    hashed_.inc(static_cast<double>(chi - clo));
+    if (crc32c(0, data + clo, chi - clo) != cs[c]) bad.push_back({c, clo, chi});
+  }
+  return bad;
+}
+
+bool ChecksumLedger::try_correct(std::uint64_t id, std::byte* data,
+                                 std::size_t nbytes, const BadChunk& bad) const {
+  auto it = chunks_.find(id);
+  if (it == chunks_.end()) return false;
+  const auto& cs = it->second;
+  if (bad.chunk >= cs.size() || bad.hi > nbytes || bad.lo >= bad.hi)
+    return false;
+  const std::uint32_t want = cs[bad.chunk];
+  const std::size_t len = bad.hi - bad.lo;
+  std::byte* chunk = data + bad.lo;
+  for (std::size_t byte = 0; byte < len; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      const auto mask = static_cast<std::byte>(1U << bit);
+      chunk[byte] ^= mask;
+      if (crc32c(0, chunk, len) == want) {
+        hashed_.inc(static_cast<double>((byte + 1) * len));
+        return true;
+      }
+      chunk[byte] ^= mask;
+    }
+  }
+  hashed_.inc(static_cast<double>(len * len * 8));
+  return false;
+}
+
+}  // namespace legate::integrity

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace legate::integrity {
+
+/// Thrown when checksum verification finds corrupted bytes that the active
+/// integrity policy cannot (or may not) repair. Carries the store id and the
+/// byte offset of the first bad chunk so callers can pinpoint the region.
+class CorruptionError : public std::runtime_error {
+ public:
+  CorruptionError(const std::string& what, std::uint64_t store,
+                  std::size_t offset)
+      : std::runtime_error(what), store_(store), offset_(offset) {}
+  [[nodiscard]] std::uint64_t store() const { return store_; }
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::uint64_t store_{0};
+  std::size_t offset_{0};
+};
+
+/// One chunk whose stored and recomputed checksums disagree; [lo, hi) is the
+/// byte range the chunk covers within the store.
+struct BadChunk {
+  std::size_t chunk{0};
+  std::size_t lo{0};
+  std::size_t hi{0};
+};
+
+/// Per-store incremental checksums over the canonical host buffers.
+///
+/// Each tracked store is split into fixed 512-byte chunks, each carrying its
+/// own CRC32C. Chunking bounds the re-hash cost of a partial write-back to
+/// the chunks the write touched, and bounds the brute-force search space of
+/// single-bit correction to 4096 candidate flips per bad chunk. The ledger is
+/// only ever touched from the runtime's sequential control path, so it needs
+/// no locking and its state is a pure function of the deterministic
+/// write/verify sequence.
+class ChecksumLedger {
+ public:
+  static constexpr std::size_t kChunkBytes = 512;
+
+  /// Metrics handle bumped with every byte hashed (record and verify).
+  /// Default-constructed handles are inert, so wiring is optional.
+  void set_hashed_counter(metrics::Counter c) { hashed_ = c; }
+
+  [[nodiscard]] bool tracked(std::uint64_t id) const {
+    return chunks_.count(id) != 0;
+  }
+
+  /// (Re)checksum the chunks of store `id` overlapping byte range [lo, hi).
+  /// First call for a store sizes its chunk table from `nbytes`; the full
+  /// range must be recorded (lo=0, hi=nbytes) before verify is meaningful,
+  /// which the runtime guarantees by recording every store at attach/create.
+  void record(std::uint64_t id, const std::byte* data, std::size_t nbytes,
+              std::size_t lo, std::size_t hi);
+
+  /// Recompute every chunk of store `id` and return the ones whose CRC
+  /// disagrees with the ledger (empty = clean or untracked).
+  [[nodiscard]] std::vector<BadChunk> verify(std::uint64_t id,
+                                             const std::byte* data,
+                                             std::size_t nbytes) const;
+
+  /// Attempt single-bit correction of one bad chunk: try flipping each bit in
+  /// the chunk until the recorded CRC matches. Returns true (data repaired in
+  /// place, bit-exactly) on success; false leaves the data untouched. Only
+  /// single-bit upsets are correctable this way — multi-bit damage within one
+  /// chunk needs a replica or checkpoint.
+  bool try_correct(std::uint64_t id, std::byte* data, std::size_t nbytes,
+                   const BadChunk& bad) const;
+
+  /// Drop all checksums for a store (destruction, or handing the buffer to
+  /// external writers the ledger cannot observe).
+  void forget(std::uint64_t id) { chunks_.erase(id); }
+
+ private:
+  [[nodiscard]] static std::size_t chunk_count(std::size_t nbytes) {
+    return nbytes == 0 ? 0 : (nbytes + kChunkBytes - 1) / kChunkBytes;
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> chunks_;
+  metrics::Counter hashed_;
+};
+
+}  // namespace legate::integrity

@@ -16,6 +16,7 @@ const char* category_name(Category c) {
     case Category::Retry: return "retry";
     case Category::Spill: return "spill";
     case Category::Snapshot: return "metrics-snapshot";
+    case Category::Integrity: return "integrity";
   }
   return "unknown";
 }

@@ -25,6 +25,7 @@ enum class Category {
   Retry,      ///< instant marker: a point task re-execution was scheduled
   Spill,      ///< instant marker: an allocation was evicted under OOM
   Snapshot,   ///< instant marker: a metrics snapshot was taken
+  Integrity,  ///< instant marker: a silent flip was injected/detected/repaired
 };
 
 [[nodiscard]] const char* category_name(Category c);

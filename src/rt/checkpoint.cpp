@@ -1,5 +1,11 @@
 #include "rt/checkpoint.h"
 
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "integrity/crc32c.h"
+
 namespace legate::rt {
 
 double Checkpoint::bytes() const {
@@ -11,6 +17,110 @@ double Checkpoint::bytes() const {
 double Checkpoint::scalar(const std::string& key, double fallback) const {
   auto it = scalars_.find(key);
   return it == scalars_.end() ? fallback : it->second;
+}
+
+// --- file format -----------------------------------------------------------
+// [8]  magic "LSRCKPT\0"
+// [u32] format version (1)
+// [f64] taken_at
+// [u32] scalar count, then per scalar: [u32 keylen][key bytes][f64 value]
+// [u32] entry count, then per entry:   [u64 nbytes][u32 crc32c][payload]
+// All integers little-endian (the only byte order the stack supports).
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'S', 'R', 'C', 'K', 'P', 'T', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] bool get(std::ifstream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return is.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+[[noreturn]] void reject(const std::string& path, const std::string& why) {
+  throw std::runtime_error("corrupt checkpoint file '" + path + "': " + why);
+}
+
+}  // namespace
+
+void Checkpoint::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot write checkpoint file '" + path + "'");
+  os.write(kMagic, sizeof(kMagic));
+  put(os, kVersion);
+  put(os, taken_at_);
+  put(os, static_cast<std::uint32_t>(scalars_.size()));
+  for (const auto& [key, value] : scalars_) {
+    put(os, static_cast<std::uint32_t>(key.size()));
+    os.write(key.data(), static_cast<std::streamsize>(key.size()));
+    put(os, value);
+  }
+  put(os, static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    put(os, static_cast<std::uint64_t>(e.data.size()));
+    put(os, integrity::crc32c(0, e.data.data(), e.data.size()));
+    os.write(reinterpret_cast<const char*>(e.data.data()),
+             static_cast<std::streamsize>(e.data.size()));
+  }
+  os.flush();
+  if (!os) throw std::runtime_error("short write to checkpoint file '" + path + "'");
+}
+
+Checkpoint Checkpoint::load(const std::string& path,
+                            const std::vector<Store>& stores) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open checkpoint file '" + path + "'");
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  if (is.gcount() == 0) reject(path, "file is empty");
+  if (is.gcount() != sizeof(magic) || std::memcmp(magic, kMagic, sizeof(magic)) != 0)
+    reject(path, "bad magic (not a checkpoint file)");
+  std::uint32_t version = 0;
+  if (!get(is, version)) reject(path, "truncated header");
+  if (version != kVersion)
+    reject(path, "unsupported format version " + std::to_string(version));
+
+  Checkpoint ck;
+  if (!get(is, ck.taken_at_)) reject(path, "truncated header");
+  std::uint32_t nscalars = 0;
+  if (!get(is, nscalars)) reject(path, "truncated header");
+  for (std::uint32_t i = 0; i < nscalars; ++i) {
+    std::uint32_t klen = 0;
+    if (!get(is, klen)) reject(path, "truncated scalar table");
+    std::string key(klen, '\0');
+    is.read(key.data(), klen);
+    double value = 0;
+    if (is.gcount() != static_cast<std::streamsize>(klen) || !get(is, value))
+      reject(path, "truncated scalar table");
+    ck.scalars_[key] = value;
+  }
+
+  std::uint32_t nentries = 0;
+  if (!get(is, nentries)) reject(path, "truncated entry table");
+  if (nentries != stores.size())
+    reject(path, "holds " + std::to_string(nentries) + " stores, expected " +
+                     std::to_string(stores.size()));
+  for (std::uint32_t i = 0; i < nentries; ++i) {
+    std::uint64_t nbytes = 0;
+    std::uint32_t crc = 0;
+    if (!get(is, nbytes) || !get(is, crc))
+      reject(path, "truncated at entry " + std::to_string(i));
+    std::vector<std::byte> data(static_cast<std::size_t>(nbytes));
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(nbytes));
+    if (is.gcount() != static_cast<std::streamsize>(nbytes))
+      reject(path, "truncated payload at entry " + std::to_string(i));
+    if (integrity::crc32c(0, data.data(), data.size()) != crc)
+      reject(path, "payload checksum mismatch at entry " + std::to_string(i));
+    ck.entries_.push_back({stores[i], std::move(data)});
+  }
+  return ck;
 }
 
 }  // namespace legate::rt

@@ -32,6 +32,21 @@ class Checkpoint {
   void set_scalar(const std::string& key, double v) { scalars_[key] = v; }
   [[nodiscard]] double scalar(const std::string& key, double fallback = 0) const;
 
+  /// Serialize the snapshot to `path`: a versioned header (magic + format
+  /// version) followed by the scalars and one length + CRC32C + payload
+  /// record per store entry. Throws std::runtime_error if the file cannot
+  /// be written.
+  void save(const std::string& path) const;
+
+  /// Deserialize a snapshot from `path`, rebinding the payloads to `stores`
+  /// (the same stores, in the same order, as the checkpoint() call that
+  /// produced the file). Restart safety: an empty, truncated, wrong-magic,
+  /// wrong-version, or checksum-mismatched file is rejected with a
+  /// descriptive std::runtime_error naming the problem and the offending
+  /// entry — never loaded as garbage.
+  static Checkpoint load(const std::string& path,
+                         const std::vector<Store>& stores);
+
  private:
   friend class Runtime;
   struct Entry {

@@ -194,8 +194,11 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
     if (const char* e = std::getenv("LSR_EXEC_PIPELINE")) pl = std::atoi(e);
   }
   // Fault-injection retries must observe real completion at every launch, so
-  // pipelining is only active on fault-free runs.
-  pipeline_ = exec_threads_ > 1 && pl != 0 && !opts_.faults.enabled;
+  // pipelining is only active on fault-free runs. Checksummed stores impose
+  // the same constraint: verify-on-read must observe real bytes at the
+  // sequential replay point.
+  pipeline_ = exec_threads_ > 1 && pl != 0 && !opts_.faults.enabled &&
+              opts_.integrity == Integrity::Off;
   if (exec_threads_ > 1) {
     pool_ = std::make_unique<exec::Pool>(exec_threads_, &engine_->metrics());
   }
@@ -230,6 +233,12 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   met_.fences = mreg.counter("lsr_rt_fences_total",
                              "pipeline drains (count depends on pipelining)",
                              metrics::Stability::Volatile);
+  met_.flips_overwritten =
+      mreg.counter("lsr_integrity_flips_overwritten_total",
+                   "injected flips retired by a full overwrite before any read");
+  ledger_.set_hashed_counter(mreg.counter(
+      "lsr_integrity_bytes_hashed_total",
+      "bytes run through CRC32C by checksum maintenance and verification"));
 
   if (opts_.faults.enabled) {
     injector_ = std::make_unique<sim::FaultInjector>(opts_.faults);
@@ -261,6 +270,10 @@ Store Runtime::create_store(DType dtype, std::vector<coord_t> shape) {
       std::make_shared<detail::StoreImpl>(this, next_store_id_++, dtype, std::move(shape));
   live_stores_.insert(impl.get());
   sync_.emplace(impl->id, std::make_unique<SyncState>());
+  // Checksum the zero-initialized buffer so every live store is tracked
+  // from birth (a flip landing before the first write is still caught).
+  integrity_record(impl->id, impl->data->data(), impl->data->size(), 0,
+                   impl->data->size());
   return Store(std::move(impl));
 }
 
@@ -279,11 +292,22 @@ void Runtime::mark_attached(const Store& s) {
   a.held.assign(s.extent(), 1);
   a.ready.assign(s.extent(), 0.0);
   mem_state_[machine_.home_memory()]->allocs[s.id()].push_back(std::move(a));
+  // The attach wrote the canonical bytes externally: refresh the checksums.
+  auto v = s.view();
+  integrity_record(s.id(), v.raw().data(), v.raw().size(), 0, v.raw().size());
 }
 
 void Runtime::on_store_destroyed(detail::StoreImpl* impl) {
   live_stores_.erase(impl);
   StoreId id = impl->id;
+  ledger_.forget(id);
+  // Flips still outstanding on a dying store were never read again: masked
+  // corruption on dead data, retired (not detected) so the flip ledger
+  // balances — injected == detected + overwritten at scrub time.
+  if (auto it = outstanding_flips_.find(id); it != outstanding_flips_.end()) {
+    met_.flips_overwritten.inc(static_cast<double>(it->second.size()));
+    outstanding_flips_.erase(it);
+  }
   if (pipeline_) {
     // The id is unreachable from future launches; retire its eager state.
     // (Pending nodes stay alive through the pool queue and their records.)
@@ -764,6 +788,172 @@ void Runtime::poll_faults() {
   if (injector_->node_loss_due(engine_->makespan())) {
     handle_node_loss(injector_->config().node_loss_node);
   }
+  poll_silent_flips();
+}
+
+// ---------------------------------------------------------------------------
+// Data integrity: silent-flip injection + checksummed stores
+// ---------------------------------------------------------------------------
+
+detail::StoreImpl* Runtime::find_live_store(StoreId id) const {
+  for (auto* impl : live_stores_) {
+    if (impl->id == id) return impl;
+  }
+  return nullptr;
+}
+
+void Runtime::poll_silent_flips() {
+  const auto& fc = opts_.faults;
+  if (fc.bitflip_rate <= 0 && fc.scripted_flips.empty()) return;
+  const double now = engine_->makespan();
+  for (std::size_t i : injector_->scripted_flips_due(now)) {
+    const auto& f = fc.scripted_flips[i];
+    apply_flip(f.store, f.offset, f.bit, now);
+  }
+  if (fc.bitflip_rate > 0) {
+    const double dt = now - last_flip_poll_;
+    if (dt > 0) {
+      // Stores in id order: the flip schedule must not depend on the
+      // unordered_set's iteration order.
+      std::vector<detail::StoreImpl*> stores(live_stores_.begin(),
+                                             live_stores_.end());
+      std::sort(stores.begin(), stores.end(),
+                [](const auto* a, const auto* b) { return a->id < b->id; });
+      const long poll = flip_poll_seq_++;
+      for (auto* s : stores) {
+        // The random upset model covers the floating-point data plane only:
+        // a flipped pos rect or crd index is not silent — it sends a leaf out
+        // of bounds, which on real hardware is a crash, not a wrong answer.
+        // Structural stores remain reachable via scripted_flips for targeted
+        // experiments.
+        if (s->dtype != DType::F64) continue;
+        const auto nbytes = static_cast<std::uint64_t>(s->data->size());
+        const double exposure = static_cast<double>(nbytes) * dt;
+        const int k = injector_->resident_flips(poll, s->id, exposure);
+        for (int j = 0; j < k; ++j) {
+          apply_flip(s->id, injector_->flip_offset(poll, s->id, j, nbytes),
+                     injector_->flip_bit(poll, s->id, j), now);
+        }
+      }
+    }
+    last_flip_poll_ = now;
+  }
+}
+
+void Runtime::apply_flip(StoreId id, std::uint64_t offset, int bit,
+                         double now) {
+  detail::StoreImpl* impl = find_live_store(id);
+  if (impl == nullptr || offset >= impl->data->size()) return;
+  auto& byte = (*impl->data)[static_cast<std::size_t>(offset)];
+  byte ^= static_cast<std::byte>(1U << static_cast<unsigned>(bit));
+  engine_->note_flip_injected();
+  if (opts_.integrity != Integrity::Off) {
+    outstanding_flips_[id].push_back({offset, now});
+  }
+}
+
+void Runtime::integrity_verify(StoreId id, std::byte* data,
+                               std::size_t nbytes) {
+  if (opts_.integrity == Integrity::Off || !ledger_.tracked(id)) return;
+  auto bad = ledger_.verify(id, data, nbytes);
+  if (bad.empty()) return;
+  const double now = engine_->makespan();
+  auto& live = outstanding_flips_[id];
+  for (const auto& b : bad) {
+    // Account every injected-but-undetected flip this chunk covers (the
+    // detection-latency metric); a bad chunk with no injection record still
+    // counts once (corruption from an unmodeled source).
+    bool counted = false;
+    for (auto it = live.begin(); it != live.end();) {
+      if (it->offset >= b.lo && it->offset < b.hi) {
+        engine_->note_flip_detected(now - it->time);
+        counted = true;
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!counted) engine_->note_flip_detected(0.0);
+    bool fixed = false;
+    if (opts_.integrity == Integrity::Recover) {
+      fixed = ledger_.try_correct(id, data, nbytes, b);
+      if (fixed) engine_->note_flip_recovered();
+    }
+    if (!fixed) {
+      // Uncorrectable (or Detect policy): the bytes are untrusted. Poison
+      // the store — the same path PR 1's retry exhaustion takes, so solvers
+      // roll back to a clean checkpoint instead of consuming garbage — and
+      // accept the damaged bytes as the new baseline so the same corruption
+      // is not re-detected on every subsequent read.
+      poisoned_stores_.insert(id);
+      ledger_.record(id, data, nbytes, b.lo, b.hi);
+    }
+  }
+  if (live.empty()) outstanding_flips_.erase(id);
+}
+
+void Runtime::integrity_record(StoreId id, const std::byte* data,
+                               std::size_t nbytes, std::size_t lo,
+                               std::size_t hi) {
+  if (opts_.integrity == Integrity::Off) return;
+  ledger_.record(id, data, nbytes, lo, hi);
+  auto it = outstanding_flips_.find(id);
+  if (it != outstanding_flips_.end()) {
+    auto& live = it->second;
+    const auto before = live.size();
+    std::erase_if(live, [&](const LiveFlip& f) {
+      return f.offset >= lo && f.offset < hi;
+    });
+    if (before != live.size()) {
+      met_.flips_overwritten.inc(static_cast<double>(before - live.size()));
+    }
+    if (live.empty()) outstanding_flips_.erase(it);
+  }
+}
+
+void Runtime::integrity_after_leaves(detail::LaunchRecord& R) {
+  // The rate-based in-flight model targets the SpMV data path: that is the
+  // kernel the Huang–Abraham checksum protects, and the classical ABFT fault
+  // model (corruption inside the matrix product, invisible to memory
+  // checksums because the wrong bytes are hashed as written). Output flips
+  // elsewhere would be silent by construction — nothing in the stack claims
+  // to catch them — so drawing them would only poison the determinism story.
+  const bool spmv_path = R.name.find("spmv") != std::string::npos;
+  for (const auto& a : R.args) {
+    if (a.priv == Priv::Read) continue;
+    auto raw = a.view.raw();
+    // In-flight corruption: the launch's written bytes take a flip *before*
+    // they are checksummed, so the ledger faithfully protects wrong data and
+    // only the algorithmic (ABFT) layer can notice. Drawn per written store
+    // from its own deterministic sequence.
+    if (spmv_path && injector_ != nullptr &&
+        injector_->config().output_flip_rate > 0 &&
+        a.view.dtype == DType::F64) {
+      const long oseq = output_seq_++;
+      if (injector_->output_flip(oseq)) {
+        const std::uint64_t n = static_cast<std::uint64_t>(a.view.volume);
+        const std::uint64_t idx = injector_->output_flip_index(oseq, n);
+        const int bit = injector_->output_flip_bit(oseq);
+        auto* words = reinterpret_cast<std::uint64_t*>(raw.data());
+        words[idx] ^= 1ULL << static_cast<unsigned>(bit);
+        engine_->note_flip_injected();
+      }
+    }
+    integrity_record(a.view.id, raw.data(), raw.size(), 0, raw.size());
+  }
+}
+
+void Runtime::integrity_scrub() {
+  if (opts_.integrity == Integrity::Off) return;
+  fence();
+  poll_faults();
+  std::vector<detail::StoreImpl*> stores(live_stores_.begin(),
+                                         live_stores_.end());
+  std::sort(stores.begin(), stores.end(),
+            [](const auto* a, const auto* b) { return a->id < b->id; });
+  for (auto* s : stores) {
+    integrity_verify(s->id, s->data->data(), s->data->size());
+  }
 }
 
 Checkpoint Runtime::checkpoint(const std::vector<Store>& stores) {
@@ -809,6 +999,11 @@ double Runtime::restore(const Checkpoint& ckpt) {
     a.held.assign(ext, ss.version_counter);
     a.ready.assign(ext, done);
     poisoned_stores_.erase(e.store.id());
+    // The rewrite re-baselines the checksums and retires any outstanding
+    // corruption: the snapshot bytes are clean by construction (verified on
+    // checkpoint, payload-checksummed on disk).
+    integrity_record(e.store.id(), raw.data(), raw.size(), 0, raw.size());
+    outstanding_flips_.erase(e.store.id());
   }
   return done;
 }
@@ -828,6 +1023,14 @@ double Runtime::shuffle(const Store& in, const Store& out,
                              [&](Interval, double t) { src_ready = std::max(src_ready, t); });
 
   body();  // real data movement on canonical buffers
+
+  // The body rewrote `out` externally (through spans): refresh checksums
+  // before anything reads it back.
+  {
+    auto v = out.view();
+    integrity_record(out.id(), v.raw().data(), v.raw().size(), 0,
+                     v.raw().size());
+  }
 
   double esize = static_cast<double>(dtype_size(out.dtype()));
   double block_bytes =
@@ -928,6 +1131,16 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
     if (auto err = R.first_error()) std::rethrow_exception(err);
   }
   poll_faults();
+  // Verify-on-read: every argument whose current bytes this launch consumes
+  // (including image-constraint sources read during partitioning below) is
+  // checked against the ledger before any real work observes it.
+  if (!deferred && opts_.integrity != Integrity::Off) {
+    for (const auto& a : R.args) {
+      if (a.priv != Priv::Read && a.priv != Priv::ReadWrite) continue;
+      auto raw = a.view.raw();
+      integrity_verify(a.view.id, raw.data(), raw.size());
+    }
+  }
   met_.launches.inc();
   double t_launch = engine_->control_advance(task_overhead_, R.name);
 
@@ -1082,6 +1295,12 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
     // to the pre-exec runtime.
     run_leaves(R);
     if (auto err = R.first_error()) std::rethrow_exception(err);
+    // Write-back checksums (and possible in-flight output corruption ahead
+    // of them) for everything this launch wrote.
+    if (opts_.integrity != Integrity::Off ||
+        (injector_ != nullptr && injector_->config().output_flip_rate > 0)) {
+      integrity_after_leaves(R);
+    }
   }
 
   // ---- 3. Pass A: dependence analysis against pre-launch state -----------

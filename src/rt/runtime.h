@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exec/pool.h"
+#include "integrity/integrity.h"
 #include "rt/partition.h"
 #include "rt/store.h"
 #include "sim/engine.h"
@@ -182,6 +183,16 @@ class TaskLauncher {
   std::string provenance_;
 };
 
+/// Data-integrity policy for silent-corruption protection (checksummed
+/// stores + ABFT solver checks). See DESIGN.md "Data integrity & ABFT".
+enum class Integrity {
+  Off,      ///< no checksums; injected flips silently corrupt results
+  Detect,   ///< verify-on-read; corruption poisons the store (solvers abort
+            ///< or roll back but never return silently-wrong values)
+  Recover,  ///< detect + repair: single-bit CRC correction in place, ABFT
+            ///< retry of corrupted SpMVs, rollback for anything else
+};
+
 /// Behaviour toggles, used by the ablation benchmarks.
 struct RuntimeOptions {
   bool coalescing = true;       ///< Section 4.2 allocation coalescing
@@ -208,6 +219,12 @@ struct RuntimeOptions {
   /// Only active with exec_threads > 1 and fault injection disabled
   /// (fault-injection retries drain at every launch by design).
   int exec_pipeline = -1;
+  /// Checksummed-store policy. Off by default (zero per-launch overhead).
+  /// Detect/Recover maintain per-chunk CRC32C over every canonical store,
+  /// verified on read and refreshed on write-back/copy/shuffle/checkpoint;
+  /// like fault injection, a non-Off policy disables pipelining (verification
+  /// must observe real bytes at the sequential replay point).
+  Integrity integrity = Integrity::Off;
 };
 
 /// The Legion-model runtime: dynamic dependence analysis over the task
@@ -319,6 +336,16 @@ class Runtime {
     return injector_.get();
   }
 
+  // -- data integrity -------------------------------------------------------
+  /// Active checksummed-store policy.
+  [[nodiscard]] Integrity integrity() const { return opts_.integrity; }
+  /// Verify every tracked store against its ledger checksums (a full scrub),
+  /// detecting — and under Recover, repairing — any resident corruption the
+  /// normal verify-on-read path has not reached yet. A fence point. Tests
+  /// and benches call this at end-of-run so `flips_detected` accounts for
+  /// every injected flip still live in a store.
+  void integrity_scrub();
+
   /// Snapshot the canonical contents of `stores` (plus caller-attached
   /// scalars) and charge the simulated checkpoint write. See rt/checkpoint.h.
   /// A fence point: the snapshot observes fully-written real data.
@@ -401,6 +428,27 @@ class Runtime {
   void poll_faults();
   [[nodiscard]] int sysmem_of_node(int node) const;
 
+  // -- data-integrity internals ---------------------------------------------
+  /// Apply due scripted and rate-drawn silent bit flips to live canonical
+  /// buffers (deterministic: stores visited in id order, draws keyed on a
+  /// control-path poll counter). Called from poll_faults().
+  void poll_silent_flips();
+  /// Flip bit `bit` of the byte at `offset` in store `id` (no-op when the
+  /// store is dead or too small) and account the injection.
+  void apply_flip(StoreId id, std::uint64_t offset, int bit, double now);
+  /// Verify `data` against the ledger; on mismatch account detection,
+  /// attempt in-place CRC correction under Recover, and poison the store
+  /// when the damage is uncorrectable (or the policy is Detect).
+  void integrity_verify(StoreId id, std::byte* data, std::size_t nbytes);
+  /// Refresh the ledger over [lo, hi) after a write-back; flips overwritten
+  /// before detection are retired as dead.
+  void integrity_record(StoreId id, const std::byte* data, std::size_t nbytes,
+                        std::size_t lo, std::size_t hi);
+  /// Post-leaf hook for one launch: apply any in-flight output flip to the
+  /// written arguments, then checksum them.
+  void integrity_after_leaves(detail::LaunchRecord& R);
+  [[nodiscard]] detail::StoreImpl* find_live_store(StoreId id) const;
+
   sim::Machine machine_;
   std::unique_ptr<sim::Engine> engine_;
   RuntimeOptions opts_;
@@ -455,6 +503,19 @@ class Runtime {
   std::unordered_set<StoreId> pinned_;
   bool node_loss_pending_{false};
   bool spilling_{false};  ///< guards against recursive spill
+
+  // -- data-integrity state --------------------------------------------------
+  integrity::ChecksumLedger ledger_;
+  /// One injected-but-undetected resident flip (byte offset + simulated
+  /// injection time, for the detection-latency metric).
+  struct LiveFlip {
+    std::uint64_t offset{0};
+    double time{0};
+  };
+  std::map<StoreId, std::vector<LiveFlip>> outstanding_flips_;
+  long flip_poll_seq_{0};    ///< control-path poll counter keying flip draws
+  double last_flip_poll_{0};  ///< simulated time of the previous flip poll
+  long output_seq_{0};  ///< written-arg counter keying in-flight flip draws
   std::vector<std::string> provenance_;  ///< profiler provenance scope stack
 
   /// Runtime-layer metric handles (registered once in the constructor). All
@@ -469,6 +530,9 @@ class Runtime {
     metrics::Counter partitions_created;
     metrics::Counter checkpoint_bytes, restore_bytes;
     metrics::Counter fences;  ///< Volatile: drain count depends on pipelining
+    /// Injected flips retired by a full overwrite before any read could
+    /// observe them (dead data; not a detection failure).
+    metrics::Counter flips_overwritten;
   } met_;
 };
 

@@ -24,6 +24,17 @@ void sync_for_access(const StoreImpl* impl) {
 using detail::LaunchRecord;
 
 void Runtime::sync_store_access(StoreId id) {
+  if (opts_.integrity != Integrity::Off) {
+    // External access verifies the bytes first (the caller is about to trust
+    // them), then re-records: the returned span is mutable, so the runtime
+    // conservatively treats every external access as a rewrite. External
+    // writers that bypass this path must republish via mark_attached.
+    if (auto* impl = find_live_store(id)) {
+      integrity_verify(id, impl->data->data(), impl->data->size());
+      integrity_record(id, impl->data->data(), impl->data->size(), 0,
+                       impl->data->size());
+    }
+  }
   if (!pipeline_) return;
   fence();
   // The returned span is mutable: assume the caller changes the bytes, so

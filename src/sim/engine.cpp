@@ -38,6 +38,14 @@ Engine::Engine(const Machine& machine)
       metrics_.counter("lsr_sim_checkpoints_total", "checkpoint snapshots");
   met_.restores =
       metrics_.counter("lsr_sim_restores_total", "restore rollbacks");
+  met_.flips_injected = metrics_.counter("lsr_integrity_flips_injected_total",
+                                         "silent bit flips injected");
+  met_.flips_detected = metrics_.counter(
+      "lsr_integrity_flips_detected_total",
+      "injected flips caught by checksum verification");
+  met_.flips_recovered = metrics_.counter(
+      "lsr_integrity_flips_recovered_total",
+      "injected flips repaired bit-exactly in place");
   met_.copy_intra = metrics_.histogram("lsr_sim_copy_bytes_intra",
                                        "per-copy intra-memory bytes", bytes);
   met_.copy_nvlink = metrics_.histogram("lsr_sim_copy_bytes_nvlink",
@@ -49,6 +57,10 @@ Engine::Engine(const Machine& machine)
                          Registry::seconds_buckets());
   met_.ckpt_bytes = metrics_.histogram("lsr_sim_ckpt_bytes",
                                        "per-checkpoint-IO bytes", bytes);
+  met_.flip_latency = metrics_.histogram(
+      "lsr_integrity_detect_latency_seconds",
+      "simulated injection-to-detection latency per caught flip",
+      Registry::seconds_buckets());
 }
 
 // --- Recorder track interning (profiling-enabled paths only) ---------------
@@ -362,6 +374,12 @@ std::string Engine::report() const {
        << ", checkpoints=" << stats_.checkpoints
        << ", restores=" << stats_.restores
        << ", ckpt_bytes=" << stats_.bytes_ckpt / 1e6 << "MB}";
+  }
+  if (stats_.flips_injected + stats_.flips_detected + stats_.flips_recovered >
+      0) {
+    os << " integrity{flips_injected=" << stats_.flips_injected
+       << ", detected=" << stats_.flips_detected
+       << ", recovered=" << stats_.flips_recovered << "}";
   }
   return os.str();
 }

@@ -36,6 +36,10 @@ struct Stats {
   long spills{0};           ///< allocations evicted/spilled under OOM pressure
   long checkpoints{0};      ///< Runtime::checkpoint() snapshots taken
   long restores{0};         ///< Runtime::restore() rollbacks performed
+  // Data-integrity counters (zero unless silent-corruption injection fires).
+  long flips_injected{0};   ///< silent bit flips applied to store bytes
+  long flips_detected{0};   ///< flips caught by checksum verification
+  long flips_recovered{0};  ///< flips repaired bit-exactly in place
 };
 
 /// Turns a roofline Cost into seconds on a given processor kind.
@@ -156,6 +160,24 @@ class Engine {
   void note_snapshot() {
     if (recorder_.enabled()) mark(prof::Category::Snapshot);
   }
+  void note_flip_injected() {
+    ++stats_.flips_injected;
+    met_.flips_injected.inc();
+    if (recorder_.enabled()) mark(prof::Category::Integrity);
+  }
+  /// `latency` is simulated seconds between injection and detection (0 when
+  /// the flip is caught at the very poll that injected it).
+  void note_flip_detected(double latency) {
+    ++stats_.flips_detected;
+    met_.flips_detected.inc();
+    met_.flip_latency.observe(latency);
+    if (recorder_.enabled()) mark(prof::Category::Integrity);
+  }
+  void note_flip_recovered() {
+    ++stats_.flips_recovered;
+    met_.flips_recovered.inc();
+    if (recorder_.enabled()) mark(prof::Category::Integrity);
+  }
 
   /// Workload scale factor S: benchmarks execute a 1/S functional sample of
   /// the modeled problem and charge S x the bytes/flops/capacity, which is
@@ -226,8 +248,9 @@ class Engine {
     metrics::Counter tasks, copies, allreduces;
     metrics::Counter bytes_intra, bytes_nvlink, bytes_ib, bytes_ckpt;
     metrics::Counter faults, retries, spills, checkpoints, restores;
+    metrics::Counter flips_injected, flips_detected, flips_recovered;
     metrics::Histogram copy_intra, copy_nvlink, copy_ib;
-    metrics::Histogram stall_seconds, ckpt_bytes;
+    metrics::Histogram stall_seconds, ckpt_bytes, flip_latency;
   } met_;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/fault.h"
 
+#include <cmath>
+
 namespace legate::sim {
 
 namespace {
@@ -44,6 +46,72 @@ bool FaultInjector::node_loss_due(double now) {
   if (now < cfg_.node_loss_time) return false;
   node_loss_fired_ = true;
   return true;
+}
+
+std::uint64_t FaultInjector::mix(std::uint64_t a, std::uint64_t b,
+                                 std::uint64_t salt) const {
+  std::uint64_t x = cfg_.seed;
+  x = splitmix64(x ^ (a * 0x9e3779b97f4a7c15ULL));
+  x = splitmix64(x ^ b);
+  x = splitmix64(x ^ salt);
+  return x;
+}
+
+int FaultInjector::resident_flips(long poll_seq, std::uint64_t store,
+                                  double byte_seconds) const {
+  if (cfg_.bitflip_rate <= 0 || byte_seconds <= 0) return 0;
+  const double lambda = cfg_.bitflip_rate * byte_seconds;
+  const double whole = std::floor(lambda);
+  int n = static_cast<int>(whole);
+  const std::uint64_t u =
+      mix(static_cast<std::uint64_t>(poll_seq), store, 0x3c4d1ULL);
+  if (to_unit(u) < lambda - whole) ++n;
+  return n;
+}
+
+std::uint64_t FaultInjector::flip_offset(long poll_seq, std::uint64_t store,
+                                         int k, std::uint64_t nbytes) const {
+  if (nbytes == 0) return 0;
+  const std::uint64_t u = mix(static_cast<std::uint64_t>(poll_seq),
+                              store * 0x100 + static_cast<std::uint64_t>(k),
+                              0x3c4d2ULL);
+  return u % nbytes;
+}
+
+int FaultInjector::flip_bit(long poll_seq, std::uint64_t store, int k) const {
+  const std::uint64_t u = mix(static_cast<std::uint64_t>(poll_seq),
+                              store * 0x100 + static_cast<std::uint64_t>(k),
+                              0x3c4d3ULL);
+  return static_cast<int>(u % 8);
+}
+
+bool FaultInjector::output_flip(long task_seq) const {
+  if (cfg_.output_flip_rate <= 0) return false;
+  return to_unit(hash(task_seq, 0, 0x3c4d4ULL)) < cfg_.output_flip_rate;
+}
+
+std::uint64_t FaultInjector::output_flip_index(long task_seq,
+                                               std::uint64_t n) const {
+  if (n == 0) return 0;
+  return hash(task_seq, 0, 0x3c4d5ULL) % n;
+}
+
+int FaultInjector::output_flip_bit(long task_seq) const {
+  // Exponent bits of an IEEE-754 double: the injected relative error is
+  // always >= 2x, which scaled ABFT checks are guaranteed to notice.
+  return 52 + static_cast<int>(hash(task_seq, 0, 0x3c4d6ULL) % 11);
+}
+
+std::vector<std::size_t> FaultInjector::scripted_flips_due(double now) {
+  std::vector<std::size_t> due;
+  if (cfg_.scripted_flips.empty()) return due;
+  flips_fired_.resize(cfg_.scripted_flips.size(), false);
+  for (std::size_t i = 0; i < cfg_.scripted_flips.size(); ++i) {
+    if (flips_fired_[i] || cfg_.scripted_flips[i].time > now) continue;
+    flips_fired_[i] = true;
+    due.push_back(i);
+  }
+  return due;
 }
 
 }  // namespace legate::sim

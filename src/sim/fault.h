@@ -15,6 +15,18 @@ struct ScriptedFault {
   int attempt{0};
 };
 
+/// One scripted silent bit flip: at simulated time `time`, flip bit `bit`
+/// (0-7) of the byte at `offset` within store `store`. `node` is advisory
+/// metadata (which node's memory the upset models); the canonical host
+/// buffer is what actually takes the flip. Each entry fires exactly once.
+struct ScriptedFlip {
+  double time{0};
+  int node{-1};
+  std::uint64_t store{0};
+  std::uint64_t offset{0};
+  int bit{0};
+};
+
 /// Deterministic fault schedule, configured through rt::RuntimeOptions.
 /// Everything here is a pure function of the seed and the task sequence, so
 /// the same configuration produces a bit-identical schedule (and therefore
@@ -38,6 +50,20 @@ struct FaultConfig {
   double detect_seconds{200e-6};
   /// Base of the exponential backoff before attempt k: base * 2^(k-1).
   double backoff_seconds{100e-6};
+
+  // --- silent data corruption --------------------------------------------
+  /// Expected silent upsets per resident byte per simulated second (DRAM /
+  /// framebuffer bit-rot). The runtime polls on its sequential control path
+  /// and converts `rate x resident bytes x elapsed` into a deterministic
+  /// flip count per store, so the schedule is bit-identical run to run.
+  double bitflip_rate{0};
+  /// Probability that one launch's written bytes take an in-flight upset
+  /// *before* the runtime checksums them (corruption on the wire or in a
+  /// cache the store CRC never observes). Only algorithmic checks (ABFT,
+  /// residual replacement) can catch these.
+  double output_flip_rate{0};
+  /// Explicitly scripted flips, applied in addition to the random stream.
+  std::vector<ScriptedFlip> scripted_flips;
 
   // --- whole-node loss ----------------------------------------------------
   /// Simulated time at which node `node_loss_node` is lost; < 0 disables.
@@ -74,12 +100,46 @@ class FaultInjector {
   [[nodiscard]] bool node_loss_due(double now);
   [[nodiscard]] bool node_loss_fired() const { return node_loss_fired_; }
 
+  // --- silent data corruption --------------------------------------------
+  /// Number of random resident-byte upsets store `store` suffers during
+  /// control-path poll number `poll_seq`, given `byte_seconds` of exposure
+  /// (resident bytes x elapsed simulated seconds). Pure in its arguments:
+  /// the expectation `bitflip_rate * byte_seconds` is split into a certain
+  /// floor plus one deterministically-thinned extra flip.
+  [[nodiscard]] int resident_flips(long poll_seq, std::uint64_t store,
+                                   double byte_seconds) const;
+  /// Byte offset (in [0, nbytes)) and bit (in [0, 8)) of random flip `k`
+  /// from poll `poll_seq` on store `store`. Pure.
+  [[nodiscard]] std::uint64_t flip_offset(long poll_seq, std::uint64_t store,
+                                          int k, std::uint64_t nbytes) const;
+  [[nodiscard]] int flip_bit(long poll_seq, std::uint64_t store, int k) const;
+
+  /// Whether the bytes written by task `task_seq` take an in-flight upset
+  /// before they are checksummed. Pure.
+  [[nodiscard]] bool output_flip(long task_seq) const;
+  /// Which of the launch's `n` written elements the upset lands on. Pure.
+  [[nodiscard]] std::uint64_t output_flip_index(long task_seq,
+                                                std::uint64_t n) const;
+  /// Which bit of the victim double flips; drawn from the exponent bits
+  /// [52, 62] so the damage is large enough for scaled algorithmic checks
+  /// to see (low-mantissa upsets below the check tolerance are explicitly
+  /// out of the modeled threat's scope — see DESIGN.md).
+  [[nodiscard]] int output_flip_bit(long task_seq) const;
+
+  /// Indices into config().scripted_flips whose time has passed; each entry
+  /// fires exactly once (stateful, like node_loss_due).
+  [[nodiscard]] std::vector<std::size_t> scripted_flips_due(double now);
+
  private:
   [[nodiscard]] std::uint64_t hash(long task_seq, int attempt,
                                    std::uint64_t salt) const;
+  /// Generic two-word variant of the hash stream for flip draws.
+  [[nodiscard]] std::uint64_t mix(std::uint64_t a, std::uint64_t b,
+                                  std::uint64_t salt) const;
 
   FaultConfig cfg_;
   bool node_loss_fired_{false};
+  std::vector<bool> flips_fired_;
 };
 
 }  // namespace legate::sim

@@ -24,6 +24,49 @@ Scalar fneg(Scalar a) { return {-a.value, a.ready, a.poisoned}; }
 /// than the checkpoint cadence make no forward progress).
 constexpr int kMaxRestores = 8;
 
+/// Re-executions of an ABFT-failed SpMV under Integrity::Recover before the
+/// solver falls back to a checkpoint rollback. A retry draws a fresh
+/// output-flip lottery, so a clean retry reproduces the fault-free product
+/// bit-for-bit.
+constexpr int kAbftRetries = 3;
+/// Rounding slack of the checksum test, scaled by |A|-magnitude column sums.
+constexpr double kAbftRtol = 1e-8;
+/// Residual-replacement drift threshold: recursive vs true residual gaps
+/// beyond this (relative to the larger of the two, floored at tol·‖b‖) mean
+/// corruption escaped the checksum layers.
+constexpr double kRrDriftRtol = 1e-3;
+
+/// ABFT-protected y = A @ x. With integrity off this is a plain spmv.
+/// Otherwise verify the Huang–Abraham checksum invariant Σ(Ax) == c·x for the
+/// cached check row c = colsums(A), with slack kAbftRtol·(|A|colsums·|x| +
+/// |c·x|) — the magnitude scale is essential because plain column sums of
+/// stencil operators cancel to ~0. Under Detect a violation reports *ok =
+/// false (the solver aborts unconverged); under Recover the product is
+/// recomputed up to kAbftRetries times and the event counted recovered.
+DArray checked_spmv(const sparse::CsrMatrix& A, const DArray& x, bool& ok) {
+  rt::Runtime& rt = A.runtime();
+  const rt::Integrity mode = rt.options().integrity;
+  if (mode == rt::Integrity::Off) return A.spmv(x);
+  const int attempts = mode == rt::Integrity::Recover ? 1 + kAbftRetries : 1;
+  for (int t = 0; t < attempts; ++t) {
+    DArray y = A.spmv(x);
+    Scalar lhs = y.sum();
+    Scalar rhs = A.check_row().dot(x);
+    Scalar scale = A.abs_check_row().dot(x.abs());
+    // Fail-stop poison (lost node mid-product) is the retry machinery's
+    // problem, not ABFT's — hand the poisoned result straight back.
+    if (lhs.poisoned || rhs.poisoned || scale.poisoned) return y;
+    if (std::fabs(lhs.value - rhs.value) <=
+        kAbftRtol * (scale.value + std::fabs(rhs.value))) {
+      if (t > 0) rt.engine().note_flip_recovered();
+      return y;
+    }
+    rt.engine().note_flip_detected(0.0);
+  }
+  ok = false;
+  return A.spmv(x);  // caller aborts or rolls back via ok
+}
+
 /// Per-solver convergence telemetry (lsr_solve_<name>_*). Owns the
 /// ProvenanceScope labeling the solver's launches on recorded timelines and
 /// registers the solver's metrics on the runtime's registry. Everything here
@@ -104,6 +147,7 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
     (void)rt.consume_node_loss();  // the rollback handles any pending loss
     double t = rt.restore(*snap);
     rz = {snap->scalar("rz"), t};
+    res.residual = snap->scalar("rnorm");
     return static_cast<int>(snap->scalar("it"));
   };
   int it = 0;
@@ -114,15 +158,42 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
         if (!snap || restores_left <= 0) break;  // unrecoverable
         it = roll_back();
       }
+      // Residual replacement (Recover): at the checkpoint cadence compare the
+      // recursive residual against the true ‖b − Ax‖. Drift beyond rounding
+      // means corruption escaped the checksum layers, so rewind to the last
+      // snapshot instead of polishing tainted recurrences.
+      if (rt.options().integrity == rt::Integrity::Recover && it > 0 &&
+          it % ckpt.every == 0 && snap &&
+          static_cast<int>(snap->scalar("it")) != it) {
+        bool rr_ok = true;
+        double tn = b.sub(checked_spmv(A, x, rr_ok)).norm().value;
+        if (!rr_ok || std::fabs(tn - res.residual) >
+                          kRrDriftRtol * std::max({tn, res.residual, tol * bnorm})) {
+          if (restores_left <= 0) break;  // unrecoverable
+          it = roll_back();
+        }
+      }
       if (it % ckpt.every == 0 &&
           (!snap || static_cast<int>(snap->scalar("it")) != it)) {
         rt::Checkpoint c = rt.checkpoint({x.store(), r.store(), p.store()});
         c.set_scalar("rz", rz.value);
         c.set_scalar("it", it);
+        c.set_scalar("rnorm", res.residual);
         snap = std::move(c);
       }
     }
-    DArray Ap = A.spmv(p);
+    bool abft_ok = true;
+    DArray Ap = checked_spmv(A, p, abft_ok);
+    if (!abft_ok) {
+      // Recover with retries exhausted: fall back to the snapshot. Detect:
+      // abort unconverged — the product is known corrupt.
+      if (rt.options().integrity == rt::Integrity::Recover && ckpt.every > 0 &&
+          snap && restores_left > 0) {
+        it = roll_back();
+        continue;
+      }
+      break;
+    }
     Scalar pAp = p.dot(Ap);
     Scalar alpha = fdiv(rz, pAp);
     x.axpy(alpha, p);
@@ -385,9 +456,10 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
         snap = std::move(c);
       }
     }
-    DArray r = b.sub(A.spmv(x));
+    bool abft_ok = true;
+    DArray r = b.sub(checked_spmv(A, x, abft_ok));
     Scalar rn = r.norm();
-    if (rn.poisoned) {
+    if (rn.poisoned || !abft_ok) {
       if (ckpt.every > 0 && snap && restores_left > 0) {
         total_iters = roll_back();
         continue;
@@ -411,7 +483,8 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
     g[0] = beta;
     int k = 0;
     for (; k < m && total_iters < maxiter; ++k, ++total_iters) {
-      DArray w = A.spmv(V[static_cast<std::size_t>(k)]);
+      DArray w = checked_spmv(A, V[static_cast<std::size_t>(k)], abft_ok);
+      if (!abft_ok) break;  // corrupted Arnoldi vector: handled below
       for (int i = 0; i <= k; ++i) {
         Scalar h = w.dot(V[static_cast<std::size_t>(i)]);
         H[static_cast<std::size_t>(i * m + k)] = h.value;
@@ -444,6 +517,15 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
         break;
       }
     }
+    if (!abft_ok) {
+      // A checksum violation inside the cycle taints the whole Krylov basis:
+      // never fold it into x. Rewind to the last cycle-boundary snapshot.
+      if (ckpt.every > 0 && snap && restores_left > 0) {
+        total_iters = roll_back();
+        continue;
+      }
+      break;  // unrecoverable: converged stays false
+    }
     // Back-substitute y and update x += V y.
     std::vector<double> y(static_cast<std::size_t>(k), 0.0);
     for (int i = k - 1; i >= 0; --i) {
@@ -459,8 +541,8 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
       // Recompute the true residual before declaring victory. The Hessenberg
       // recurrence runs on host scalars, so a node loss mid-cycle surfaces
       // only here — as poison on the recomputed residual or on x itself.
-      Scalar true_res = b.sub(A.spmv(x)).norm();
-      if (true_res.poisoned || rt.consume_node_loss() ||
+      Scalar true_res = b.sub(checked_spmv(A, x, abft_ok)).norm();
+      if (true_res.poisoned || !abft_ok || rt.consume_node_loss() ||
           rt.store_poisoned(x.store())) {
         if (ckpt.every > 0 && snap && restores_left > 0) {
           total_iters = roll_back();
@@ -473,6 +555,14 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
       if (true_res.value / bnorm < tol * 10) {
         res.converged = true;
         break;
+      }
+      // Under Recover, a Givens estimate that met tol while the true residual
+      // did not means corruption slipped past the checksum layers mid-cycle:
+      // rewind rather than polish a tainted x.
+      if (rt.options().integrity == rt::Integrity::Recover && ckpt.every > 0 &&
+          snap && restores_left > 0) {
+        total_iters = roll_back();
+        continue;
       }
     }
   }

@@ -59,6 +59,7 @@ void CsrMatrix::validate() const {
   }
   auto pv = pos_.span<Rect1>();
   auto cv = crd_.span<coord_t>();
+  auto vv = vals_.span<double>();
   const coord_t len = nnz_store_len();
   coord_t prev_hi = -1;
   for (coord_t i = 0; i < rows_; ++i) {
@@ -77,6 +78,7 @@ void CsrMatrix::validate() const {
                         "pos", i);
     }
     prev_hi = r.hi;
+    coord_t prev_col = -1;
     for (coord_t j = r.lo; j <= r.hi; ++j) {
       coord_t c = cv[static_cast<std::size_t>(j)];
       if (c < 0 || c >= cols_) {
@@ -84,6 +86,25 @@ void CsrMatrix::validate() const {
                               std::to_string(j) + " outside [0, " +
                               std::to_string(cols_) + ")",
                           "crd", j);
+      }
+      // Silent corruption of crd often surfaces as a swapped/garbage index:
+      // columns within a row must be strictly increasing (the canonical CSR
+      // order every kernel here assumes).
+      if (c <= prev_col) {
+        throw FormatError("column coordinates out of order in row " +
+                              std::to_string(i) + " (column " + std::to_string(c) +
+                              " at entry " + std::to_string(j) +
+                              " follows column " + std::to_string(prev_col) + ")",
+                          "crd", i);
+      }
+      prev_col = c;
+      // Bit flips in value bytes frequently surface as NaN/Inf first; reject
+      // them at construction so corruption is pinpointed at the source.
+      double v = vv[static_cast<std::size_t>(j)];
+      if (!std::isfinite(v)) {
+        throw FormatError("non-finite value " + std::to_string(v) + " in row " +
+                              std::to_string(i) + " (entry " + std::to_string(j) + ")",
+                          "vals", i);
       }
     }
   }
@@ -446,6 +467,16 @@ DArray CsrMatrix::sum(int axis) const {
 }
 
 Scalar CsrMatrix::sum_all() const { return DArray(*rt_, vals_).sum(); }
+
+const DArray& CsrMatrix::check_row() const {
+  if (!check_row_) check_row_ = std::make_shared<DArray>(sum(0));
+  return *check_row_;
+}
+
+const DArray& CsrMatrix::abs_check_row() const {
+  if (!abs_check_row_) abs_check_row_ = std::make_shared<DArray>(abs_values().sum(0));
+  return *abs_check_row_;
+}
 
 void CsrMatrix::to_host(std::vector<coord_t>& indptr, std::vector<coord_t>& indices,
                         std::vector<double>& values) const {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "dense/array.h"
 #include "rt/runtime.h"
 
@@ -129,10 +131,22 @@ class CsrMatrix {
                std::vector<double>& values) const;
 
   /// Check the Fig. 3 encoding invariants — pos rows strictly monotone and
-  /// in-bounds for crd/vals, column coordinates within [0, cols), crd and
-  /// vals the same length — throwing FormatError on the first violation.
-  /// Runs automatically at construction while validate_formats() is on.
+  /// in-bounds for crd/vals, column coordinates within [0, cols) and strictly
+  /// increasing within each row, values finite (no NaN/Inf), crd and vals the
+  /// same length — throwing FormatError on the first violation, naming the
+  /// offending row. Runs automatically at construction while
+  /// validate_formats() is on.
   void validate() const;
+
+  // ---- ABFT check rows (integrity) ---------------------------------------
+  /// Cached column-sum check row c (c_j = Σ_i a_ij). Exact arithmetic gives
+  /// the Huang–Abraham invariant c·x == Σ(A@x); a violation beyond rounding
+  /// flags a corrupted SpMV. Computed lazily, shared across copies.
+  [[nodiscard]] const dense::DArray& check_row() const;
+  /// Cached |a| column sums — the magnitude scale for the ABFT tolerance.
+  /// Needed separately because plain column sums of typical operators (e.g.
+  /// a Poisson stencil) cancel to ~0 and would make the tolerance vacuous.
+  [[nodiscard]] const dense::DArray& abs_check_row() const;
 
  private:
   /// New matrix sharing this one's pos/crd (non-zero-preserving value ops).
@@ -144,6 +158,9 @@ class CsrMatrix {
   coord_t rows_{0}, cols_{0};
   bool empty_{false};  ///< true when the matrix has no stored entries
   rt::Store pos_, crd_, vals_;
+  /// Lazily built ABFT check rows; shared_ptr so copies reuse one cache.
+  mutable std::shared_ptr<dense::DArray> check_row_;
+  mutable std::shared_ptr<dense::DArray> abs_check_row_;
 };
 
 }  // namespace legate::sparse

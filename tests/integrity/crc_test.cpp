@@ -1,0 +1,250 @@
+// Unit tests of the integrity primitives: the CRC32C kernel, the per-store
+// chunk ledger (record / verify / single-bit correction), and the versioned,
+// checksummed checkpoint file format with its torn-file rejection paths.
+#include "integrity/crc32c.h"
+#include "integrity/integrity.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dense/array.h"
+#include "rt/checkpoint.h"
+#include "rt/runtime.h"
+#include "sim/machine.h"
+
+namespace legate {
+namespace {
+
+using integrity::ChecksumLedger;
+using integrity::crc32c;
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+TEST(Crc32c, KnownVector) {
+  // The canonical CRC-32C check value (RFC 3720 appendix B.4 test pattern).
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32c(0, s.data(), s.size()), 0xE3069283U);
+}
+
+TEST(Crc32c, EmptyInputIsZero) { EXPECT_EQ(crc32c(0, nullptr, 0), 0U); }
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string s = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(0, s.data(), s.size());
+  for (std::size_t cut : {std::size_t{1}, std::size_t{7}, s.size() - 1}) {
+    std::uint32_t c = crc32c(0, s.data(), cut);
+    c = crc32c(c, s.data() + cut, s.size() - cut);
+    EXPECT_EQ(c, whole) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32c, EveryBitFlipChangesTheSum) {
+  std::vector<std::byte> buf = bytes_of("checksummed payload bytes");
+  const std::uint32_t clean = crc32c(0, buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      buf[i] ^= std::byte{static_cast<unsigned char>(1U << b)};
+      EXPECT_NE(crc32c(0, buf.data(), buf.size()), clean);
+      buf[i] ^= std::byte{static_cast<unsigned char>(1U << b)};
+    }
+  }
+}
+
+TEST(Ledger, CleanVerifyFindsNothing) {
+  ChecksumLedger led;
+  std::vector<std::byte> buf(3 * ChecksumLedger::kChunkBytes + 17,
+                             std::byte{0x5a});
+  led.record(1, buf.data(), buf.size(), 0, buf.size());
+  EXPECT_TRUE(led.tracked(1));
+  EXPECT_TRUE(led.verify(1, buf.data(), buf.size()).empty());
+}
+
+TEST(Ledger, DetectsAndCorrectsSingleBitFlip) {
+  ChecksumLedger led;
+  std::vector<std::byte> buf(2 * ChecksumLedger::kChunkBytes, std::byte{0});
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = std::byte{static_cast<unsigned char>(i * 31)};
+  led.record(7, buf.data(), buf.size(), 0, buf.size());
+  const std::vector<std::byte> clean = buf;
+
+  const std::size_t victim = ChecksumLedger::kChunkBytes + 101;
+  buf[victim] ^= std::byte{0x10};
+  auto bad = led.verify(7, buf.data(), buf.size());
+  ASSERT_EQ(bad.size(), 1U);
+  EXPECT_EQ(bad[0].chunk, 1U);
+  EXPECT_LE(bad[0].lo, victim);
+  EXPECT_GT(bad[0].hi, victim);
+
+  EXPECT_TRUE(led.try_correct(7, buf.data(), buf.size(), bad[0]));
+  EXPECT_EQ(buf, clean);  // bit-exact repair
+  EXPECT_TRUE(led.verify(7, buf.data(), buf.size()).empty());
+}
+
+TEST(Ledger, DoubleFlipInOneChunkIsUncorrectable) {
+  ChecksumLedger led;
+  std::vector<std::byte> buf(ChecksumLedger::kChunkBytes, std::byte{0x33});
+  led.record(9, buf.data(), buf.size(), 0, buf.size());
+  buf[5] ^= std::byte{0x01};
+  buf[400] ^= std::byte{0x80};
+  auto bad = led.verify(9, buf.data(), buf.size());
+  ASSERT_EQ(bad.size(), 1U);
+  EXPECT_FALSE(led.try_correct(9, buf.data(), buf.size(), bad[0]));
+}
+
+TEST(Ledger, PartialRecordRehashesOnlyTouchedChunks) {
+  ChecksumLedger led;
+  std::vector<std::byte> buf(4 * ChecksumLedger::kChunkBytes, std::byte{0});
+  led.record(3, buf.data(), buf.size(), 0, buf.size());
+  // A legitimate write to chunk 2, re-recorded over its own range.
+  const std::size_t lo = 2 * ChecksumLedger::kChunkBytes;
+  buf[lo + 8] = std::byte{0xff};
+  led.record(3, buf.data(), buf.size(), lo, lo + 16);
+  EXPECT_TRUE(led.verify(3, buf.data(), buf.size()).empty());
+}
+
+TEST(Ledger, ForgetDropsTheStore) {
+  ChecksumLedger led;
+  std::vector<std::byte> buf(64, std::byte{1});
+  led.record(5, buf.data(), buf.size(), 0, buf.size());
+  led.forget(5);
+  EXPECT_FALSE(led.tracked(5));
+}
+
+// --- checkpoint file format -------------------------------------------------
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  CheckpointFileTest()
+      : machine_(sim::Machine::gpus(4, pp_, 2)), rt_(machine_, {}) {}
+
+  std::string temp_path(const char* name) {
+    return ::testing::TempDir() + "lsr_ckpt_" + name;
+  }
+
+  /// what() of the exception thrown by f, or "" if nothing was thrown.
+  template <typename F>
+  static std::string thrown_what(F f) {
+    try {
+      f();
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+    return "";
+  }
+
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(CheckpointFileTest, SaveLoadRestoreRoundTrip) {
+  auto x = dense::DArray::from_vector(rt_, {1.0, 2.0, 3.0, 4.0, 5.0});
+  rt::Checkpoint ck = rt_.checkpoint({x.store()});
+  ck.set_scalar("it", 7);
+  const std::string path = temp_path("roundtrip");
+  ck.save(path);
+
+  x.fill({0.0, 0.0});
+  rt::Checkpoint loaded = rt::Checkpoint::load(path, {x.store()});
+  EXPECT_TRUE(loaded.valid());
+  EXPECT_EQ(loaded.scalar("it"), 7);
+  EXPECT_EQ(loaded.taken_at(), ck.taken_at());
+  rt_.restore(loaded);
+  EXPECT_EQ(x.to_vector(), (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST_F(CheckpointFileTest, RejectsEmptyFile) {
+  const std::string path = temp_path("empty");
+  { std::ofstream os(path, std::ios::binary | std::ios::trunc); }
+  auto x = dense::DArray::zeros(rt_, 4);
+  std::string what =
+      thrown_what([&] { (void)rt::Checkpoint::load(path, {x.store()}); });
+  EXPECT_NE(what.find("file is empty"), std::string::npos) << what;
+}
+
+TEST_F(CheckpointFileTest, RejectsBadMagic) {
+  const std::string path = temp_path("magic");
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << "definitely not a checkpoint";
+  }
+  auto x = dense::DArray::zeros(rt_, 4);
+  std::string what =
+      thrown_what([&] { (void)rt::Checkpoint::load(path, {x.store()}); });
+  EXPECT_NE(what.find("bad magic"), std::string::npos) << what;
+}
+
+TEST_F(CheckpointFileTest, RejectsTornFile) {
+  auto x = dense::DArray::from_vector(rt_, {1.0, 2.0, 3.0, 4.0});
+  rt::Checkpoint ck = rt_.checkpoint({x.store()});
+  const std::string path = temp_path("torn");
+  ck.save(path);
+  // Tear the file mid-payload (the classic crash-during-write artifact).
+  std::ifstream is(path, std::ios::binary);
+  std::string all((std::istreambuf_iterator<char>(is)),
+                  std::istreambuf_iterator<char>());
+  is.close();
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(all.data(), static_cast<std::streamsize>(all.size() - 9));
+  }
+  std::string what =
+      thrown_what([&] { (void)rt::Checkpoint::load(path, {x.store()}); });
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+}
+
+TEST_F(CheckpointFileTest, RejectsCorruptPayload) {
+  auto x = dense::DArray::from_vector(rt_, {1.0, 2.0, 3.0, 4.0});
+  rt::Checkpoint ck = rt_.checkpoint({x.store()});
+  const std::string path = temp_path("flip");
+  ck.save(path);
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(-3, std::ios::end);
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(-3, std::ios::end);
+  f.write(&c, 1);
+  f.close();
+  std::string what =
+      thrown_what([&] { (void)rt::Checkpoint::load(path, {x.store()}); });
+  EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+}
+
+TEST_F(CheckpointFileTest, RejectsUnsupportedVersion) {
+  auto x = dense::DArray::from_vector(rt_, {1.0, 2.0});
+  rt::Checkpoint ck = rt_.checkpoint({x.store()});
+  const std::string path = temp_path("version");
+  ck.save(path);
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8, std::ios::beg);  // the u32 version field follows the magic
+  const std::uint32_t bogus = 99;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  std::string what =
+      thrown_what([&] { (void)rt::Checkpoint::load(path, {x.store()}); });
+  EXPECT_NE(what.find("unsupported format version 99"), std::string::npos)
+      << what;
+}
+
+TEST_F(CheckpointFileTest, RejectsStoreCountMismatch) {
+  auto x = dense::DArray::from_vector(rt_, {1.0, 2.0});
+  rt::Checkpoint ck = rt_.checkpoint({x.store()});
+  const std::string path = temp_path("count");
+  ck.save(path);
+  auto y = dense::DArray::zeros(rt_, 2);
+  std::string what = thrown_what(
+      [&] { (void)rt::Checkpoint::load(path, {x.store(), y.store()}); });
+  EXPECT_NE(what.find("expected 2"), std::string::npos) << what;
+}
+
+}  // namespace
+}  // namespace legate

@@ -82,6 +82,123 @@ TEST(FaultInjector, ScriptedFaultHonored) {
   EXPECT_FALSE(inj.should_fail(8, 0));
 }
 
+TEST(FaultInjector, DuplicateScriptedEntriesBehaveLikeOne) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.scripted = {{7, 0}, {7, 0}, {7, 0}};
+  FaultInjector inj(cfg);
+  // A duplicated {task, attempt} entry is idempotent: the pair fails, its
+  // neighbors do not, and repeated queries agree (pure function).
+  EXPECT_TRUE(inj.should_fail(7, 0));
+  EXPECT_TRUE(inj.should_fail(7, 0));
+  EXPECT_FALSE(inj.should_fail(7, 1));
+  EXPECT_FALSE(inj.should_fail(6, 0));
+
+  FaultConfig one = cfg;
+  one.scripted = {{7, 0}};
+  FaultInjector single(one);
+  for (long t = 0; t < 50; ++t) {
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(inj.should_fail(t, k), single.should_fail(t, k));
+    }
+  }
+}
+
+TEST(FaultInjector, ScriptedAttemptBeyondMaxAttemptsIsInert) {
+  // An entry whose attempt index can never be reached (attempt >=
+  // max_attempts) answers true if asked, but the reachable attempts of the
+  // same task are untouched — the schedule of a run that retries up to
+  // max_attempts times is identical to one with no such entry.
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.max_attempts = 3;
+  cfg.scripted = {{5, 7}};
+  FaultInjector inj(cfg);
+  EXPECT_TRUE(inj.should_fail(5, 7));  // honored if queried...
+  for (int k = 0; k < cfg.max_attempts; ++k) {
+    EXPECT_FALSE(inj.should_fail(5, k));  // ...invisible to real attempts
+  }
+}
+
+TEST(FaultInjector, ScriptedEntriesDoNotPerturbTheRandomStream) {
+  // Scripted faults overlay the random stream; everywhere off-script the two
+  // schedules must be bit-identical.
+  FaultConfig random_only;
+  random_only.enabled = true;
+  random_only.seed = 99;
+  random_only.task_fault_rate = 0.25;
+  FaultConfig mixed = random_only;
+  mixed.scripted = {{13, 1}, {13, 1}, {40, 9}};
+  FaultInjector r(random_only), m(mixed);
+  for (long t = 0; t < 300; ++t) {
+    for (int k = 0; k < 3; ++k) {
+      if (t == 13 && k == 1) {
+        EXPECT_TRUE(m.should_fail(t, k));
+        continue;
+      }
+      EXPECT_EQ(r.should_fail(t, k), m.should_fail(t, k));
+      EXPECT_DOUBLE_EQ(r.fail_fraction(t, k), m.fail_fraction(t, k));
+    }
+  }
+}
+
+TEST(FaultInjector, FlipDrawsArePureAndSeeded) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 17;
+  cfg.bitflip_rate = 1e-3;
+  cfg.output_flip_rate = 0.2;
+  FaultInjector a(cfg), b(cfg);
+  for (long s = 0; s < 100; ++s) {
+    EXPECT_EQ(a.resident_flips(s, 4, 2048.0), b.resident_flips(s, 4, 2048.0));
+    EXPECT_EQ(a.flip_offset(s, 4, 0, 8192), b.flip_offset(s, 4, 0, 8192));
+    EXPECT_LT(a.flip_offset(s, 4, 0, 8192), 8192U);
+    EXPECT_EQ(a.flip_bit(s, 4, 0), b.flip_bit(s, 4, 0));
+    EXPECT_GE(a.flip_bit(s, 4, 0), 0);
+    EXPECT_LT(a.flip_bit(s, 4, 0), 8);
+    EXPECT_EQ(a.output_flip(s), b.output_flip(s));
+    EXPECT_EQ(a.output_flip_index(s, 1024), b.output_flip_index(s, 1024));
+    EXPECT_LT(a.output_flip_index(s, 1024), 1024U);
+    // Output flips live in the exponent bits so scaled checks must see them.
+    EXPECT_GE(a.output_flip_bit(s), 52);
+    EXPECT_LE(a.output_flip_bit(s), 62);
+  }
+}
+
+TEST(FaultInjector, ResidentFlipCountTracksExposure) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 5;
+  cfg.bitflip_rate = 0.5;
+  FaultInjector inj(cfg);
+  // The expectation rate * byte_seconds is honored as floor + thinned extra.
+  EXPECT_EQ(inj.resident_flips(0, 1, 0.0), 0);
+  EXPECT_GE(inj.resident_flips(0, 1, 8.0), 4);   // lambda = 4.0 exactly
+  EXPECT_LE(inj.resident_flips(0, 1, 8.0), 5);
+  long total = 0;
+  for (long s = 0; s < 2000; ++s) total += inj.resident_flips(s, 1, 1.0);
+  // lambda = 0.5 per poll: the thinned draw should land near 1000.
+  EXPECT_GT(total, 800);
+  EXPECT_LT(total, 1200);
+}
+
+TEST(FaultInjector, ScriptedFlipsFireExactlyOnceInTimeOrder) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.scripted_flips = {{1.0, 0, 10, 0, 0}, {2.0, 0, 11, 8, 3},
+                        {2.0, 0, 11, 9, 4}};
+  FaultInjector inj(cfg);
+  EXPECT_TRUE(inj.scripted_flips_due(0.5).empty());
+  auto first = inj.scripted_flips_due(1.5);
+  ASSERT_EQ(first.size(), 1U);
+  EXPECT_EQ(first[0], 0U);
+  auto rest = inj.scripted_flips_due(3.0);
+  ASSERT_EQ(rest.size(), 2U);  // both t=2 entries, each exactly once
+  EXPECT_EQ(rest[0], 1U);
+  EXPECT_EQ(rest[1], 2U);
+  EXPECT_TRUE(inj.scripted_flips_due(10.0).empty());
+}
+
 TEST(FaultInjector, FailFractionInRange) {
   FaultConfig cfg;
   cfg.enabled = true;

@@ -1,0 +1,99 @@
+// Construction-time format validation: the integrity layer's first line of
+// defense. Beyond the structural Fig. 3 invariants, validate() rejects the
+// signatures silent corruption leaves in a CSR triple — out-of-order column
+// indices and non-finite values — naming the offending row so a corrupted
+// upload is pinpointed at the source.
+#include "sparse/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sparse/formats.h"
+
+namespace legate::sparse {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest() : machine_(sim::Machine::gpus(4, pp_)), rt_(machine_) {}
+
+  /// what() of the FormatError thrown by f, or "" if nothing was thrown.
+  template <typename F>
+  static std::string format_error_of(F f) {
+    try {
+      f();
+    } catch (const FormatError& e) {
+      return e.what();
+    }
+    return "";
+  }
+
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(ValidateTest, AcceptsCanonicalMatrix) {
+  EXPECT_NO_THROW(CsrMatrix::from_host(rt_, 2, 3, {0, 2, 3}, {0, 2, 1},
+                                       {1.0, 2.0, 3.0}));
+}
+
+TEST_F(ValidateTest, RejectsOutOfOrderColumnsNamingTheRow) {
+  // Row 1 holds columns {2, 1}: legal values, broken ordering.
+  std::string what = format_error_of([&] {
+    (void)CsrMatrix::from_host(rt_, 2, 3, {0, 1, 3}, {0, 2, 1},
+                               {1.0, 1.0, 1.0});
+  });
+  EXPECT_NE(what.find("out of order"), std::string::npos) << what;
+  EXPECT_NE(what.find("row 1"), std::string::npos) << what;
+}
+
+TEST_F(ValidateTest, RejectsDuplicateColumnInRow) {
+  std::string what = format_error_of([&] {
+    (void)CsrMatrix::from_host(rt_, 1, 4, {0, 2}, {2, 2}, {1.0, 1.0});
+  });
+  EXPECT_NE(what.find("out of order"), std::string::npos) << what;
+  EXPECT_NE(what.find("row 0"), std::string::npos) << what;
+}
+
+TEST_F(ValidateTest, RejectsNaNValueNamingTheRow) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::string what = format_error_of([&] {
+    (void)CsrMatrix::from_host(rt_, 2, 2, {0, 1, 2}, {0, 1}, {1.0, nan});
+  });
+  EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+  EXPECT_NE(what.find("row 1"), std::string::npos) << what;
+}
+
+TEST_F(ValidateTest, RejectsInfValueNamingTheRow) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::string what = format_error_of([&] {
+    (void)CsrMatrix::from_host(rt_, 2, 2, {0, 1, 2}, {0, 1}, {-inf, 1.0});
+  });
+  EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+  EXPECT_NE(what.find("row 0"), std::string::npos) << what;
+}
+
+TEST_F(ValidateTest, FormatErrorCarriesFieldAndIndex) {
+  try {
+    (void)CsrMatrix::from_host(rt_, 2, 3, {0, 1, 3}, {0, 2, 1},
+                               {1.0, 1.0, 1.0});
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_EQ(e.field(), "crd");
+    EXPECT_EQ(e.index(), 1);  // the offending row
+  }
+}
+
+TEST_F(ValidateTest, ValidationCanBeDisabled) {
+  bool& on = validate_formats();
+  const bool saved = on;
+  on = false;
+  EXPECT_NO_THROW(CsrMatrix::from_host(rt_, 2, 3, {0, 1, 3}, {0, 2, 1},
+                                       {1.0, 1.0, 1.0}));
+  on = saved;
+}
+
+}  // namespace
+}  // namespace legate::sparse
