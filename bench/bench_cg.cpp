@@ -40,6 +40,7 @@ LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& poin
                                                     : sim::Machine::sockets(procs, pp);
   rt::RuntimeOptions opts;
   opts.exec_threads = threads;
+  opts.partition = lsr_bench::bench_partition();
   rt::Runtime runtime(machine, opts);
   runtime.engine().set_cost_scale(kScale);
   apps::HostProblem prob = problem_for(procs);

@@ -36,6 +36,7 @@ LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& poin
                                                     : sim::Machine::sockets(procs, pp);
   rt::RuntimeOptions opts;
   opts.exec_threads = threads;
+  opts.partition = lsr_bench::bench_partition();
   rt::Runtime runtime(machine, opts);
   runtime.engine().set_cost_scale(kScale);
   apps::HostProblem prob = apps::banded_matrix(kRowsPerProc * procs, kHalfBand);
@@ -66,6 +67,56 @@ double run_legate(sim::ProcKind kind, int procs, const std::string& point) {
   if (threads > 1) {
     // Sequential reference for the measured wall-clock speedup counter.
     wall_seq = run_legate_once(kind, procs, "", 1).wall_per_iter;
+  }
+  lsr_bench::note_wall(point, run.wall_per_iter, wall_seq, threads);
+  return run.sim_per_iter;
+}
+
+// Partition-strategy sweep: a Zipf-skewed matrix (power-law head, row 0
+// holds a few percent of all nonzeros by itself) where the equal row split
+// piles the head onto color 0. Both strategies run on the same matrix so
+// BENCH_spmv_skew.json records the rows-vs-nnz gap directly. Fewer rows per
+// processor than Fig8: the head row dominates regardless of scale.
+constexpr coord_t kSkewRowsPerProc = 20000;
+constexpr coord_t kSkewAvgNnz = 8;
+constexpr double kSkewS = 1.05;
+
+LegateRun run_skew_once(int procs, rt::PartitionStrategy strat,
+                        const std::string& point, int threads) {
+  sim::PerfParams pp;
+  rt::RuntimeOptions opts;
+  opts.exec_threads = threads;
+  opts.partition = strat;
+  rt::Runtime runtime(sim::Machine::gpus(procs, pp), opts);
+  runtime.engine().set_cost_scale(kScale);
+  apps::HostProblem prob =
+      apps::zipf_matrix(kSkewRowsPerProc * procs, kSkewS, kSkewAvgNnz, 97);
+  auto A = sparse::CsrMatrix::from_host(runtime, prob.rows, prob.cols, prob.indptr,
+                                        prob.indices, prob.values);
+  auto x = dense::DArray::full(runtime, prob.rows, 1.0);
+  auto warm = A.spmv(x);
+  lsr_bench::profile_begin(runtime.engine(), point);
+  auto mbase = lsr_bench::metrics_begin(runtime, point);
+  double t0 = runtime.sim_time();
+  double w0 = lsr_bench::wall_now();
+  for (int i = 0; i < kIters; ++i) {
+    auto y = A.spmv(x);
+    benchmark::DoNotOptimize(y.store().span<double>().data());
+  }
+  runtime.fence();
+  double wall = (lsr_bench::wall_now() - w0) / kIters;
+  double sim_per_iter = (runtime.sim_time() - t0) / kIters;
+  lsr_bench::metrics_end(runtime, point, mbase, sim_per_iter);
+  lsr_bench::profile_end(runtime.engine(), point);
+  return {sim_per_iter, wall};
+}
+
+double run_skew(int procs, rt::PartitionStrategy strat, const std::string& point) {
+  int threads = lsr_bench::bench_threads();
+  LegateRun run = run_skew_once(procs, strat, point, threads);
+  double wall_seq = run.wall_per_iter;
+  if (threads > 1) {
+    wall_seq = run_skew_once(procs, strat, "", 1).wall_per_iter;
   }
   lsr_bench::note_wall(point, run.wall_per_iter, wall_seq, threads);
   return run.sim_per_iter;
@@ -125,6 +176,19 @@ void register_all() {
   }
   register_point("Fig8/SpMV/CuPy-1GPU/1", 1,
                  [] { return run_ref(baselines::ref::Device::CupyGpu, 1); });
+  // Skew points deliberately avoid the "Legate" substring so the existing
+  // --benchmark_filter=Legate baseline runs are unaffected; CI selects them
+  // with --benchmark_filter=Skew into BENCH_spmv_skew.json.
+  for (int p : {4, 12, 48}) {
+    for (rt::PartitionStrategy strat :
+         {rt::PartitionStrategy::Rows, rt::PartitionStrategy::Nnz}) {
+      std::string name = std::string("Skew/SpMV/") +
+                         rt::partition_strategy_name(strat) + "/" +
+                         std::to_string(p);
+      register_point(name, p,
+                     [p, strat, name] { return run_skew(p, strat, name); });
+    }
+  }
 }
 
 const int registered = (register_all(), 0);

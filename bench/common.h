@@ -55,6 +55,9 @@ struct ProfOptions {
   std::string filter;         ///< substring of the point name; empty: all
   int threads = 0;            ///< --threads N executor threads (0 = env/default)
   std::string metrics_path;   ///< --metrics PATH metrics snapshot output
+  /// --partition rows|nnz|auto row-split strategy for the Legate runtime
+  /// points (Unset: the runtime falls back to LSR_PARTITION, then rows).
+  legate::rt::PartitionStrategy partition = legate::rt::PartitionStrategy::Unset;
 };
 
 inline ProfOptions& prof_options() {
@@ -86,6 +89,12 @@ inline void init_prof_flags(int* argc, char** argv) {
       po.threads = std::atoi(v3);
     } else if (const char* v4 = value_of("--metrics")) {
       po.metrics_path = v4;
+    } else if (const char* v5 = value_of("--partition")) {
+      po.partition = legate::rt::parse_partition_strategy(v5);
+      if (po.partition == legate::rt::PartitionStrategy::Unset) {
+        std::cerr << "warning: unknown --partition value '" << v5
+                  << "' (expected rows|nnz|auto), using the runtime default\n";
+      }
     } else {
       argv[out++] = argv[i];
     }
@@ -96,6 +105,12 @@ inline void init_prof_flags(int* argc, char** argv) {
 /// Executor threads requested with --threads (0: let the runtime read
 /// LSR_EXEC_THREADS / default to 1).
 inline int bench_threads() { return prof_options().threads; }
+
+/// Row-split strategy requested with --partition (Unset: runtime default,
+/// i.e. LSR_PARTITION or rows).
+inline legate::rt::PartitionStrategy bench_partition() {
+  return prof_options().partition;
+}
 
 /// Extra per-point counters (real wall-clock seconds, measured speedup)
 /// attached by the run functions and exported by register_point.
@@ -195,8 +210,14 @@ inline void metrics_end(legate::rt::Runtime& rt, const std::string& point,
 
 /// Write the BENCH_*.json schema consumed by scripts/bench_compare.py:
 ///   {"schema":1,"bench":"<name>","points":{"<point>":
-///      {"sim_s_per_iter":S,"snapshot":{"metrics":[...]}}, ...}}
-/// Returns false (and prints to stderr) if the file cannot be written.
+///      {"sim_s_per_iter":S,"wall":{...},"snapshot":{"metrics":[...]}}, ...}}
+/// The "wall" object (measured wall seconds/iteration, thread count,
+/// speedup vs a sequential reference — whatever note_wall recorded) is
+/// informational: wall clocks are machine-specific, so bench_compare.py
+/// never gates on it, but committed baselines still document e.g. the
+/// rows-vs-nnz wall-time gap of the partition sweep alongside the gated
+/// deterministic sim numbers. Returns false (and prints to stderr) if the
+/// file cannot be written.
 inline bool metrics_write(const std::string& bench_name) {
   if (!metrics_enabled()) return true;
   std::ofstream os(prof_options().metrics_path);
@@ -216,8 +237,22 @@ inline bool metrics_write(const std::string& bench_name) {
     legate::metrics::append_json_string(quoted, pname);
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", e.sim_s_per_iter);
-    os << quoted << ":{\"sim_s_per_iter\":" << buf
-       << ",\"snapshot\":" << e.snap.to_json(/*stable_only=*/true) << '}';
+    os << quoted << ":{\"sim_s_per_iter\":" << buf;
+    auto ec = extra_counters().find(point);
+    if (ec != extra_counters().end() && !ec->second.empty()) {
+      os << ",\"wall\":{";
+      bool wfirst = true;
+      for (const auto& [k, v] : ec->second) {
+        if (!wfirst) os << ',';
+        wfirst = false;
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        std::string kq;
+        legate::metrics::append_json_string(kq, k);
+        os << kq << ':' << buf;
+      }
+      os << '}';
+    }
+    os << ",\"snapshot\":" << e.snap.to_json(/*stable_only=*/true) << '}';
   }
   os << "}}\n";
   std::cerr << "metrics written to " << prof_options().metrics_path << " ("

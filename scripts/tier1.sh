@@ -12,8 +12,19 @@
 # the first preset of `all` aborted the script before the remaining
 # presets ran, and the combined result was whatever the last command
 # happened to return.)
+#
+# Environment passthrough: LSR_* knobs set in the caller's environment reach
+# every test run. In particular LSR_PARTITION=rows|nnz|auto selects the
+# runtime-wide row-split strategy (DESIGN.md §12) — CI runs a tier-1 leg
+# with LSR_PARTITION=nnz — and LSR_EXEC_THREADS sets the executor width for
+# the default preset (the asan/tsan presets pin their own thread counts but
+# still inherit LSR_PARTITION).
 set -uo pipefail
 cd "$(dirname "$0")/.."
+
+if [ -n "${LSR_PARTITION:-}" ]; then
+  echo "tier1: LSR_PARTITION=${LSR_PARTITION} (passed through to all presets)"
+fi
 
 run_default() {
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo

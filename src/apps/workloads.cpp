@@ -1,6 +1,7 @@
 #include "apps/workloads.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "util/rng.h"
@@ -47,6 +48,36 @@ HostProblem poisson2d(coord_t grid) {
       if (i < grid - 1) emit(row, row + grid, -1.0);
       p.indptr.push_back(static_cast<coord_t>(p.indices.size()));
     }
+  }
+  return p;
+}
+
+HostProblem zipf_matrix(coord_t n, double s, coord_t avg_nnz_per_row,
+                        std::uint64_t seed) {
+  LSR_CHECK(n >= 1 && avg_nnz_per_row >= 1 && s > 0.0);
+  Rng rng(seed);
+  // Row i's share of the nonzero budget is (i+1)^-s of the harmonic mass;
+  // clamp to [1, n] so every row exists and no row exceeds the width.
+  double mass = 0.0;
+  for (coord_t i = 0; i < n; ++i) mass += std::pow(static_cast<double>(i + 1), -s);
+  const double total = static_cast<double>(n) * static_cast<double>(avg_nnz_per_row);
+  HostProblem p;
+  p.rows = p.cols = n;
+  p.indptr.reserve(static_cast<std::size_t>(n) + 1);
+  p.indptr.push_back(0);
+  for (coord_t i = 0; i < n; ++i) {
+    double share = total * std::pow(static_cast<double>(i + 1), -s) / mass;
+    coord_t k = std::min<coord_t>(n, std::max<coord_t>(1, static_cast<coord_t>(std::llround(share))));
+    // Entries fill one contiguous column block at a random offset, like a
+    // hub row touching a neighbourhood. Contiguity matters: each row's
+    // gather image coalesces to a single interval, so the sweep measures
+    // load balance, not pathological image fragmentation.
+    coord_t start = rng.next_coord(0, n - k + 1);
+    for (coord_t j = 0; j < k; ++j) {
+      p.indices.push_back(start + j);
+      p.values.push_back(1.0 + rng.next_double());
+    }
+    p.indptr.push_back(static_cast<coord_t>(p.indices.size()));
   }
   return p;
 }

@@ -23,6 +23,14 @@ HostProblem banded_matrix(coord_t n, coord_t half_bandwidth, double value = 1.0)
 /// 5-point 2-D Poisson operator on a grid x grid domain (Figs. 9 & 10).
 HostProblem poisson2d(coord_t grid);
 
+/// Zipf-skewed square matrix for the partition-strategy sweep: row i carries
+/// a share of the ~n*avg_nnz_per_row nonzeros proportional to (i+1)^-s
+/// (s ~ 1 gives a heavy power-law head), with at least one entry per row and
+/// evenly spaced column coordinates. Equal row splits of this matrix put
+/// nearly all the work on color 0; the nnz-balanced strategy exists for it.
+HostProblem zipf_matrix(coord_t n, double s, coord_t avg_nnz_per_row,
+                        std::uint64_t seed);
+
 /// Rydberg-atom chain Hamiltonian for the quantum benchmark (Fig. 11).
 ///
 /// States are the independent sets of an `atoms`-site path graph (nearest-

@@ -10,6 +10,26 @@
 
 namespace legate::rt {
 
+/// Which row split distributed sparse kernels launch over.
+///
+///  - Rows: `Partition::equal` over rows — every color gets ~rows/P rows
+///    regardless of how the nonzeros are distributed (the historical
+///    default, and optimal for uniform matrices).
+///  - Nnz:  `Partition::balanced` over per-row nnz — every color gets
+///    ~nnz/P nonzeros, so power-law matrices stop serializing on the
+///    color that owns the hot rows.
+///  - Auto: per matrix, pick Nnz when the equal split's nnz imbalance
+///    ratio (max color nnz / mean color nnz) exceeds a threshold,
+///    otherwise stay on Rows.
+///  - Unset: defer to the `LSR_PARTITION` environment variable
+///    (`rows|nnz|auto`), defaulting to Rows.
+enum class PartitionStrategy { Unset, Rows, Nnz, Auto };
+
+[[nodiscard]] const char* partition_strategy_name(PartitionStrategy s);
+
+/// Parse `rows|nnz|auto` (case-sensitive); anything else -> Unset.
+[[nodiscard]] PartitionStrategy parse_partition_strategy(const char* s);
+
 /// A first-class partition: a mapping from colors to intervals of a store's
 /// *basis units* (rows of a 2-D store, elements of a 1-D store).
 ///
@@ -49,6 +69,15 @@ class Partition {
 
   /// Equal block partition of [0, extent) into `colors` pieces.
   static std::shared_ptr<const Partition> equal(coord_t extent, int colors);
+
+  /// Weight-balanced contiguous partition of [0, weights.size()) into
+  /// `colors` pieces by prefix-sum cuts: cut c is the smallest index i with
+  /// prefix(i) >= c * total / colors (compared exactly in integers), so each
+  /// color carries ~total/colors weight. Degenerates to `equal` when every
+  /// weight is zero; emits zero-length subspaces when the weights are so
+  /// skewed (or so few) that some colors have nothing to carry.
+  static std::shared_ptr<const Partition> balanced(
+      const std::vector<coord_t>& weights, int colors);
 
   friend bool operator==(const Partition& a, const Partition& b) {
     return a.subs_ == b.subs_;

@@ -164,6 +164,14 @@ void TaskLauncher::halo(int src, int dst, coord_t lo_off, coord_t hi_off) {
 
 void TaskLauncher::broadcast(int arg) { args_[arg].ckind = ConstraintKind::Broadcast; }
 
+void TaskLauncher::set_partition(int arg, PartitionRef p) {
+  LSR_CHECK(p != nullptr);
+  LSR_CHECK_MSG(p->disjoint(), "explicit partitions must be disjoint");
+  LSR_CHECK_MSG(args_[arg].ckind == ConstraintKind::None,
+                "explicit partitions only apply to alignment-constrained args");
+  args_[arg].part = std::move(p);
+}
+
 Future TaskLauncher::execute() { return rt_.execute(*this); }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +210,14 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   if (exec_threads_ > 1) {
     pool_ = std::make_unique<exec::Pool>(exec_threads_, &engine_->metrics());
   }
+  // Partitioning strategy: option, else LSR_PARTITION env, else rows.
+  partition_strategy_ = opts_.partition;
+  if (partition_strategy_ == PartitionStrategy::Unset) {
+    partition_strategy_ = parse_partition_strategy(std::getenv("LSR_PARTITION"));
+  }
+  if (partition_strategy_ == PartitionStrategy::Unset) {
+    partition_strategy_ = PartitionStrategy::Rows;
+  }
 
   auto& mreg = engine_->metrics();
   met_.launches = mreg.counter("lsr_rt_launches_total", "task launches applied");
@@ -236,6 +252,19 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   met_.flips_overwritten =
       mreg.counter("lsr_integrity_flips_overwritten_total",
                    "injected flips retired by a full overwrite before any read");
+  met_.part_strategy_rows =
+      mreg.counter("lsr_part_strategy_rows_total",
+                   "launches whose primary domain used the equal row split");
+  met_.part_strategy_nnz =
+      mreg.counter("lsr_part_strategy_nnz_total",
+                   "launches whose primary domain used an nnz-balanced split");
+  met_.part_imbalance_pct = mreg.gauge(
+      "lsr_part_imbalance_pct",
+      "last launch's work imbalance: 100 * (max point work / mean - 1)");
+  met_.part_max_work = mreg.gauge(
+      "lsr_part_max_work", "last launch's max per-point work (bytes + flops)");
+  met_.part_mean_work = mreg.gauge(
+      "lsr_part_mean_work", "last launch's mean per-point work (bytes + flops)");
   ledger_.set_hashed_counter(mreg.counter(
       "lsr_integrity_bytes_hashed_total",
       "bytes run through CRC32C by checksum maintenance and verification"));
@@ -1172,9 +1201,20 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
       groups[a.root].push_back(i);
     }
   }
+  std::vector<char> from_pin(static_cast<std::size_t>(nargs), 0);
+  std::vector<PartitionRef> pin_key(static_cast<std::size_t>(nargs));
+  bool any_pin = false;
   for (auto& [root, members] : groups) {
     coord_t basis = R.args[members[0]].view.basis;
     PartitionRef chosen;
+    PartitionRef pin;
+    for (int m : members) {
+      if (R.args[m].part) {
+        pin = R.args[m].part;
+        break;
+      }
+    }
+    PartitionRef keyed;
     if (opts_.partition_reuse) {
       // Prefer the key partition of the largest store in the group
       // ("keep the largest region in place").
@@ -1189,13 +1229,40 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
           coord_t hi = 0;
           for (auto& iv : key->subs()) hi = std::max(hi, iv.hi);
           if (hi == basis) {
-            chosen = key;
+            keyed = key;
             break;
           }
         }
       }
     }
-    if (chosen) {
+    if (pin) {
+      // Explicit pin (set_partition): the caller computed a strategy-specific
+      // split, e.g. nnz-balanced rows. Wins over key reuse for this launch,
+      // but the pin itself never becomes a key partition — keys stay
+      // structurally equal so the issue-time eager solve (which assumes
+      // equal splits for unpinned groups) keeps matching this replay. The
+      // group still adopts an equal-structured key (see Pass C) so later
+      // unpinned launches on the same stores reuse instead of re-creating.
+      LSR_CHECK_MSG(pin->colors() == colors,
+                    "explicit partition color count does not match the launch");
+      coord_t hi = 0;
+      for (const auto& iv : pin->subs()) hi = std::max(hi, iv.hi);
+      LSR_CHECK_MSG(hi == basis, "explicit partition does not cover the basis");
+      chosen = pin;
+      any_pin = true;
+      if (!keyed && opts_.partition_reuse) {
+        keyed = Partition::equal(basis, colors);
+        ++partitions_created_;
+        met_.partitions_created.inc();
+      }
+      for (int m : members) {
+        from_pin[static_cast<std::size_t>(m)] = 1;
+        pin_key[static_cast<std::size_t>(m)] = keyed;
+      }
+      // Pins are provided, not reused: they count toward the strategy
+      // counters below, not the reuse hit/miss pair.
+    } else if (keyed) {
+      chosen = keyed;
       met_.part_reuse_hits.inc();
     } else {
       met_.part_reuse_misses.inc();
@@ -1204,6 +1271,12 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
       met_.partitions_created.inc();
     }
     for (int m : members) parts[m] = chosen;
+  }
+  // Strategy accounting for launches that have a primary (alignment-solved)
+  // domain at all: did it run over equal row splits or an explicit
+  // nnz-balanced pin?
+  if (!groups.empty()) {
+    (any_pin ? met_.part_strategy_nnz : met_.part_strategy_rows).inc();
   }
   // Broadcast & reduce arguments see the whole store from every point.
   for (int i = 0; i < nargs; ++i) {
@@ -1300,6 +1373,27 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
     if (opts_.integrity != Integrity::Off ||
         (injector_ != nullptr && injector_->config().output_flip_rate > 0)) {
       integrity_after_leaves(R);
+    }
+  }
+
+  // Work-spread gauges over the leaf-recorded per-point costs (replay path,
+  // so Stable): how well the chosen row split balanced this launch.
+  if (colors > 1) {
+    double max_work = 0, total_work = 0;
+    int busy = 0;
+    for (int c = 0; c < colors; ++c) {
+      if (all_empty[static_cast<std::size_t>(c)] != 0) continue;
+      const auto& cost = R.out[static_cast<std::size_t>(c)].cost;
+      double work = cost.bytes + cost.flops;
+      max_work = std::max(max_work, work);
+      total_work += work;
+      ++busy;
+    }
+    if (busy > 0 && total_work > 0) {
+      double mean_work = total_work / colors;
+      met_.part_max_work.set(max_work);
+      met_.part_mean_work.set(mean_work);
+      met_.part_imbalance_pct.set(100.0 * (max_work / mean_work - 1.0));
     }
   }
 
@@ -1469,8 +1563,17 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
         poisoned_stores_.erase(a.view.id);
       }
     }
-    // Track the key partition of written stores for future reuse.
-    if (a.ckind == ConstraintKind::None) ss.key = parts[i];
+    // Track the key partition of written stores for future reuse. Pinned
+    // groups adopt the equal-structured stand-in instead of the pin itself:
+    // a balanced split as a key would leak into later launches the
+    // issue-time eager solve cannot predict.
+    if (a.ckind == ConstraintKind::None) {
+      if (from_pin[static_cast<std::size_t>(i)] == 0) {
+        ss.key = parts[i];
+      } else if (pin_key[static_cast<std::size_t>(i)]) {
+        ss.key = pin_key[static_cast<std::size_t>(i)];
+      }
+    }
   }
   // Reads register for WAR tracking; read-only stores also adopt the
   // partition they were last used with as their key partition, so future
@@ -1486,7 +1589,13 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
       if (!elem.empty())
         ss.readers.emplace_back(elem, completion[static_cast<std::size_t>(c)]);
     }
-    if (a.ckind == ConstraintKind::None && !ss.key) ss.key = parts[i];
+    if (a.ckind == ConstraintKind::None && !ss.key) {
+      if (from_pin[static_cast<std::size_t>(i)] == 0) {
+        ss.key = parts[i];
+      } else if (pin_key[static_cast<std::size_t>(i)]) {
+        ss.key = pin_key[static_cast<std::size_t>(i)];
+      }
+    }
   }
 
   // ---- 6. Store reductions: all-reduce + replication ---------------------

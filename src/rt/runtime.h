@@ -132,6 +132,15 @@ class TaskLauncher {
   void halo(int src, int dst, coord_t lo_off, coord_t hi_off);
   /// Replicate the whole argument to every point task.
   void broadcast(int arg);
+  /// Pin `arg`'s partition explicitly (must be disjoint, cover the basis and
+  /// match the launch's color count); arguments aligned with it share it.
+  /// The partitioning-strategy subsystem uses this to launch sparse kernels
+  /// over nnz-balanced row splits instead of the equal default. Explicit
+  /// partitions win over key-partition reuse but are never adopted as key
+  /// partitions themselves, so downstream dense launches keep their equal
+  /// splits (and the issue-time eager solve stays in lock-step with the
+  /// simulated solve).
+  void set_partition(int arg, PartitionRef p);
 
   /// Request a scalar reduction combined across point tasks.
   void reduce_scalar(ScalarRedop op) {
@@ -163,6 +172,7 @@ class TaskLauncher {
     int image_src{-1};
     coord_t halo_lo{0}, halo_hi{0};
     int align_root{-1};  // union-find parent (index into args_)
+    PartitionRef part;   // explicit partition pin (see set_partition)
   };
 
  private:
@@ -225,6 +235,11 @@ struct RuntimeOptions {
   /// like fault injection, a non-Off policy disables pipelining (verification
   /// must observe real bytes at the sequential replay point).
   Integrity integrity = Integrity::Off;
+  /// Row-split strategy for distributed sparse kernels (see PartitionStrategy
+  /// in rt/partition.h). Unset reads the LSR_PARTITION environment variable
+  /// (`rows|nnz|auto`), defaulting to Rows. Individual matrices can override
+  /// via CsrMatrix::set_partition_strategy.
+  PartitionStrategy partition = PartitionStrategy::Unset;
 };
 
 /// The Legion-model runtime: dynamic dependence analysis over the task
@@ -302,6 +317,11 @@ class Runtime {
 
   [[nodiscard]] const RuntimeOptions& options() const { return opts_; }
   [[nodiscard]] int default_colors() const { return machine_.num_procs(); }
+  /// Resolved runtime-wide partitioning strategy (never Unset: the
+  /// constructor folds in LSR_PARTITION and the Rows default).
+  [[nodiscard]] PartitionStrategy partition_strategy() const {
+    return partition_strategy_;
+  }
   [[nodiscard]] double sim_time() {
     fence();
     return engine_->makespan();
@@ -454,6 +474,7 @@ class Runtime {
   RuntimeOptions opts_;
   double task_overhead_;
   double cpu_fraction_;
+  PartitionStrategy partition_strategy_{PartitionStrategy::Rows};
 
   StoreId next_store_id_{1};
   std::unordered_set<detail::StoreImpl*> live_stores_;
@@ -533,6 +554,13 @@ class Runtime {
     /// Injected flips retired by a full overwrite before any read could
     /// observe them (dead data; not a detection failure).
     metrics::Counter flips_overwritten;
+    /// Launch-domain strategy accounting: launches solved over equal row
+    /// splits vs explicit nnz-balanced pins, plus per-launch work-spread
+    /// gauges (max/mean leaf-recorded work over non-empty points, and the
+    /// imbalance percentage 100*(max/mean - 1)). All bumped on the replay
+    /// path only, so they are Stable.
+    metrics::Counter part_strategy_rows, part_strategy_nnz;
+    metrics::Gauge part_imbalance_pct, part_max_work, part_mean_work;
   } met_;
 };
 

@@ -36,7 +36,8 @@ struct LaunchRecord {
     ConstraintKind ckind;
     int image_src;
     coord_t halo_lo, halo_hi;
-    int root;  ///< alignment-group root (index into args)
+    int root;           ///< alignment-group root (index into args)
+    PartitionRef part;  ///< explicit partition pin (TaskLauncher::set_partition)
   };
   std::vector<RArg> args;
   std::function<void(TaskContext&)> leaf;

@@ -90,11 +90,17 @@ std::shared_ptr<LaunchRecord> Runtime::make_record(TaskLauncher& L) {
     R->wall_epoch = engine_->recorder().wall_epoch();
   }
   R->args.reserve(L.args_.size());
+  bool any_pin = false;
   for (int i = 0; i < static_cast<int>(L.args_.size()); ++i) {
     const auto& a = L.args_[i];
     R->args.push_back({a.store.view(), a.priv, a.ckind, a.image_src, a.halo_lo,
-                       a.halo_hi, L.find_root(i)});
+                       a.halo_hi, L.find_root(i), a.part});
+    any_pin = any_pin || a.part != nullptr;
   }
+  // Partitioning-strategy provenance: explicit pins are the nnz-balanced row
+  // splits of the strategy subsystem, so tag the timeline label with the
+  // strategy (the equal row split is the unlabeled default).
+  if (any_pin && engine_->profiling()) R->prof_label += " [part=nnz]";
   R->leaf = L.leaf_;
   R->redop = L.redop_;
   R->has_redop = L.has_redop_;
@@ -170,11 +176,23 @@ void Runtime::eager_solve(LaunchRecord& R) {
     return it->second;
   };
 
+  // Explicit pins (set_partition) apply to the pinned argument's whole
+  // alignment group — first pin per group wins, in argument order, exactly
+  // as the simulated solve resolves them.
+  std::map<int, PartitionRef> pins;
+  for (int i = 0; i < nargs; ++i) {
+    const auto& a = R.args[i];
+    if (a.part && a.ckind == ConstraintKind::None && a.priv != Priv::Reduce) {
+      pins.emplace(a.root, a.part);
+    }
+  }
+
   std::vector<PartitionRef> parts(static_cast<std::size_t>(nargs));
   for (int i = 0; i < nargs; ++i) {
     const auto& a = R.args[i];
     if (a.ckind == ConstraintKind::None && a.priv != Priv::Reduce) {
-      parts[i] = equal_part(a.view.basis);
+      auto pin = pins.find(a.root);
+      parts[i] = pin != pins.end() ? pin->second : equal_part(a.view.basis);
     } else if (a.ckind == ConstraintKind::Broadcast || a.priv == Priv::Reduce) {
       parts[i] = whole_part(a.view.basis);
     }

@@ -86,8 +86,19 @@ class Telemetry {
     res_log10_ =
         reg.histogram(p + "residual_log10", "per-iteration log10(residual)",
                       metrics::Registry::log10_buckets());
+    part_nnz_ = reg.gauge(
+        p + "partition_nnz",
+        "1 when the last solve's system matrix ran over the nnz-balanced "
+        "row split (DESIGN.md section 12), 0 for the equal row split");
     solves_.inc();
     t0_ = rt.sim_time();
+  }
+
+  /// Record the system matrix's effective row-split strategy so convergence
+  /// telemetry can be correlated with the partitioning it ran under.
+  void matrix(const sparse::CsrMatrix& A) {
+    part_nnz_.set(
+        A.partition_strategy() == rt::PartitionStrategy::Nnz ? 1.0 : 0.0);
   }
 
   /// Record one iteration's residual (the solve's convergence history).
@@ -108,7 +119,7 @@ class Telemetry {
   rt::ProvenanceScope scope_;
   double t0_{0};
   metrics::Counter solves_, iters_;
-  metrics::Gauge residual_, converged_, time_to_tol_;
+  metrics::Gauge residual_, converged_, time_to_tol_, part_nnz_;
   metrics::Histogram res_log10_;
 };
 
@@ -118,6 +129,7 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
                const Precond& M, const CheckpointPolicy& ckpt) {
   rt::Runtime& rt = A.runtime();
   Telemetry tel(rt, "cg");
+  tel.matrix(A);
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   DArray r = b.copy();
@@ -241,6 +253,7 @@ SolveResult cg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxi
 SolveResult cgs(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter) {
   rt::Runtime& rt = A.runtime();
   Telemetry tel(rt, "cgs");
+  tel.matrix(A);
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   DArray r = b.copy();
@@ -299,6 +312,7 @@ SolveResult cgs(const sparse::CsrMatrix& A, const DArray& b, double tol, int max
 SolveResult bicg(const sparse::CsrMatrix& A, const DArray& b, double tol, int maxiter) {
   rt::Runtime& rt = A.runtime();
   Telemetry tel(rt, "bicg");
+  tel.matrix(A);
   coord_t n = A.rows();
   sparse::CsrMatrix At = A.transpose();
   DArray x = DArray::zeros(rt, n);
@@ -352,6 +366,7 @@ SolveResult bicgstab(const sparse::CsrMatrix& A, const DArray& b, double tol,
                      int maxiter) {
   rt::Runtime& rt = A.runtime();
   Telemetry tel(rt, "bicgstab");
+  tel.matrix(A);
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   DArray r = b.copy();
@@ -421,6 +436,7 @@ SolveResult gmres(const sparse::CsrMatrix& A, const DArray& b, int restart,
                   double tol, int maxiter, const CheckpointPolicy& ckpt) {
   rt::Runtime& rt = A.runtime();
   Telemetry tel(rt, "gmres");
+  tel.matrix(A);
   coord_t n = A.rows();
   DArray x = DArray::zeros(rt, n);
   double bnorm = b.norm().value;

@@ -249,7 +249,15 @@ DArray CsrMatrix::todense() const {
 // ---------------------------------------------------------------------------
 
 CsrMatrix CsrMatrix::row_slice(coord_t lo, coord_t hi) const {
-  LSR_CHECK(lo >= 0 && hi <= rows_ && lo <= hi);
+  if (lo < 0 || lo > rows_)
+    throw IndexError("row_slice: start " + std::to_string(lo) +
+                         " out of range [0, " + std::to_string(rows_) + "]",
+                     "row", lo, rows_);
+  if (hi < lo || hi > rows_)
+    throw IndexError("row_slice: stop " + std::to_string(hi) +
+                         " out of range [" + std::to_string(lo) + ", " +
+                         std::to_string(rows_) + "]",
+                     "row", hi, rows_);
   std::vector<coord_t> indptr, indices;
   std::vector<double> values;
   indptr.push_back(0);

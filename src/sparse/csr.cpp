@@ -1,5 +1,6 @@
 #include "sparse/csr.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sparse/formats.h"
@@ -111,6 +112,81 @@ void CsrMatrix::validate() const {
 }
 
 // ---------------------------------------------------------------------------
+// Partitioning strategy (nnz-balanced row splits)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Auto picks the balanced split once the equal split's per-color nnz
+/// imbalance (max / mean) exceeds this ratio; uniform matrices sit at ~1.
+constexpr double kAutoImbalanceThreshold = 1.5;
+}  // namespace
+
+const CsrMatrix::RowPartCache& CsrMatrix::row_part_cache() const {
+  const int colors = static_cast<int>(
+      std::min<coord_t>(rt_->default_colors(), std::max<coord_t>(1, rows_)));
+  if (row_part_ && row_part_->colors == colors) return *row_part_;
+  auto cache = std::make_shared<RowPartCache>();
+  cache->colors = colors;
+  if (colors > 1 && !empty_) {
+    // One host scan of pos (a fence point), amortized across every kernel
+    // launch of this matrix and its value-sharing derivatives.
+    auto pv = pos_.span<Rect1>();
+    std::vector<coord_t> weights(static_cast<std::size_t>(rows_));
+    coord_t total = 0;
+    for (coord_t i = 0; i < rows_; ++i) {
+      weights[static_cast<std::size_t>(i)] = pv[static_cast<std::size_t>(i)].size();
+      total += weights[static_cast<std::size_t>(i)];
+    }
+    if (total > 0) {
+      coord_t max_color_nnz = 0;
+      const auto eq = rt::Partition::equal(rows_, colors);
+      for (const Interval& iv : eq->subs()) {
+        coord_t w = 0;
+        for (coord_t i = iv.lo; i < iv.hi; ++i) {
+          w += weights[static_cast<std::size_t>(i)];
+        }
+        max_color_nnz = std::max(max_color_nnz, w);
+      }
+      cache->imbalance_ratio = static_cast<double>(max_color_nnz) *
+                               static_cast<double>(colors) /
+                               static_cast<double>(total);
+      cache->balanced = rt::Partition::balanced(weights, colors);
+    }
+  }
+  row_part_ = std::move(cache);
+  return *row_part_;
+}
+
+double CsrMatrix::row_imbalance_ratio() const {
+  return row_part_cache().imbalance_ratio;
+}
+
+rt::PartitionStrategy CsrMatrix::partition_strategy() const {
+  rt::PartitionStrategy s = part_strategy_ != rt::PartitionStrategy::Unset
+                                ? part_strategy_
+                                : rt_->partition_strategy();
+  if (s == rt::PartitionStrategy::Auto) {
+    s = (!empty_ && row_imbalance_ratio() > kAutoImbalanceThreshold)
+            ? rt::PartitionStrategy::Nnz
+            : rt::PartitionStrategy::Rows;
+  }
+  return s == rt::PartitionStrategy::Nnz ? rt::PartitionStrategy::Nnz
+                                         : rt::PartitionStrategy::Rows;
+}
+
+rt::PartitionRef CsrMatrix::balanced_row_partition() const {
+  if (partition_strategy() != rt::PartitionStrategy::Nnz) return nullptr;
+  // Null for empty/single-color matrices: the equal split is already right.
+  return row_part_cache().balanced;
+}
+
+void CsrMatrix::apply_row_strategy(rt::TaskLauncher& launch, int arg) const {
+  if (auto part = balanced_row_partition()) {
+    launch.set_partition(arg, std::move(part));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // SpMV (DISTAL-generated structure; cf. Fig. 7 of the paper)
 // ---------------------------------------------------------------------------
 
@@ -127,6 +203,7 @@ DArray CsrMatrix::spmv(const DArray& x) const {
   launch.image_rects(ip, ic);
   launch.image_rects(ip, iv);
   launch.image_points(ic, ix);
+  apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto yv = ctx.full<double>(iy);
     auto pv = ctx.full<Rect1>(ip);
@@ -171,6 +248,7 @@ DArray CsrMatrix::spmm(const DArray& b) const {
   launch.image_rects(ip, icrd);
   launch.image_rects(ip, iv);
   launch.image_points(icrd, ib);
+  apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto C = ctx.full<double>(ic_out);
     auto pv = ctx.full<Rect1>(ip);
@@ -220,6 +298,7 @@ CsrMatrix CsrMatrix::sddmm(const DArray& b, const DArray& c) const {
   launch.image_rects(ip, iv);
   launch.image_rects(ip, io);
   launch.broadcast(icd);
+  apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto O = ctx.full<double>(io);
     auto pv = ctx.full<Rect1>(ip);
@@ -243,9 +322,7 @@ CsrMatrix CsrMatrix::sddmm(const DArray& b, const DArray& c) const {
                  2.0 * local_nnz * static_cast<double>(k));
   });
   launch.execute();
-  CsrMatrix r(*rt_, rows_, cols_, pos_, crd_, out_vals);
-  r.empty_ = empty_;
-  return r;
+  return with_vals(out_vals);
 }
 
 // ---------------------------------------------------------------------------
@@ -257,6 +334,10 @@ CsrMatrix CsrMatrix::sddmm(const DArray& b, const DArray& c) const {
 CsrMatrix CsrMatrix::with_vals(rt::Store vals) const {
   CsrMatrix r(*rt_, rows_, cols_, pos_, crd_, std::move(vals));
   r.empty_ = empty_;
+  // Same pos store, same row split: share the strategy override and the
+  // cached balanced partition (a stable uid keeps image caches warm).
+  r.part_strategy_ = part_strategy_;
+  r.row_part_ = row_part_;
   return r;
 }
 
@@ -303,6 +384,7 @@ CsrMatrix CsrMatrix::scale_rows(const DArray& d) const {
   launch.align(ip, id);
   launch.image_rects(ip, iv);
   launch.image_rects(ip, io);
+  apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto pv = ctx.full<Rect1>(ip);
     auto dv = ctx.full<double>(id);
@@ -334,6 +416,7 @@ CsrMatrix CsrMatrix::scale_cols(const DArray& d) const {
   launch.image_rects(ip, iv);
   launch.image_rects(ip, io);
   launch.image_points(ic, id);
+  apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto pv = ctx.full<Rect1>(ip);
     auto cv = ctx.full<coord_t>(ic);
@@ -368,6 +451,7 @@ DArray CsrMatrix::diagonal() const {
   launch.align(id, ip);
   launch.image_rects(ip, ic);
   launch.image_rects(ip, iv);
+  apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto dv = ctx.full<double>(id);
     auto pv = ctx.full<Rect1>(ip);
@@ -398,6 +482,7 @@ DArray CsrMatrix::row_nnz() const {
   int id = launch.add_output(d.store());
   int ip = launch.add_input(pos_);
   launch.align(id, ip);
+  apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto dv = ctx.full<double>(id);
     auto pv = ctx.full<Rect1>(ip);
@@ -421,6 +506,7 @@ DArray CsrMatrix::sum(int axis) const {
     int iv = launch.add_input(vals_);
     launch.align(id, ip);
     launch.image_rects(ip, iv);
+    apply_row_strategy(launch, ip);
     launch.set_leaf([=](TaskContext& ctx) {
       auto dv = ctx.full<double>(id);
       auto pv = ctx.full<Rect1>(ip);
@@ -448,6 +534,7 @@ DArray CsrMatrix::sum(int axis) const {
   int iv = launch.add_input(vals_);
   launch.image_rects(ip, ic);
   launch.image_rects(ip, iv);
+  apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto dv = ctx.full<double>(id);
     auto pv = ctx.full<Rect1>(ip);
@@ -466,7 +553,12 @@ DArray CsrMatrix::sum(int axis) const {
   return d;
 }
 
-Scalar CsrMatrix::sum_all() const { return DArray(*rt_, vals_).sum(); }
+Scalar CsrMatrix::sum_all() const {
+  // Never reduce over the 1-element placeholder vals store of an empty
+  // matrix — its contents are not data (see norm_fro()).
+  if (nnz() == 0) return {0.0, 0.0};
+  return DArray(*rt_, vals_).sum();
+}
 
 const DArray& CsrMatrix::check_row() const {
   if (!check_row_) check_row_ = std::make_shared<DArray>(sum(0));

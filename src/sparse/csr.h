@@ -138,6 +138,29 @@ class CsrMatrix {
   /// validate_formats() is on.
   void validate() const;
 
+  // ---- partitioning strategy ----------------------------------------------
+  /// Override the runtime-wide row-split strategy for this matrix's kernels
+  /// (rt::PartitionStrategy::Unset = inherit the runtime's). Value-sharing
+  /// derivatives (with_vals results: scale, abs_values, sddmm, ...) inherit
+  /// the override and the cached balanced split.
+  void set_partition_strategy(rt::PartitionStrategy s) { part_strategy_ = s; }
+  /// Effective strategy for this matrix, with Auto resolved against the
+  /// nnz-imbalance heuristic: the result is Rows or Nnz, never Auto/Unset.
+  [[nodiscard]] rt::PartitionStrategy partition_strategy() const;
+  /// Equal-split nnz imbalance ratio (max color nnz / mean color nnz) that
+  /// the Auto heuristic compares against its threshold; 1.0 when the matrix
+  /// is too small to split.
+  [[nodiscard]] double row_imbalance_ratio() const;
+  /// The nnz-balanced row partition for this matrix under the effective
+  /// strategy, or nullptr when kernels should use the equal default.
+  /// Computed lazily from the pos store (one host scan, cached; the stable
+  /// Partition::uid keeps the runtime's image caches warm across launches).
+  [[nodiscard]] rt::PartitionRef balanced_row_partition() const;
+  /// Pin `arg` of `launch` to the balanced row split when the effective
+  /// strategy is Nnz; no-op under Rows. `arg` must be a ckind-None argument
+  /// whose alignment group has basis rows().
+  void apply_row_strategy(rt::TaskLauncher& launch, int arg) const;
+
   // ---- ABFT check rows (integrity) ---------------------------------------
   /// Cached column-sum check row c (c_j = Σ_i a_ij). Exact arithmetic gives
   /// the Huang–Abraham invariant c·x == Σ(A@x); a violation beyond rounding
@@ -154,10 +177,21 @@ class CsrMatrix {
   /// Length of the crd/vals stores (1-element placeholder when nnz == 0).
   [[nodiscard]] coord_t nnz_store_len() const { return crd_.volume(); }
 
+  /// Lazily computed balanced split + equal-split imbalance, shared across
+  /// value-sharing derivatives (same pos store).
+  struct RowPartCache {
+    int colors{0};
+    double imbalance_ratio{1.0};
+    rt::PartitionRef balanced;
+  };
+  [[nodiscard]] const RowPartCache& row_part_cache() const;
+
   rt::Runtime* rt_{nullptr};
   coord_t rows_{0}, cols_{0};
   bool empty_{false};  ///< true when the matrix has no stored entries
   rt::Store pos_, crd_, vals_;
+  rt::PartitionStrategy part_strategy_{rt::PartitionStrategy::Unset};
+  mutable std::shared_ptr<RowPartCache> row_part_;
   /// Lazily built ABFT check rows; shared_ptr so copies reuse one cache.
   mutable std::shared_ptr<dense::DArray> check_row_;
   mutable std::shared_ptr<dense::DArray> abs_check_row_;

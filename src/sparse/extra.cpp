@@ -22,21 +22,33 @@ using rt::TaskLauncher;
 // ---------------------------------------------------------------------------
 
 Scalar CsrMatrix::norm_fro() const {
+  // vals_ holds a 1-element placeholder when nnz == 0; reducing over it
+  // would read the placeholder as data (e.g. power_values(0) writes 0^0 = 1
+  // into it, making the norm of an empty matrix come out as 1).
+  if (nnz() == 0) return {0.0, 0.0};
   Scalar s2 = DArray(*rt_, vals_).dot(DArray(*rt_, vals_));
   return {std::sqrt(s2.value), s2.ready};
 }
 
-Scalar CsrMatrix::norm_1() const { return abs_values().sum(0).max(); }
+Scalar CsrMatrix::norm_1() const {
+  if (nnz() == 0) return {0.0, 0.0};
+  return abs_values().sum(0).max();
+}
 
-Scalar CsrMatrix::norm_inf() const { return abs_values().sum(1).max(); }
+Scalar CsrMatrix::norm_inf() const {
+  if (nnz() == 0) return {0.0, 0.0};
+  return abs_values().sum(1).max();
+}
 
 Scalar CsrMatrix::max_value() const {
-  if (empty_) return {0.0, 0.0};
+  LSR_CHECK_MSG(!empty_, "max_value() of a matrix with zero stored entries "
+                         "is undefined (SciPy raises ValueError)");
   return DArray(*rt_, vals_).max();
 }
 
 Scalar CsrMatrix::min_value() const {
-  if (empty_) return {0.0, 0.0};
+  LSR_CHECK_MSG(!empty_, "min_value() of a matrix with zero stored entries "
+                         "is undefined (SciPy raises ValueError)");
   return DArray(*rt_, vals_).min();
 }
 
@@ -101,6 +113,7 @@ CsrMatrix filter_diagonal(const CsrMatrix& a, bool keep_lower, coord_t k) {
   int ip = launch.add_input(a.pos());
   int iv = launch.add_input(a.vals());
   launch.image_rects(ip, iv);
+  a.apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     Interval rows = ctx.interval(ip);
     double local = static_cast<double>(ctx.elem_interval(iv).size());
@@ -120,8 +133,23 @@ CsrMatrix CsrMatrix::triu(coord_t k) const { return filter_diagonal(*this, false
 // Element / row / column access
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Bounds-check an accessor coordinate, throwing the named IndexError SciPy
+/// users expect instead of tripping an anonymous internal check (or worse,
+/// launching a task with an out-of-range coordinate).
+void check_index(const char* func, const char* axis, coord_t idx, coord_t extent) {
+  if (idx >= 0 && idx < extent) return;
+  throw IndexError(std::string(func) + ": " + axis + " index " +
+                       std::to_string(idx) + " out of range [0, " +
+                       std::to_string(extent) + ")",
+                   axis, idx, extent);
+}
+
+}  // namespace
+
 DArray CsrMatrix::getrow(coord_t i) const {
-  LSR_CHECK(i >= 0 && i < rows_);
+  check_index("getrow", "row", i, rows_);
   DArray out = DArray::zeros(*rt_, cols_);
   auto pv = pos_.span<Rect1>();
   auto cv = crd_.span<coord_t>();
@@ -135,7 +163,7 @@ DArray CsrMatrix::getrow(coord_t i) const {
 }
 
 DArray CsrMatrix::getcol(coord_t j) const {
-  LSR_CHECK(j >= 0 && j < cols_);
+  check_index("getcol", "column", j, cols_);
   // Distributed: each row block scans its entries for column j.
   DArray out(*rt_, rt_->create_store(rt::DType::F64, {rows_}));
   TaskLauncher launch(*rt_, "csr_getcol");
@@ -146,6 +174,7 @@ DArray CsrMatrix::getcol(coord_t j) const {
   launch.align(io, ip);
   launch.image_rects(ip, ic);
   launch.image_rects(ip, iv);
+  apply_row_strategy(launch, ip);
   bool e = empty_;
   launch.set_leaf([=](TaskContext& ctx) {
     auto ov = ctx.full<double>(io);
@@ -171,7 +200,8 @@ DArray CsrMatrix::getcol(coord_t j) const {
 }
 
 double CsrMatrix::get(coord_t i, coord_t j) const {
-  LSR_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  check_index("get", "row", i, rows_);
+  check_index("get", "column", j, cols_);
   if (empty_) return 0.0;
   auto pv = pos_.span<Rect1>();
   auto cv = crd_.span<coord_t>();
@@ -197,6 +227,10 @@ CsrMatrix CsrMatrix::with_diagonal(const DArray& d) const {
   launch.image_rects(ip, ic);
   launch.image_rects(ip, iv);
   launch.image_rects(ip, io);
+  // The group basis is d's extent, which for tall matrices is min(rows,
+  // cols) rather than rows — the rows-extent balanced split only covers it
+  // in the square/wide case.
+  if (d.size() == rows_) apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto pv = ctx.full<Rect1>(ip);
     auto cv = ctx.full<coord_t>(ic);

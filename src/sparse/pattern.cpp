@@ -98,6 +98,7 @@ CsrMatrix CsrMatrix::spgemm(const CsrMatrix& b) const {
     launch.image_rects(ipa, ica);
     launch.image_points(ica, ipb);
     launch.image_rects(ipb, icb);
+    apply_row_strategy(launch, ipa);
     bool a_empty = empty_, b_empty = b.empty_;
     launch.set_leaf([=](TaskContext& ctx) {
       auto kv = ctx.full<coord_t>(ik);
@@ -147,6 +148,7 @@ CsrMatrix CsrMatrix::spgemm(const CsrMatrix& b) const {
   launch.image_points(ica, ipb);
   launch.image_rects(ipb, icb);
   launch.image_rects(ipb, ivb);
+  apply_row_strategy(launch, ipa);
   launch.set_leaf([=](TaskContext& ctx) {
     auto po = ctx.full<Rect1>(ipo);
     auto co = ctx.full<coord_t>(ico);
@@ -210,6 +212,7 @@ static CsrMatrix merge_patterns(const CsrMatrix& a, const CsrMatrix& b, MergeOp 
     launch.align(ipa, ipb);
     launch.image_rects(ipa, ica);
     launch.image_rects(ipb, icb);
+    a.apply_row_strategy(launch, ipa);
     bool ae = a.nnz() == 0, be = b.nnz() == 0;
     launch.set_leaf([=](TaskContext& ctx) {
       auto kv = ctx.full<coord_t>(ik);
@@ -267,6 +270,7 @@ static CsrMatrix merge_patterns(const CsrMatrix& a, const CsrMatrix& b, MergeOp 
   launch.image_rects(ipa, iva);
   launch.image_rects(ipb, icb);
   launch.image_rects(ipb, ivb);
+  a.apply_row_strategy(launch, ipa);
   bool ae = a.nnz() == 0, be = b.nnz() == 0;
   launch.set_leaf([=](TaskContext& ctx) {
     auto po = ctx.full<Rect1>(ipo);
@@ -341,6 +345,7 @@ CsrMatrix CsrMatrix::prune(double tol) const {
     int iv = launch.add_input(vals_);
     launch.align(ik, ip);
     launch.image_rects(ip, iv);
+    apply_row_strategy(launch, ip);
     bool e = empty_;
     launch.set_leaf([=](TaskContext& ctx) {
       auto kv = ctx.full<coord_t>(ik);
@@ -377,6 +382,7 @@ CsrMatrix CsrMatrix::prune(double tol) const {
   launch.image_rects(ipo, ivo);
   launch.image_rects(ip, ic);
   launch.image_rects(ip, iv);
+  apply_row_strategy(launch, ip);
   launch.set_leaf([=](TaskContext& ctx) {
     auto po = ctx.full<Rect1>(ipo);
     auto co = ctx.full<coord_t>(ico);

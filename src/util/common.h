@@ -34,6 +34,29 @@ class FormatError : public std::runtime_error {
   coord_t index_{-1};
 };
 
+/// Thrown when an element/row/column accessor is given an out-of-range
+/// coordinate (SciPy raises IndexError for the same misuse). Carries the
+/// offending axis name, the coordinate, and the valid extent so callers can
+/// report exactly which index was bad instead of launching a task that would
+/// read out-of-range memory.
+class IndexError : public std::out_of_range {
+ public:
+  IndexError(const std::string& what, std::string axis, coord_t index,
+             coord_t extent)
+      : std::out_of_range(what),
+        axis_(std::move(axis)),
+        index_(index),
+        extent_(extent) {}
+  [[nodiscard]] const std::string& axis() const { return axis_; }
+  [[nodiscard]] coord_t index() const { return index_; }
+  [[nodiscard]] coord_t extent() const { return extent_; }
+
+ private:
+  std::string axis_;
+  coord_t index_{-1};
+  coord_t extent_{0};
+};
+
 /// Global switch for construction-time sparse-format validation. On by
 /// default (the scan is cheap next to kernel work and catches corrupted
 /// inputs at the source); benchmarks that construct many matrices in a

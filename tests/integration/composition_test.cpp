@@ -51,6 +51,10 @@ TEST(Composition, SteadyStateChainsCopyOnlyHalos) {
   auto prob = apps::banded_matrix(9000, 1);
   auto A = CsrMatrix::from_host(rt, prob.rows, prob.cols, prob.indptr,
                                 prob.indices, prob.values);
+  // This asserts the equal-split steady state; an nnz-balanced split of the
+  // tridiagonal shifts the cuts by one row (the edge rows are lighter) and
+  // legitimately adds a copied element per cut, so pin the strategy.
+  A.set_partition_strategy(rt::PartitionStrategy::Rows);
   auto x = DArray::random(rt, prob.rows, 2);
   for (int i = 0; i < 4; ++i) {
     x = A.spmv(x);

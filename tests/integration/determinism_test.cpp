@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <functional>
 #include <tuple>
 #include <vector>
 
@@ -160,6 +161,57 @@ TEST(Determinism, StableMetricsSnapshotBitIdenticalAcrossThreadCounts) {
   for (int threads : {4, 8}) {
     EXPECT_EQ(base, run(threads))
         << "stable metrics diverged at exec_threads=" << threads;
+  }
+}
+
+TEST(Determinism, SolversBitIdenticalAcrossPartitionStrategies) {
+  // The nnz-balanced row split regroups per-point work but never cuts a row
+  // and never re-orders reduction folding, so cg and gmres must produce the
+  // same solution bits as the equal split — at every thread count. Makespan
+  // and copy stats legitimately differ between strategies (that is the
+  // point of rebalancing), so only within-strategy signatures are compared
+  // whole; across strategies the solutions must match bitwise.
+  auto cg_run = [](rt::PartitionStrategy s, int threads) {
+    sim::PerfParams pp;
+    rt::RuntimeOptions opts = threaded(threads);
+    opts.partition = s;
+    rt::Runtime rt(sim::Machine::gpus(4, pp), opts);
+    CsrMatrix A = poisson2d(rt, 18);
+    auto b = DArray::full(rt, A.rows(), 1.0);
+    auto res = solve::cg(A, b, 1e-10, 500);
+    EXPECT_TRUE(res.converged);
+    return finish(rt, res.x.to_vector(), res.iterations);
+  };
+  auto gmres_run = [](rt::PartitionStrategy s, int threads) {
+    sim::PerfParams pp;
+    rt::RuntimeOptions opts = threaded(threads);
+    opts.partition = s;
+    rt::Runtime rt(sim::Machine::gpus(3, pp), opts);
+    auto prob = apps::banded_matrix(500, 2);
+    auto A = CsrMatrix::from_host(rt, prob.rows, prob.cols, prob.indptr,
+                                  prob.indices, prob.values);
+    auto b = DArray::random(rt, A.rows(), 5);
+    auto res = solve::gmres(A, b, 30, 1e-10, 400);
+    EXPECT_TRUE(res.converged);
+    return finish(rt, res.x.to_vector(), res.iterations);
+  };
+  using Runner = std::function<RunSignature(rt::PartitionStrategy, int)>;
+  for (const Runner& run : {Runner(cg_run), Runner(gmres_run)}) {
+    RunSignature rows1 = run(rt::PartitionStrategy::Rows, 1);
+    RunSignature nnz1 = run(rt::PartitionStrategy::Nnz, 1);
+    ASSERT_FALSE(rows1.solution.empty());
+    EXPECT_EQ(rows1.iterations, nnz1.iterations);
+    ASSERT_EQ(rows1.solution.size(), nnz1.solution.size());
+    EXPECT_EQ(std::memcmp(rows1.solution.data(), nnz1.solution.data(),
+                          rows1.solution.size() * sizeof(double)),
+              0)
+        << "solution bits diverged between rows and nnz strategies";
+    for (int threads : {4, 8}) {
+      EXPECT_EQ(rows1, run(rt::PartitionStrategy::Rows, threads))
+          << "rows strategy diverged at exec_threads=" << threads;
+      EXPECT_EQ(nnz1, run(rt::PartitionStrategy::Nnz, threads))
+          << "nnz strategy diverged at exec_threads=" << threads;
+    }
   }
 }
 

@@ -36,6 +36,81 @@ TEST(Partition, EqualMoreColorsThanElements) {
   EXPECT_TRUE(p->sub(3).empty());
 }
 
+TEST(Partition, BalancedCutsAtExactPrefixSums) {
+  // weights: 4 1 1 1 1 4 — total 12, 3 colors, target 4 per color. The cut
+  // rule (smallest i with prefix(i)*colors >= c*total) puts the cuts after
+  // row 0 (prefix 4) and after row 4 (prefix 8).
+  auto p = Partition::balanced({4, 1, 1, 1, 1, 4}, 3);
+  ASSERT_EQ(p->colors(), 3);
+  EXPECT_TRUE(p->disjoint());
+  EXPECT_EQ(p->sub(0), (Interval{0, 1}));
+  EXPECT_EQ(p->sub(1), (Interval{1, 5}));
+  EXPECT_EQ(p->sub(2), (Interval{5, 6}));
+}
+
+TEST(Partition, BalancedCoversDisjointly) {
+  auto p = Partition::balanced({3, 0, 7, 2, 2, 9, 1, 1}, 4);
+  coord_t cursor = 0;
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(p->sub(c).lo, cursor);
+    cursor = p->sub(c).hi;
+  }
+  EXPECT_EQ(cursor, 8);
+}
+
+TEST(Partition, BalancedAllZeroWeightsDegeneratesToEqual) {
+  auto p = Partition::balanced({0, 0, 0, 0, 0, 0}, 3);
+  auto eq = Partition::equal(6, 3);
+  EXPECT_TRUE(*p == *eq);
+}
+
+TEST(Partition, BalancedSingleHotRowIsolatesIt) {
+  // One row carries nearly all the work: it gets a color of its own and the
+  // trailing colors collapse to (possibly empty) light remainders.
+  auto p = Partition::balanced({1, 100, 1, 1}, 3);
+  ASSERT_EQ(p->colors(), 3);
+  // The hot row must not share a color with more than the one leading light
+  // row needed to reach its cut.
+  int hot_color = -1;
+  for (int c = 0; c < 3; ++c) {
+    if (p->sub(c).contains(1)) hot_color = c;
+  }
+  ASSERT_GE(hot_color, 0);
+  EXPECT_LE(p->sub(hot_color).size(), 2);
+  coord_t cursor = 0;
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(p->sub(c).lo, cursor);
+    cursor = p->sub(c).hi;
+  }
+  EXPECT_EQ(cursor, 4);
+}
+
+TEST(Partition, BalancedFewerRowsThanColors) {
+  auto p = Partition::balanced({5, 5}, 4);
+  ASSERT_EQ(p->colors(), 4);
+  coord_t total = 0;
+  for (int c = 0; c < 4; ++c) total += p->sub(c).size();
+  EXPECT_EQ(total, 2);
+  // Trailing colors get zero-length subspaces, not out-of-range ones.
+  EXPECT_TRUE(p->sub(3).empty());
+}
+
+TEST(Partition, BalancedEmptyWeights) {
+  auto p = Partition::balanced({}, 3);
+  ASSERT_EQ(p->colors(), 3);
+  for (int c = 0; c < 3; ++c) EXPECT_TRUE(p->sub(c).empty());
+}
+
+TEST(Partition, StrategyParseRoundTrips) {
+  EXPECT_EQ(parse_partition_strategy("rows"), PartitionStrategy::Rows);
+  EXPECT_EQ(parse_partition_strategy("nnz"), PartitionStrategy::Nnz);
+  EXPECT_EQ(parse_partition_strategy("auto"), PartitionStrategy::Auto);
+  EXPECT_EQ(parse_partition_strategy("bogus"), PartitionStrategy::Unset);
+  EXPECT_EQ(parse_partition_strategy(nullptr), PartitionStrategy::Unset);
+  EXPECT_STREQ(partition_strategy_name(PartitionStrategy::Nnz), "nnz");
+  EXPECT_STREQ(partition_strategy_name(PartitionStrategy::Rows), "rows");
+}
+
 TEST(Partition, EqualityComparesSubspaces) {
   auto a = Partition::equal(10, 2);
   auto b = Partition::equal(10, 2);

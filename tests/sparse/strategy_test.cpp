@@ -1,0 +1,279 @@
+// Partitioning-strategy tests: nnz-balanced row splits must agree
+// bit-for-bit with the default equal splits on every kernel that never
+// splits a row, the Auto heuristic must pick the balanced split only for
+// skewed matrices, and the edge cases the strategy sweep flushed out
+// (rows < colors, empty matrices, out-of-range accessors) must stay fixed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "oracle.h"
+#include "sparse/csr.h"
+#include "sparse/formats.h"
+#include "util/common.h"
+
+namespace legate::sparse {
+namespace {
+
+using dense::DArray;
+using testing::HostCsr;
+using testing::random_host_csr;
+using testing::upload;
+
+/// A deliberately skewed pattern: row 0 is dense, the rest carry a light
+/// diagonal — the shape the nnz strategy exists for.
+HostCsr hot_row_csr(coord_t n) {
+  HostCsr m;
+  m.rows = n;
+  m.cols = n;
+  m.indptr.push_back(0);
+  for (coord_t j = 0; j < n; ++j) {
+    m.indices.push_back(j);
+    m.values.push_back(1.0 + static_cast<double>(j % 7));
+  }
+  m.indptr.push_back(static_cast<coord_t>(m.indices.size()));
+  for (coord_t i = 1; i < n; ++i) {
+    m.indices.push_back(i);
+    m.values.push_back(2.0 + static_cast<double>(i % 5));
+    m.indptr.push_back(static_cast<coord_t>(m.indices.size()));
+  }
+  return m;
+}
+
+class StrategyTest : public ::testing::Test {
+ protected:
+  StrategyTest() : machine_(sim::Machine::gpus(4, pp_)), rt_(machine_) {}
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(StrategyTest, SpmvBitIdenticalAcrossStrategies) {
+  HostCsr m = hot_row_csr(257);
+  CsrMatrix a = upload(rt_, m);
+  auto x = DArray::random(rt_, 257, 11);
+  a.set_partition_strategy(rt::PartitionStrategy::Rows);
+  auto y_rows = a.spmv(x).to_vector();
+  a.set_partition_strategy(rt::PartitionStrategy::Nnz);
+  auto y_nnz = a.spmv(x).to_vector();
+  ASSERT_EQ(y_rows.size(), y_nnz.size());
+  // Row-contiguous splits never cut a row, so per-row dot products are the
+  // same fp reductions under either strategy: bit identity, not tolerance.
+  for (std::size_t i = 0; i < y_rows.size(); ++i)
+    EXPECT_EQ(y_rows[i], y_nnz[i]) << "row " << i;
+}
+
+TEST_F(StrategyTest, KernelSweepMatchesAcrossStrategies) {
+  HostCsr m = random_host_csr(120, 120, 0.08, 29);
+  CsrMatrix a = upload(rt_, m);
+  auto x = DArray::random(rt_, 120, 3);
+  auto d = DArray::random(rt_, 120, 5);
+  coord_t k = 5;
+  auto bm = DArray::random2d(rt_, 120, k, 7);
+  auto cm = DArray::random2d(rt_, k, 120, 9);
+
+  a.set_partition_strategy(rt::PartitionStrategy::Rows);
+  auto spmv_r = a.spmv(x).to_vector();
+  auto spmm_r = a.spmm(bm).to_vector();
+  auto diag_r = a.diagonal().to_vector();
+  auto rows_r = a.sum(1).to_vector();
+  auto srows_r = a.scale_rows(d).spmv(x).to_vector();
+  auto gemm_r = testing::download(a.spgemm(a));
+  auto ddmm_r = testing::download(a.sddmm(bm, cm));
+
+  a.set_partition_strategy(rt::PartitionStrategy::Nnz);
+  auto spmv_n = a.spmv(x).to_vector();
+  auto spmm_n = a.spmm(bm).to_vector();
+  auto diag_n = a.diagonal().to_vector();
+  auto rows_n = a.sum(1).to_vector();
+  auto srows_n = a.scale_rows(d).spmv(x).to_vector();
+  auto gemm_n = testing::download(a.spgemm(a));
+  auto ddmm_n = testing::download(a.sddmm(bm, cm));
+
+  EXPECT_EQ(spmv_r, spmv_n);
+  EXPECT_EQ(spmm_r, spmm_n);
+  EXPECT_EQ(diag_r, diag_n);
+  EXPECT_EQ(rows_r, rows_n);
+  EXPECT_EQ(srows_r, srows_n);
+  EXPECT_EQ(gemm_r.indptr, gemm_n.indptr);
+  EXPECT_EQ(gemm_r.indices, gemm_n.indices);
+  EXPECT_EQ(gemm_r.values, gemm_n.values);
+  EXPECT_EQ(ddmm_r.indptr, ddmm_n.indptr);
+  EXPECT_EQ(ddmm_r.indices, ddmm_n.indices);
+  EXPECT_EQ(ddmm_r.values, ddmm_n.values);
+}
+
+TEST_F(StrategyTest, HotRowImbalanceTriggersAuto) {
+  CsrMatrix skewed = upload(rt_, hot_row_csr(400));
+  // Equal splits put the dense row plus ~100 light rows on color 0: the
+  // imbalance ratio is far above the Auto threshold.
+  EXPECT_GT(skewed.row_imbalance_ratio(), 1.5);
+  skewed.set_partition_strategy(rt::PartitionStrategy::Auto);
+  EXPECT_EQ(skewed.partition_strategy(), rt::PartitionStrategy::Nnz);
+
+  // A uniform banded matrix sits at ratio ~1 and stays on row splits.
+  HostCsr band = random_host_csr(400, 400, 0.02, 13);
+  CsrMatrix uniform = upload(rt_, band);
+  uniform.set_partition_strategy(rt::PartitionStrategy::Auto);
+  EXPECT_EQ(uniform.partition_strategy(), rt::PartitionStrategy::Rows);
+}
+
+TEST_F(StrategyTest, RuntimeOptionSetsTheDefault) {
+  rt::RuntimeOptions opts;
+  opts.partition = rt::PartitionStrategy::Nnz;
+  rt::Runtime rt(machine_, opts);
+  EXPECT_EQ(rt.partition_strategy(), rt::PartitionStrategy::Nnz);
+  CsrMatrix a = upload(rt, hot_row_csr(64));
+  EXPECT_EQ(a.partition_strategy(), rt::PartitionStrategy::Nnz);
+  // A per-matrix override wins over the runtime default.
+  a.set_partition_strategy(rt::PartitionStrategy::Rows);
+  EXPECT_EQ(a.partition_strategy(), rt::PartitionStrategy::Rows);
+}
+
+TEST_F(StrategyTest, StrategyCountersAndImbalanceGauge) {
+  rt::RuntimeOptions opts;
+  opts.partition = rt::PartitionStrategy::Nnz;
+  rt::Runtime rt(machine_, opts);
+  CsrMatrix a = upload(rt, hot_row_csr(300));
+  auto x = DArray::full(rt, 300, 1.0);
+  auto y = a.spmv(x);
+  rt.fence();
+  auto snap = rt.metrics_snapshot();
+  const auto* nnz = snap.find("lsr_part_strategy_nnz_total");
+  ASSERT_NE(nnz, nullptr);
+  EXPECT_GE(nnz->value, 1.0);
+  ASSERT_NE(snap.find("lsr_part_imbalance_pct"), nullptr);
+  ASSERT_NE(snap.find("lsr_part_max_work"), nullptr);
+
+  // The same program over equal splits books to the rows counter and ends
+  // with a worse (or equal) work spread on this skewed matrix.
+  rt::Runtime rt2(machine_, rt::RuntimeOptions{});
+  CsrMatrix b = upload(rt2, hot_row_csr(300));
+  b.set_partition_strategy(rt::PartitionStrategy::Rows);
+  auto y2 = b.spmv(DArray::full(rt2, 300, 1.0));
+  rt2.fence();
+  auto snap2 = rt2.metrics_snapshot();
+  const auto* rows = snap2.find("lsr_part_strategy_rows_total");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_GE(rows->value, 1.0);
+}
+
+TEST_F(StrategyTest, BalancedSplitLowersImbalanceGauge) {
+  auto run = [&](rt::PartitionStrategy s) {
+    rt::Runtime rt(machine_);
+    CsrMatrix a = upload(rt, hot_row_csr(1000));
+    a.set_partition_strategy(s);
+    auto y = a.spmv(DArray::full(rt, 1000, 1.0));
+    rt.fence();
+    return rt.metrics_snapshot().find("lsr_part_imbalance_pct")->value;
+  };
+  double imb_rows = run(rt::PartitionStrategy::Rows);
+  double imb_nnz = run(rt::PartitionStrategy::Nnz);
+  EXPECT_LT(imb_nnz, imb_rows);
+}
+
+// --- satellite: rows < colors must degrade to empty subspaces, not UB -----
+
+TEST(StrategyEdge, TinyMatrixOnWideMachine) {
+  sim::PerfParams pp;
+  sim::Machine m = sim::Machine::gpus(8, pp);
+  rt::Runtime rt(m);
+  CsrMatrix a = CsrMatrix::from_host(rt, 2, 2, {0, 1, 2}, {0, 1}, {3.0, 4.0});
+  auto x = DArray::full(rt, 2, 2.0);
+  for (auto s : {rt::PartitionStrategy::Rows, rt::PartitionStrategy::Nnz}) {
+    a.set_partition_strategy(s);
+    auto y = a.spmv(x).to_vector();
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_DOUBLE_EQ(y[0], 6.0);   // not double-counted by empty subspaces
+    EXPECT_DOUBLE_EQ(y[1], 8.0);
+    EXPECT_DOUBLE_EQ(a.sum(0).to_vector()[0], 3.0);
+    EXPECT_DOUBLE_EQ(a.sum_all().value, 7.0);
+  }
+}
+
+TEST(StrategyEdge, SingleRowMatrixUnderNnz) {
+  sim::PerfParams pp;
+  sim::Machine m = sim::Machine::gpus(6, pp);
+  rt::Runtime rt(m);
+  CsrMatrix a =
+      CsrMatrix::from_host(rt, 1, 4, {0, 3}, {0, 2, 3}, {1.0, 2.0, 3.0});
+  a.set_partition_strategy(rt::PartitionStrategy::Nnz);
+  auto y = a.spmv(DArray::full(rt, 4, 1.0)).to_vector();
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+// --- satellite: empty-matrix reductions must not read the placeholder -----
+
+class EmptyMatrixTest : public ::testing::Test {
+ protected:
+  EmptyMatrixTest() : machine_(sim::Machine::gpus(3, pp_)), rt_(machine_) {}
+  CsrMatrix empty() {
+    return CsrMatrix::from_host(rt_, 4, 5, std::vector<coord_t>(5, 0), {}, {});
+  }
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(EmptyMatrixTest, NormsAndSumsAreZero) {
+  CsrMatrix a = empty();
+  EXPECT_DOUBLE_EQ(a.norm_fro().value, 0.0);
+  EXPECT_DOUBLE_EQ(a.norm_1().value, 0.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf().value, 0.0);
+  EXPECT_DOUBLE_EQ(a.sum_all().value, 0.0);
+  EXPECT_DOUBLE_EQ(a.count_nonzero().value, 0.0);
+}
+
+TEST_F(EmptyMatrixTest, PlaceholderNeverLeaksThroughValueOps) {
+  // power_values(0) maps the placeholder slot to 0^0 = 1; if any reduction
+  // read the placeholder as data, the norms would come out as 1.
+  CsrMatrix a = empty().power_values(0.0);
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_DOUBLE_EQ(a.norm_fro().value, 0.0);
+  EXPECT_DOUBLE_EQ(a.sum_all().value, 0.0);
+  EXPECT_DOUBLE_EQ(a.norm_1().value, 0.0);
+}
+
+TEST_F(EmptyMatrixTest, MaxMinThrowDescriptively) {
+  CsrMatrix a = empty();
+  EXPECT_THROW((void)a.max_value(), std::logic_error);
+  EXPECT_THROW((void)a.min_value(), std::logic_error);
+}
+
+// --- satellite: accessor bounds checks throw the named error --------------
+
+class BoundsTest : public ::testing::Test {
+ protected:
+  BoundsTest() : machine_(sim::Machine::gpus(2, pp_)), rt_(machine_) {}
+  sim::PerfParams pp_;
+  sim::Machine machine_;
+  rt::Runtime rt_;
+};
+
+TEST_F(BoundsTest, AccessorsThrowIndexError) {
+  CsrMatrix a =
+      CsrMatrix::from_host(rt_, 3, 4, {0, 1, 1, 2}, {0, 3}, {1.0, 2.0});
+  EXPECT_THROW((void)a.getrow(3), IndexError);
+  EXPECT_THROW((void)a.getrow(-1), IndexError);
+  EXPECT_THROW((void)a.getcol(4), IndexError);
+  EXPECT_THROW((void)a.get(3, 0), IndexError);
+  EXPECT_THROW((void)a.get(0, 4), IndexError);
+  EXPECT_THROW((void)a.row_slice(0, 5), IndexError);
+  EXPECT_THROW((void)a.row_slice(-1, 2), IndexError);
+  try {
+    (void)a.getrow(7);
+    FAIL() << "expected IndexError";
+  } catch (const IndexError& e) {
+    EXPECT_EQ(e.axis(), "row");
+    EXPECT_EQ(e.index(), 7);
+    EXPECT_EQ(e.extent(), 3);
+  }
+  // In-range accessors still work.
+  EXPECT_DOUBLE_EQ(a.get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.getrow(2).to_vector()[3], 2.0);
+}
+
+}  // namespace
+}  // namespace legate::sparse
