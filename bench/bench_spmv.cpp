@@ -37,6 +37,7 @@ LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& poin
   rt::RuntimeOptions opts;
   opts.exec_threads = threads;
   opts.partition = lsr_bench::bench_partition();
+  opts.fusion = lsr_bench::bench_fusion();
   rt::Runtime runtime(machine, opts);
   runtime.engine().set_cost_scale(kScale);
   apps::HostProblem prob = apps::banded_matrix(kRowsPerProc * procs, kHalfBand);
@@ -57,6 +58,7 @@ LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& poin
   double sim_per_iter = (runtime.sim_time() - t0) / kIters;
   lsr_bench::metrics_end(runtime, point, mbase, sim_per_iter);
   lsr_bench::profile_end(runtime.engine(), point);
+  lsr_bench::note_fusion(point, runtime);
   return {sim_per_iter, wall};
 }
 

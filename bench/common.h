@@ -42,6 +42,11 @@ namespace lsr_bench {
 //                                    --prof-filter to pick one
 //   bench_cg --prof-filter 192       only profile points whose name contains
 //                                    the substring
+//   bench_cg --fuse on               launch-window fusion mode (off|on|auto)
+//                                    for the Legate runtime points; fused
+//                                    launch counts appear as the
+//                                    fused_launches / fused_eliminated
+//                                    counters
 //   bench_cg --metrics out.json      write a per-point metrics snapshot file
 //                                    (stable metrics only, so the file is
 //                                    bit-identical at any --threads value);
@@ -58,6 +63,9 @@ struct ProfOptions {
   /// --partition rows|nnz|auto row-split strategy for the Legate runtime
   /// points (Unset: the runtime falls back to LSR_PARTITION, then rows).
   legate::rt::PartitionStrategy partition = legate::rt::PartitionStrategy::Unset;
+  /// --fuse off|on|auto launch-window fusion mode for the Legate runtime
+  /// points (Unset: the runtime falls back to LSR_FUSE, then off).
+  legate::rt::Fusion fusion = legate::rt::Fusion::Unset;
 };
 
 inline ProfOptions& prof_options() {
@@ -95,6 +103,12 @@ inline void init_prof_flags(int* argc, char** argv) {
         std::cerr << "warning: unknown --partition value '" << v5
                   << "' (expected rows|nnz|auto), using the runtime default\n";
       }
+    } else if (const char* v6 = value_of("--fuse")) {
+      po.fusion = legate::rt::parse_fusion_mode(v6);
+      if (po.fusion == legate::rt::Fusion::Unset) {
+        std::cerr << "warning: unknown --fuse value '" << v6
+                  << "' (expected off|on|auto), using the runtime default\n";
+      }
     } else {
       argv[out++] = argv[i];
     }
@@ -111,6 +125,10 @@ inline int bench_threads() { return prof_options().threads; }
 inline legate::rt::PartitionStrategy bench_partition() {
   return prof_options().partition;
 }
+
+/// Fusion mode requested with --fuse (Unset: runtime default, i.e. LSR_FUSE
+/// or off).
+inline legate::rt::Fusion bench_fusion() { return prof_options().fusion; }
 
 /// Extra per-point counters (real wall-clock seconds, measured speedup)
 /// attached by the run functions and exported by register_point.
@@ -130,6 +148,17 @@ inline void note_wall(const std::string& point, double wall_s, double wall_seq_s
   if (wall_seq_s > 0 && wall_s > 0) c["wall_speedup"] = wall_seq_s / wall_s;
 }
 
+/// Record a run's fused-launch counters (whole-runtime totals, warm-up
+/// included): how many original launches were folded into fused launches and
+/// how many dispatches that eliminated. Exported next to wall_s by
+/// register_point, and 0/absent with fusion off.
+inline void note_fusion(const std::string& point, legate::rt::Runtime& rt) {
+  if (point.empty() || !rt.fusion_enabled()) return;
+  auto& c = extra_counters()[point];
+  c["fused_launches"] = static_cast<double>(rt.fused_participants());
+  c["fused_eliminated"] = static_cast<double>(rt.fused_eliminated());
+}
+
 /// Monotonic wall-clock seconds (for the real-execution speedup counters).
 inline double wall_now() {
   return std::chrono::duration<double>(
@@ -146,8 +175,20 @@ inline bool profiling_point(const std::string& name) {
 }
 
 /// Enable timeline recording on `eng` if this point is being profiled.
+/// With --trace, also install a flush sink: timeline windows closed by
+/// Engine::reset mid-run (bench repetitions, solver restarts) export to
+/// numbered `<path>.resetN` side files instead of being silently dropped.
 inline void profile_begin(legate::sim::Engine& eng, const std::string& point) {
-  if (profiling_point(point)) eng.recorder().enable();
+  if (!profiling_point(point)) return;
+  eng.recorder().enable();
+  const ProfOptions& po = prof_options();
+  if (!po.trace_path.empty()) {
+    std::string base = po.trace_path;
+    eng.recorder().set_flush_sink([base](const legate::prof::Recorder& rec) {
+      static int n = 0;
+      legate::prof::write_chrome_trace(rec, base + ".reset" + std::to_string(++n));
+    });
+  }
 }
 
 /// Print the utilization / traffic / critical-path summary for a profiled

@@ -18,12 +18,17 @@
 # runtime-wide row-split strategy (DESIGN.md §12) — CI runs a tier-1 leg
 # with LSR_PARTITION=nnz — and LSR_EXEC_THREADS sets the executor width for
 # the default preset (the asan/tsan presets pin their own thread counts but
-# still inherit LSR_PARTITION).
+# still inherit LSR_PARTITION). LSR_FUSE=off|on|auto likewise selects the
+# launch-window fusion mode for every preset — CI runs tier-1 and tsan legs
+# with LSR_FUSE=on (DESIGN.md §13).
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 if [ -n "${LSR_PARTITION:-}" ]; then
   echo "tier1: LSR_PARTITION=${LSR_PARTITION} (passed through to all presets)"
+fi
+if [ -n "${LSR_FUSE:-}" ]; then
+  echo "tier1: LSR_FUSE=${LSR_FUSE} (passed through to all presets)"
 fi
 
 run_default() {
@@ -42,11 +47,12 @@ run_asan() {
 
 run_tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_TSAN=ON
-  cmake --build build-tsan -j --target exec_tests rt_tests metrics_tests integrity_tests
+  cmake --build build-tsan -j --target exec_tests rt_tests metrics_tests integrity_tests fuse_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/exec_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/rt_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/metrics_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/integrity_tests
+  LSR_EXEC_THREADS=4 ./build-tsan/tests/fuse_tests
 }
 
 presets=()

@@ -1,0 +1,155 @@
+#include "fuse/fuse.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace legate::fuse {
+
+using rt::ConstraintKind;
+using rt::Priv;
+using rt::detail::LaunchRecord;
+
+Eligibility classify(const LaunchRecord& R) {
+  if (R.forced_colors > 0 || !R.parallel_safe) return Eligibility::Ineligible;
+  bool head_only = false;
+  for (const auto& a : R.args) {
+    if (a.priv == Priv::Reduce) return Eligibility::Ineligible;
+    if (a.ckind != ConstraintKind::None && a.ckind != ConstraintKind::Broadcast) {
+      head_only = true;
+    }
+  }
+  return head_only ? Eligibility::HeadOnly : Eligibility::Fusable;
+}
+
+void WindowTracker::clear() {
+  colors_ = -1;
+  stores_.clear();
+}
+
+bool WindowTracker::admits(const LaunchRecord& R) const {
+  LSR_CHECK_MSG(R.eager_parts.size() == R.args.size(),
+                "fusion compatibility requires an eager-solved record");
+  if (colors_ >= 0 && R.colors != colors_) return false;
+  // Merge R's accesses into a copy of the per-store view and re-check the
+  // invariant: written stores are only ever accessed through one partition.
+  std::map<rt::StoreId, StoreState> merged = stores_;
+  for (std::size_t i = 0; i < R.args.size(); ++i) {
+    const auto& a = R.args[i];
+    auto [it, fresh] =
+        merged.try_emplace(a.view.id, StoreState{R.eager_parts[i]->uid(), false,
+                                                 a.priv != Priv::Read});
+    if (!fresh) {
+      if (R.eager_parts[i]->uid() != it->second.uid) it->second.mixed = true;
+      if (a.priv != Priv::Read) it->second.written = true;
+    }
+  }
+  return std::none_of(merged.begin(), merged.end(), [](const auto& kv) {
+    return kv.second.written && kv.second.mixed;
+  });
+}
+
+void WindowTracker::add(const LaunchRecord& R) {
+  LSR_CHECK_MSG(R.eager_parts.size() == R.args.size(),
+                "fusion tracking requires an eager-solved record");
+  colors_ = R.colors;
+  for (std::size_t i = 0; i < R.args.size(); ++i) {
+    const auto& a = R.args[i];
+    auto [it, fresh] =
+        stores_.try_emplace(a.view.id, StoreState{R.eager_parts[i]->uid(), false,
+                                                  a.priv != Priv::Read});
+    if (!fresh) {
+      if (R.eager_parts[i]->uid() != it->second.uid) it->second.mixed = true;
+      if (a.priv != Priv::Read) it->second.written = true;
+    }
+  }
+}
+
+namespace {
+
+/// Chain-order privilege merge for one combined slot (see fuse.h).
+Priv merge_priv(Priv cur, Priv next) {
+  if (next == Priv::Read) return cur;
+  // `next` writes (ReadWrite or WriteDiscard).
+  switch (cur) {
+    case Priv::Read: return Priv::ReadWrite;
+    case Priv::WriteDiscard: return Priv::WriteDiscard;
+    default: return Priv::ReadWrite;
+  }
+}
+
+}  // namespace
+
+FusePlan make_plan(const std::vector<std::shared_ptr<LaunchRecord>>& children) {
+  LSR_CHECK_MSG(children.size() >= 2, "a fused launch needs at least two links");
+  FusePlan plan;
+  const int colors = children.front()->colors;
+  plan.saved_per_color.assign(static_cast<std::size_t>(colors), 0.0);
+
+  // Slot lookup for merge candidates: alignment-solved accesses keyed by
+  // (store, concrete partition identity).
+  std::map<std::pair<rt::StoreId, std::uint64_t>, std::size_t> slots;
+  // Union-find over fused slots: slots end up in one alignment group iff
+  // some child (transitively, through merged slots) aligned them.
+  std::vector<std::size_t> parent;
+  auto find = [&parent](std::size_t s) {
+    while (parent[s] != s) {
+      parent[s] = parent[parent[s]];
+      s = parent[s];
+    }
+    return s;
+  };
+
+  for (std::size_t k = 0; k < children.size(); ++k) {
+    const LaunchRecord& kid = *children[k];
+    // First fused slot seen per child-internal alignment root; later members
+    // of the same child group union into it.
+    std::map<int, std::size_t> root_slot;
+    for (std::size_t i = 0; i < kid.args.size(); ++i) {
+      const auto& a = kid.args[i];
+      std::size_t slot;
+      bool merged = false;
+      if (a.ckind == ConstraintKind::None && k > 0) {
+        auto it = slots.find(std::make_pair(a.view.id, kid.eager_parts[i]->uid()));
+        if (it != slots.end()) {
+          slot = it->second;
+          merged = true;
+          plan.args[slot].priv = merge_priv(plan.args[slot].priv, a.priv);
+          if (a.priv == Priv::Read) {
+            // This read is satisfied in-chain: the store's bytes are already
+            // resident (written or read by an earlier link), so the fused
+            // leaf never pays this pass through the memory system again.
+            double esize = static_cast<double>(rt::dtype_size(a.view.dtype));
+            for (int c = 0; c < colors; ++c) {
+              const Interval& iv = kid.ivs[static_cast<std::size_t>(c)][i];
+              double bytes = static_cast<double>(iv.size()) *
+                             static_cast<double>(a.view.stride) * esize;
+              plan.saved_per_color[static_cast<std::size_t>(c)] += bytes;
+              plan.bytes_saved += bytes;
+            }
+          }
+        }
+      }
+      if (!merged) {
+        slot = plan.args.size();
+        plan.args.push_back(a);
+        parent.push_back(slot);
+        // image_src indices refer into the head child's argument list, which
+        // occupies slots [0, head.args.size()) verbatim — nothing precedes
+        // the head, and within one child nothing is merged.
+        if (a.ckind == ConstraintKind::None) {
+          slots.emplace(std::make_pair(a.view.id, kid.eager_parts[i]->uid()),
+                        slot);
+        }
+      }
+      auto [rit, fresh_root] = root_slot.try_emplace(a.root, slot);
+      if (!fresh_root) parent[find(slot)] = find(rit->second);
+    }
+  }
+
+  for (std::size_t s = 0; s < plan.args.size(); ++s) {
+    plan.args[s].root = static_cast<int>(find(s));
+  }
+  return plan;
+}
+
+}  // namespace legate::fuse

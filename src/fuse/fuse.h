@@ -1,0 +1,96 @@
+#pragma once
+
+// Task & kernel fusion analysis (lsr_fuse). Pure window analysis over
+// deferred LaunchRecords: which launches may legally join a fusion window,
+// whether a window can absorb the next record, and the combined-argument
+// plan for rewriting a window into a single fused launch. The runtime side
+// (window lifecycle, fused-record synthesis, replay) lives in
+// src/rt/runtime_fuse.cpp; everything here is side-effect free and touches
+// no simulated state. See DESIGN.md "Task & kernel fusion".
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rt/runtime_detail.h"
+
+namespace legate::fuse {
+
+/// How a single launch relates to the fusion window.
+enum class Eligibility {
+  Ineligible,  ///< flushes the window and launches on its own
+  Fusable,     ///< may start, join or extend a window
+  HeadOnly,    ///< may only *start* a window (image/halo-constrained args:
+               ///< their eager solve scans real source bytes, which pending
+               ///< window members could still be about to write)
+};
+
+/// Static per-launch legality. Requirements for Fusable/HeadOnly:
+///  - no forced color count (glue work pinned to one point stays alone);
+///  - parallel-safe points (the fused leaf runs chains per color, relying on
+///    disjoint writes exactly like the parallel executor does);
+///  - no store-reduction arguments (their partial buffers are indexed by the
+///    owning launch's argument list, which fusion rewrites);
+///  - every argument solved by alignment or broadcast; image/halo arguments
+///    demote the launch to HeadOnly. Scalar reductions (dot/nrm2) stay
+///    eligible — the runtime appends them and flushes, making them the
+///    terminal link of their chain.
+[[nodiscard]] Eligibility classify(const rt::detail::LaunchRecord& R);
+
+/// Incremental compatibility state for one open window. The legality rule is
+/// a single invariant: for every store *written* anywhere in the window,
+/// every access of that store across the whole window must use the same
+/// concrete partition (Partition::uid equality — the same object, including
+/// pinned nnz-balanced splits). This subsumes the obvious hazards: a
+/// broadcast or image read of a window-written store can never share the
+/// writer's disjoint partition uid, so it is rejected without a special
+/// case. Records must have been eager-solved (eager_parts filled) before
+/// they are offered.
+class WindowTracker {
+ public:
+  /// Forget everything (window flushed).
+  void clear();
+  /// Would the window remain legal if `R` were appended? (Pure check.)
+  [[nodiscard]] bool admits(const rt::detail::LaunchRecord& R) const;
+  /// Fold an appended record's accesses into the state.
+  void add(const rt::detail::LaunchRecord& R);
+
+ private:
+  struct StoreState {
+    std::uint64_t uid{0};  ///< first partition identity seen
+    bool mixed{false};     ///< a second identity appeared
+    bool written{false};
+  };
+  int colors_{-1};
+  std::map<rt::StoreId, StoreState> stores_;
+};
+
+/// Combined-argument plan for one fused launch.
+struct FusePlan {
+  /// Fused argument list, in first-occurrence order. The head child's
+  /// arguments keep their original indices (so image_src references stay
+  /// valid); later children's alignment-constrained arguments that re-access
+  /// a store through the same partition object are merged into the earlier
+  /// slot instead of being repeated.
+  std::vector<rt::detail::LaunchRecord::RArg> args;
+  /// Leaf-cost bytes to discount per color: every merged *read* of a store
+  /// the window already held resident (written or read by an earlier child)
+  /// is a round-trip the fused chain no longer pays.
+  std::vector<double> saved_per_color;
+  double bytes_saved{0};  ///< sum over colors (drives lsr_fuse_bytes_saved)
+};
+
+/// Build the combined arguments for a run of eager-solved, mutually
+/// compatible children. Privilege merging per slot, in chain order:
+/// write-then-read keeps the write (the read is satisfied in-chain),
+/// read-then-write upgrades to ReadWrite (pre-window bytes are still
+/// consumed), WriteDiscard stays WriteDiscard (the first access already
+/// declared prior contents dead), and anything after ReadWrite stays
+/// ReadWrite. Only alignment-solved (ckind None) accesses are merged;
+/// broadcast duplicates are kept verbatim — re-staging them is idempotent
+/// and their whole-store reads are not a per-element round-trip to save.
+[[nodiscard]] FusePlan make_plan(
+    const std::vector<std::shared_ptr<rt::detail::LaunchRecord>>& children);
+
+}  // namespace legate::fuse

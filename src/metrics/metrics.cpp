@@ -262,6 +262,14 @@ Snapshot Registry::snapshot() const {
     }
     snap.metrics.push_back(std::move(m));
   }
+  // Deterministic emission order: sorted by name, independent of the order
+  // subsystems registered their metrics. Snapshot deltas, the JSON and
+  // Prometheus exporters, and bench_compare baselines all inherit this, so
+  // diffs stay stable across presets and registration-order refactors.
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const Snapshot::Metric& a, const Snapshot::Metric& b) {
+              return a.name < b.name;
+            });
   return snap;
 }
 

@@ -17,6 +17,7 @@ const char* category_name(Category c) {
     case Category::Spill: return "spill";
     case Category::Snapshot: return "metrics-snapshot";
     case Category::Integrity: return "integrity";
+    case Category::Fused: return "fused";
   }
   return "unknown";
 }
@@ -90,6 +91,10 @@ void Recorder::add_traffic(int src_node, int dst_node, double bytes) {
 }
 
 void Recorder::reset() {
+  // Flush captured timelines before dropping them: a profile window closed
+  // by Engine::reset (bench repetitions, solver restarts) would otherwise
+  // silently lose every event recorded before the reset.
+  if (flush_sink_ && enabled_ && !events_.empty()) flush_sink_(*this);
   events_.clear();
   by_completion_.clear();
   traffic_.clear();

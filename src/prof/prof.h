@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -26,6 +27,7 @@ enum class Category {
   Spill,      ///< instant marker: an allocation was evicted under OOM
   Snapshot,   ///< instant marker: a metrics snapshot was taken
   Integrity,  ///< instant marker: a silent flip was injected/detected/repaired
+  Fused,      ///< instant marker: a launch window was rewritten into a fused launch
 };
 
 [[nodiscard]] const char* category_name(Category c);
@@ -125,11 +127,20 @@ class Recorder {
   }
 
   /// Drop all recorded state (events, busy time, traffic), keeping the
-  /// enabled flag.
+  /// enabled flag. If a flush sink is set and events were recorded, the sink
+  /// runs first so captured timelines are exported rather than silently
+  /// dropped (Engine::reset routes through here).
   void reset();
+
+  /// Install a pre-reset export hook. The sink receives the recorder with
+  /// its events still intact; exceptions it throws propagate out of reset().
+  void set_flush_sink(std::function<void(const Recorder&)> sink) {
+    flush_sink_ = std::move(sink);
+  }
 
  private:
   bool enabled_{false};
+  std::function<void(const Recorder&)> flush_sink_;
   std::chrono::steady_clock::time_point wall_epoch_{};
   std::vector<Event> events_;
   std::vector<Track> tracks_;

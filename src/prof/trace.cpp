@@ -76,7 +76,8 @@ std::string chrome_trace_json(const Recorder& rec) {
   for (const Event& ev : rec.events()) {
     const Track& tr = rec.tracks()[static_cast<std::size_t>(ev.track)];
     bool instant = ev.cat == Category::Fault || ev.cat == Category::Retry ||
-                   ev.cat == Category::Spill || ev.cat == Category::Snapshot;
+                   ev.cat == Category::Spill || ev.cat == Category::Snapshot ||
+                   ev.cat == Category::Fused;
     sep();
     os << '{';
     append_str(os, "name", ev.name.empty() ? category_name(ev.cat) : ev.name);

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "fuse/fuse.h"
 #include "rt/checkpoint.h"
 #include "rt/runtime_detail.h"
 
@@ -218,6 +219,16 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   if (partition_strategy_ == PartitionStrategy::Unset) {
     partition_strategy_ = PartitionStrategy::Rows;
   }
+  // Fusion mode: option, else LSR_FUSE env, else off. Fault injection
+  // disables the pass — its retry/poison bookkeeping must observe each
+  // launch individually, exactly like pipelining.
+  fusion_mode_ = opts_.fusion;
+  if (fusion_mode_ == Fusion::Unset) {
+    fusion_mode_ = parse_fusion_mode(std::getenv("LSR_FUSE"));
+  }
+  if (fusion_mode_ == Fusion::Unset) fusion_mode_ = Fusion::Off;
+  fusion_on_ = fusion_mode_ != Fusion::Off && !opts_.faults.enabled;
+  if (fusion_on_) fuse_tracker_ = std::make_unique<fuse::WindowTracker>();
 
   auto& mreg = engine_->metrics();
   met_.launches = mreg.counter("lsr_rt_launches_total", "task launches applied");
@@ -265,6 +276,16 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
       "lsr_part_max_work", "last launch's max per-point work (bytes + flops)");
   met_.part_mean_work = mreg.gauge(
       "lsr_part_mean_work", "last launch's mean per-point work (bytes + flops)");
+  met_.fuse_windows = mreg.counter("lsr_fuse_windows_scanned_total",
+                                   "fusion windows analyzed at flush");
+  met_.fuse_fused =
+      mreg.counter("lsr_fuse_launches_fused_total",
+                   "original launches folded into a fused launch");
+  met_.fuse_eliminated = mreg.counter("lsr_fuse_launches_eliminated_total",
+                                      "task launches eliminated by fusion");
+  met_.fuse_bytes_saved = mreg.counter(
+      "lsr_fuse_bytes_saved_total",
+      "intermediate store round-trip bytes eliminated by fused chains");
   ledger_.set_hashed_counter(mreg.counter(
       "lsr_integrity_bytes_hashed_total",
       "bytes run through CRC32C by checksum maintenance and verification"));
@@ -337,23 +358,35 @@ void Runtime::on_store_destroyed(detail::StoreImpl* impl) {
     met_.flips_overwritten.inc(static_cast<double>(it->second.size()));
     outstanding_flips_.erase(it);
   }
-  if (pipeline_) {
+  if ((pipeline_ || fusion_on_) && fuse_window_.empty()) {
     // The id is unreachable from future launches; retire its eager state.
     // (Pending nodes stay alive through the pool queue and their records.)
-    hazards_.erase(id);
-    eager_epoch_.erase(id);
-    for (auto it = eager_images_.begin(); it != eager_images_.end();) {
-      it = it->first.src == id ? eager_images_.erase(it) : std::next(it);
-    }
+    // With an open fusion window the retirement must wait: window members
+    // referencing this store are not enqueued yet, and erasing the hazard
+    // entry now would sever the writer edge their enqueue still has to see.
+    retire_eager_state(id);
   }
   double esize = static_cast<double>(dtype_size(impl->dtype));
-  if (!sim_queue_.empty()) {
+  if (!fuse_window_.empty()) {
+    // An open fusion window may still read this store's view; defer the
+    // release accounting (and the eager-state retirement above) to the
+    // window's stream position (flush).
+    fuse_pending_release_.emplace_back(id, esize);
+  } else if (!sim_queue_.empty()) {
     // Queued launches may still reference this store's sync state; release
     // at the store's position in the replayed stream so pool/coalescing/OOM
     // behavior is identical to sequential execution.
     sim_queue_.push_back([this, id, esize] { release_store(id, esize); });
   } else {
     release_store(id, esize);
+  }
+}
+
+void Runtime::retire_eager_state(StoreId id) {
+  hazards_.erase(id);
+  eager_epoch_.erase(id);
+  for (auto it = eager_images_.begin(); it != eager_images_.end();) {
+    it = it->first.src == id ? eager_images_.erase(it) : std::next(it);
   }
 }
 
@@ -1124,32 +1157,11 @@ double Runtime::shuffle(const Store& in, const Store& out,
 Future Runtime::execute(TaskLauncher& L) {
   LSR_CHECK_MSG(L.leaf_ != nullptr, "task has no leaf function");
   auto R = make_record(L);
-
-  if (!pipeline_ || R->has_redop) {
-    // Scalar futures resolve immediately (a fence point); without pipelining
-    // the launch is applied in place. Leaves still run on the pool when
-    // exec_threads > 1 — intra-launch parallelism needs no deferral.
-    if (R->has_redop) fence();
-    sim_apply(*R, /*deferred=*/false);
-    return R->result;
-  }
-
-  // Pipelined: solve constraints now (images need real data, waiting only on
-  // this launch's producers), hand the leaf bodies to the task graph, and
-  // defer every simulated effect to the fence, replayed in issue order.
-  eager_solve(*R);
-  enqueue_record(R);
-  sim_queue_.push_back([this, R] {
-    if (R->node) pool_->wait(R->node);
-    sim_apply(*R, /*deferred=*/true);
-  });
-  // Backstop: bound deferred state so pathological fence-free programs can't
-  // accumulate unbounded records.
-  if (sim_queue_.size() >= 1024) fence();
-  // Non-scalar launches return an empty future, exactly as the sequential
-  // path does on a fault-free run (poison requires fault injection, which
-  // disables pipelining).
-  return Future{};
+  // With fusion active, records route through the window analysis first
+  // (src/rt/runtime_fuse.cpp); issue_record is the pre-fusion execute()
+  // tail, shared by both paths.
+  if (fusion_on_) return fuse_execute(R);
+  return issue_record(R);
 }
 
 void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
@@ -1171,6 +1183,7 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
     }
   }
   met_.launches.inc();
+  ++launches_applied_;  // plain mirror for the fenced accessor
   double t_launch = engine_->control_advance(task_overhead_, R.name);
 
   const int nargs = static_cast<int>(R.args.size());

@@ -18,6 +18,10 @@
 #include "sim/fault.h"
 #include "util/interval_map.h"
 
+namespace legate::fuse {
+class WindowTracker;
+}
+
 namespace legate::rt {
 
 class Checkpoint;
@@ -203,6 +207,20 @@ enum class Integrity {
             ///< retry of corrupted SpMVs, rollback for anything else
 };
 
+/// Task & kernel fusion policy (src/fuse). See DESIGN.md "Task & kernel
+/// fusion". `Auto` is reserved for future heuristics and currently behaves
+/// like `On`.
+enum class Fusion {
+  Unset,  ///< read LSR_FUSE (`off|on|auto`), defaulting to Off
+  Off,
+  On,
+  Auto,
+};
+
+/// Parse `off|0|on|1|auto` (anything else = Unset → default).
+[[nodiscard]] Fusion parse_fusion_mode(const char* s);
+[[nodiscard]] const char* fusion_mode_name(Fusion f);
+
 /// Behaviour toggles, used by the ablation benchmarks.
 struct RuntimeOptions {
   bool coalescing = true;       ///< Section 4.2 allocation coalescing
@@ -240,6 +258,13 @@ struct RuntimeOptions {
   /// (`rows|nnz|auto`), defaulting to Rows. Individual matrices can override
   /// via CsrMatrix::set_partition_strategy.
   PartitionStrategy partition = PartitionStrategy::Unset;
+  /// Task & kernel fusion over the deferred launch window (src/fuse).
+  /// Unset reads the LSR_FUSE environment variable (`off|on|auto`),
+  /// defaulting to Off. Fault injection disables fusion (like pipelining,
+  /// its retry/poison bookkeeping must observe each launch individually);
+  /// everything else — pipelining, partition pins, integrity, checkpoints —
+  /// composes.
+  Fusion fusion = Fusion::Unset;
 };
 
 /// The Legion-model runtime: dynamic dependence analysis over the task
@@ -299,8 +324,36 @@ class Runtime {
   /// Whether launches are being deferred across fences (exec_threads > 1,
   /// pipelining enabled, fault injection off).
   [[nodiscard]] bool pipelining() const { return pipeline_; }
-  /// Launches enqueued but not yet drained (test/diagnostic hook).
-  [[nodiscard]] std::size_t pending_launches() const { return sim_queue_.size(); }
+  /// Launches deferred but not yet applied (test/diagnostic hook): the
+  /// pipelined replay queue plus the open fusion window.
+  [[nodiscard]] std::size_t pending_launches() const {
+    return sim_queue_.size() + fuse_window_.size();
+  }
+
+  // -- fusion ----------------------------------------------------------------
+  /// Whether the fusion pass is active (mode on/auto and fault injection
+  /// off). Resolved once in the constructor.
+  [[nodiscard]] bool fusion_enabled() const { return fusion_on_; }
+  /// Resolved fusion mode (never Unset).
+  [[nodiscard]] Fusion fusion_mode() const { return fusion_mode_; }
+  /// Launches currently buffered in the open fusion window (test hook).
+  [[nodiscard]] std::size_t fuse_window_size() const { return fuse_window_.size(); }
+  /// Task launches actually applied (after fusion), mirroring the
+  /// lsr_rt_launches_total counter. A fence point.
+  [[nodiscard]] long launches_applied() {
+    fence();
+    return launches_applied_;
+  }
+  /// Original launches folded into fused launches / launches eliminated by
+  /// fusion so far. Fence points.
+  [[nodiscard]] long fused_participants() {
+    fence();
+    return fuse_participants_;
+  }
+  [[nodiscard]] long fused_eliminated() {
+    fence();
+    return fuse_eliminated_launches_;
+  }
 
   // -- profiling -------------------------------------------------------------
   /// Nested provenance scopes label every event recorded while active
@@ -429,12 +482,33 @@ class Runtime {
   /// Submit the record's real work as a task-graph node with dependence
   /// edges from the per-store reader/writer hazard state.
   void enqueue_record(const std::shared_ptr<detail::LaunchRecord>& R);
+  // -- fusion internals (src/rt/runtime_fuse.cpp) ----------------------------
+  /// execute() tail when fusion is active: eager-solve the record, then
+  /// append it to the open window, flush the window, or pass it through,
+  /// per the legality rules in fuse/fuse.h.
+  Future fuse_execute(const std::shared_ptr<detail::LaunchRecord>& R);
+  /// Issue one (possibly fused) record into the normal execution paths —
+  /// the pre-fusion execute() tail: pipelined enqueue or direct sim_apply.
+  Future issue_record(const std::shared_ptr<detail::LaunchRecord>& R);
+  /// Rewrite the buffered window into a single fused launch (≥2 records)
+  /// or pass the singleton through, then issue it. Idempotent when empty.
+  void flush_fuse_window();
+  /// Synthesize the fused record for a legal run: combined argument plan,
+  /// chained leaf, max/OR-folded dependences, terminal scalar reduction.
+  std::shared_ptr<detail::LaunchRecord> make_fused_record(
+      std::vector<std::shared_ptr<detail::LaunchRecord>> children);
+  /// The pre-fusion fence() body: drain sim_queue_ in issue order.
+  void drain_sim_queue();
   /// Block until the last pending real writer of `id` finished (eager image
   /// computation reads real bytes mid-pipeline).
   void wait_store_writer(StoreId id);
   /// Simulated release accounting for an out-of-scope store (deferred to
   /// its stream position when the pipeline is non-empty).
   void release_store(StoreId id, double esize);
+  /// Drop a dead store's hazard entry and eager memo state. Must not run
+  /// while an open fusion window still holds launches referencing the id:
+  /// their enqueue at flush resolves dependence edges through hazards_.
+  void retire_eager_state(StoreId id);
 
   /// alloc_bytes with graceful OOM degradation: on capacity overflow, evict
   /// least-recently-used allocations (spilling dirty data to the node's
@@ -515,6 +589,23 @@ class Runtime {
   std::map<std::pair<coord_t, int>, PartitionRef> eager_equal_;  ///< (basis, colors)
   std::map<std::pair<coord_t, int>, PartitionRef> eager_whole_;  ///< broadcast/reduce
 
+  // -- fusion state (src/rt/runtime_fuse.cpp) --------------------------------
+  Fusion fusion_mode_{Fusion::Off};
+  bool fusion_on_{false};
+  bool fuse_flushing_{false};  ///< inside flush_fuse_window(); re-entry is a no-op
+  /// Open fusion window: consecutive eager-solved fusable launches awaiting
+  /// rewrite. Flushed by fences, ineligible launches, legality breaks,
+  /// terminal scalar reductions, and a size backstop.
+  std::vector<std::shared_ptr<detail::LaunchRecord>> fuse_window_;
+  /// Window-compatibility state mirroring fuse_window_ (see fuse/fuse.h).
+  std::unique_ptr<fuse::WindowTracker> fuse_tracker_;
+  /// Stores destroyed while a window was open: their release accounting is
+  /// deferred until the window (which may still read their views) flushes.
+  std::vector<std::pair<StoreId, double>> fuse_pending_release_;
+  long launches_applied_{0};         ///< mirrors met_.launches (fenced accessor)
+  long fuse_participants_{0};        ///< original launches folded into fused ones
+  long fuse_eliminated_launches_{0}; ///< participants minus fused launches
+
   // -- fault-tolerance state -------------------------------------------------
   std::unique_ptr<sim::FaultInjector> injector_;
   long task_seq_{0};   ///< deterministic point-task sequence number
@@ -561,6 +652,12 @@ class Runtime {
     /// path only, so they are Stable.
     metrics::Counter part_strategy_rows, part_strategy_nnz;
     metrics::Gauge part_imbalance_pct, part_max_work, part_mean_work;
+    /// Fusion-pass accounting (src/fuse): windows analyzed, original
+    /// launches folded into fused launches, launches eliminated, and
+    /// intermediate store round-trip bytes the fused chains no longer pay.
+    /// Bumped only in flush_fuse_window() on the control thread → Stable.
+    metrics::Counter fuse_windows, fuse_fused, fuse_eliminated,
+        fuse_bytes_saved;
   } met_;
 };
 

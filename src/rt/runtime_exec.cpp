@@ -24,6 +24,9 @@ void sync_for_access(const StoreImpl* impl) {
 using detail::LaunchRecord;
 
 void Runtime::sync_store_access(StoreId id) {
+  // An open fusion window holds launches whose writes have not happened yet:
+  // flush it before the caller observes (and integrity verifies) the bytes.
+  flush_fuse_window();
   if (opts_.integrity != Integrity::Off) {
     // External access verifies the bytes first (the caller is about to trust
     // them), then re-records: the returned span is mutable, so the runtime
@@ -35,33 +38,23 @@ void Runtime::sync_store_access(StoreId id) {
                        impl->data->size());
     }
   }
-  if (!pipeline_) return;
-  fence();
+  if (!pipeline_) {
+    // Sequential fusion mode still memoizes eager images off real bytes:
+    // the returned span is mutable, so they must not be reused.
+    if (fusion_on_) ++eager_epoch_[id];
+    return;
+  }
+  drain_sim_queue();
   // The returned span is mutable: assume the caller changes the bytes, so
   // eagerly computed images of this store must not be reused.
   ++eager_epoch_[id];
 }
 
 void Runtime::fence() {
-  if (draining_ || sim_queue_.empty()) return;
-  met_.fences.inc();  // Volatile: drain count depends on pipelining depth
-  draining_ = true;
-  try {
-    while (!sim_queue_.empty()) {
-      auto fn = std::move(sim_queue_.front());
-      sim_queue_.pop_front();
-      fn();
-    }
-  } catch (...) {
-    // Leave the remaining launches queued (a later fence continues the
-    // drain); hazard nodes may still be pending, so keep them too.
-    draining_ = false;
-    throw;
-  }
-  draining_ = false;
-  // Every queued launch waited on its node before replay, so all real work
-  // is finished: the hazard graph is fully retired.
-  hazards_.clear();
+  // Window flush first: it may enqueue the (fused) launch onto sim_queue_,
+  // which the drain then replays.
+  flush_fuse_window();
+  drain_sim_queue();
 }
 
 metrics::Snapshot Runtime::metrics_snapshot() {

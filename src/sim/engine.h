@@ -165,6 +165,11 @@ class Engine {
     met_.flips_injected.inc();
     if (recorder_.enabled()) mark(prof::Category::Integrity);
   }
+  /// Instant timeline marker: the runtime rewrote a launch window into one
+  /// fused launch (src/fuse).
+  void note_fused() {
+    if (recorder_.enabled()) mark(prof::Category::Fused);
+  }
   /// `latency` is simulated seconds between injection and detection (0 when
   /// the flip is caught at the very poll that injected it).
   void note_flip_detected(double latency) {

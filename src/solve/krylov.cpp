@@ -90,8 +90,15 @@ class Telemetry {
         p + "partition_nnz",
         "1 when the last solve's system matrix ran over the nnz-balanced "
         "row split (DESIGN.md section 12), 0 for the equal row split");
+    fused_fraction_ = reg.gauge(
+        p + "fused_fraction",
+        "fraction of the last solve's original launches that were folded "
+        "into fused launches (0 with fusion off; DESIGN.md section 13)");
     solves_.inc();
     t0_ = rt.sim_time();
+    base_applied_ = rt.launches_applied();
+    base_fused_ = rt.fused_participants();
+    base_eliminated_ = rt.fused_eliminated();
   }
 
   /// Record the system matrix's effective row-split strategy so convergence
@@ -112,14 +119,25 @@ class Telemetry {
     residual_.set(res.residual);
     converged_.set(res.converged ? 1.0 : 0.0);
     time_to_tol_.set(rt_.sim_time() - t0_);
+    // Fused fraction: of the original launches this solve issued (applied
+    // after fusion + eliminated), how many were folded into fused launches.
+    const double applied =
+        static_cast<double>(rt_.launches_applied() - base_applied_);
+    const double fused =
+        static_cast<double>(rt_.fused_participants() - base_fused_);
+    const double eliminated =
+        static_cast<double>(rt_.fused_eliminated() - base_eliminated_);
+    const double issued = applied + eliminated;
+    fused_fraction_.set(issued > 0 ? fused / issued : 0.0);
   }
 
  private:
   rt::Runtime& rt_;
   rt::ProvenanceScope scope_;
   double t0_{0};
+  long base_applied_{0}, base_fused_{0}, base_eliminated_{0};
   metrics::Counter solves_, iters_;
-  metrics::Gauge residual_, converged_, time_to_tol_, part_nnz_;
+  metrics::Gauge residual_, converged_, time_to_tol_, part_nnz_, fused_fraction_;
   metrics::Histogram res_log10_;
 };
 

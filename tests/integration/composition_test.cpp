@@ -187,7 +187,11 @@ TEST(Composition, Fig1ProgramMatchesSequentialPowerIteration) {
 TEST(Composition, MakespanAtLeastCriticalPathAndBusyTime) {
   sim::PerfParams pp;
   sim::Machine m = sim::Machine::gpus(4, pp);
-  rt::Runtime rt(m);
+  // The bound below prices each iadd as its own kernel + control-lane slot;
+  // fusion would legitimately collapse the chain under it, so pin it off.
+  rt::RuntimeOptions opts;
+  opts.fusion = rt::Fusion::Off;
+  rt::Runtime rt(m, opts);
   auto a = DArray::full(rt, 1 << 18, 1.0);
   auto b = DArray::full(rt, 1 << 18, 2.0);
   double t0 = rt.sim_time();
@@ -223,7 +227,11 @@ TEST_P(SpmvWeakScaling, FlatWithinTolerance) {
   int procs = GetParam();
   auto per_iter = [&](int p) {
     sim::Machine m = sim::Machine::gpus(p, pp);
-    rt::Runtime rt(m);
+    // The warm-up heuristic below issues no-op launches and expects each to
+    // advance the control lane individually; fusion would batch them.
+    rt::RuntimeOptions opts;
+    opts.fusion = rt::Fusion::Off;
+    rt::Runtime rt(m, opts);
     auto prob = apps::banded_matrix(20000 * p, 5);
     auto A = CsrMatrix::from_host(rt, prob.rows, prob.cols, prob.indptr,
                                   prob.indices, prob.values);

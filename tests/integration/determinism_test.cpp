@@ -215,6 +215,66 @@ TEST(Determinism, SolversBitIdenticalAcrossPartitionStrategies) {
   }
 }
 
+TEST(Determinism, SolversBitIdenticalAcrossFusionModes) {
+  // Fusion is a pure launch-stream rewrite: cg and gmres must produce the
+  // same solution bits with fusion off and on, under both partition
+  // strategies, at every thread count. Makespan and launch stats
+  // legitimately change (that is the point of fusing), so only solutions
+  // are compared across modes; within one (fusion, partition) cell the full
+  // signature must stay thread-invariant.
+  auto cg_run = [](rt::Fusion f, rt::PartitionStrategy s, int threads) {
+    sim::PerfParams pp;
+    rt::RuntimeOptions opts = threaded(threads);
+    opts.fusion = f;
+    opts.partition = s;
+    rt::Runtime rt(sim::Machine::gpus(4, pp), opts);
+    CsrMatrix A = poisson2d(rt, 18);
+    auto b = DArray::full(rt, A.rows(), 1.0);
+    auto res = solve::cg(A, b, 1e-10, 500);
+    EXPECT_TRUE(res.converged);
+    return finish(rt, res.x.to_vector(), res.iterations);
+  };
+  auto gmres_run = [](rt::Fusion f, rt::PartitionStrategy s, int threads) {
+    sim::PerfParams pp;
+    rt::RuntimeOptions opts = threaded(threads);
+    opts.fusion = f;
+    opts.partition = s;
+    rt::Runtime rt(sim::Machine::gpus(3, pp), opts);
+    auto prob = apps::banded_matrix(500, 2);
+    auto A = CsrMatrix::from_host(rt, prob.rows, prob.cols, prob.indptr,
+                                  prob.indices, prob.values);
+    auto b = DArray::random(rt, A.rows(), 5);
+    auto res = solve::gmres(A, b, 30, 1e-10, 400);
+    EXPECT_TRUE(res.converged);
+    return finish(rt, res.x.to_vector(), res.iterations);
+  };
+  using Runner =
+      std::function<RunSignature(rt::Fusion, rt::PartitionStrategy, int)>;
+  for (const Runner& run : {Runner(cg_run), Runner(gmres_run)}) {
+    RunSignature ref = run(rt::Fusion::Off, rt::PartitionStrategy::Rows, 1);
+    ASSERT_FALSE(ref.solution.empty());
+    for (rt::Fusion f : {rt::Fusion::Off, rt::Fusion::On}) {
+      for (rt::PartitionStrategy s :
+           {rt::PartitionStrategy::Rows, rt::PartitionStrategy::Nnz}) {
+        RunSignature cell1 = run(f, s, 1);
+        EXPECT_EQ(cell1.iterations, ref.iterations);
+        ASSERT_EQ(cell1.solution.size(), ref.solution.size());
+        EXPECT_EQ(std::memcmp(cell1.solution.data(), ref.solution.data(),
+                              ref.solution.size() * sizeof(double)),
+                  0)
+            << "solution bits diverged (fusion=" << rt::fusion_mode_name(f)
+            << ", strategy=" << static_cast<int>(s) << ")";
+        for (int threads : {4, 8}) {
+          EXPECT_EQ(cell1, run(f, s, threads))
+              << "(fusion=" << rt::fusion_mode_name(f)
+              << ", strategy=" << static_cast<int>(s)
+              << ") diverged at exec_threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
 TEST(Determinism, SequentialAndThreadedSpmvChainsMatch) {
   // Mixed sparse/dense iteration stream (the Fig. 5 steady-state loop) with
   // all stats compared, exercising image partitions and halo copies under

@@ -195,6 +195,41 @@ TEST(Util, AppendJsonStringEscapes) {
   EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001e\"");
 }
 
+TEST(Registry, SnapshotDeltaAndJsonEmitSortedKeyOrder) {
+  // Emission order must not leak registration order (which varies with
+  // runtime configuration): snapshot, delta, and the JSON exporter all list
+  // metrics sorted by name, so diffs of exported files are stable.
+  Registry reg;
+  Counter z = reg.counter("zz_last_total", "registered first");
+  Gauge m = reg.gauge("mm_middle", "registered second");
+  Counter a = reg.counter("aa_first_total", "registered last");
+  z.inc();
+  m.set(2);
+  a.inc(3);
+  Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "aa_first_total");
+  EXPECT_EQ(snap.metrics[1].name, "mm_middle");
+  EXPECT_EQ(snap.metrics[2].name, "zz_last_total");
+
+  z.inc(4);
+  Snapshot d = reg.snapshot().delta(snap);
+  ASSERT_EQ(d.metrics.size(), 3u);
+  EXPECT_EQ(d.metrics[0].name, "aa_first_total");
+  EXPECT_EQ(d.metrics[2].name, "zz_last_total");
+  EXPECT_DOUBLE_EQ(d.metrics[2].value, 4.0);
+
+  std::string json = snap.to_json();
+  auto pa = json.find("aa_first_total");
+  auto pm = json.find("mm_middle");
+  auto pz = json.find("zz_last_total");
+  ASSERT_NE(pa, std::string::npos);
+  ASSERT_NE(pm, std::string::npos);
+  ASSERT_NE(pz, std::string::npos);
+  EXPECT_LT(pa, pm);
+  EXPECT_LT(pm, pz);
+}
+
 // End-to-end: a runtime fence makes the stable counters visible via
 // Runtime::metrics_snapshot(), and the registry is per-engine (two runtimes
 // never share values).
@@ -221,7 +256,11 @@ TEST(RuntimeMetrics, SnapshotAfterWorkAndPerEngineIsolation) {
   Snapshot snap_b = rt_b.metrics_snapshot();
   const Snapshot::Metric* launches = snap_a.find("lsr_rt_launches_total");
   ASSERT_NE(launches, nullptr);
-  EXPECT_DOUBLE_EQ(launches->value, 3.0);
+  // With fusion on, the three back-to-back fills collapse into one fused
+  // launch; applied + eliminated always accounts for every original launch.
+  const Snapshot::Metric* elim = snap_a.find("lsr_fuse_launches_eliminated_total");
+  ASSERT_NE(elim, nullptr);
+  EXPECT_DOUBLE_EQ(launches->value + elim->value, 3.0);
   EXPECT_DOUBLE_EQ(snap_b.find("lsr_rt_launches_total")->value, 0.0);
 }
 

@@ -261,6 +261,36 @@ TEST(RecorderTest, ResetDropsEventsBusyAndTraffic) {
   EXPECT_TRUE(r.traffic().empty());
 }
 
+TEST(RecorderTest, FlushSinkRunsBeforeResetDropsEvents) {
+  Recorder r;
+  r.enable();
+  int flushed_events = -1;
+  int calls = 0;
+  r.set_flush_sink([&](const Recorder& rec) {
+    ++calls;
+    flushed_events = static_cast<int>(rec.events().size());
+  });
+  int t = r.track("p", 0);
+  r.record(Category::Kernel, t, 0.0, 1.0, -1.0, "a");
+  r.record(Category::Copy, t, 1.0, 2.0, -1.0, "b");
+  r.reset();
+  // The sink saw the events intact; the reset still dropped them after.
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(flushed_events, 2);
+  EXPECT_TRUE(r.events().empty());
+  // An empty window flushes nothing (no spurious empty trace exports).
+  r.reset();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RecorderTest, FlushSinkIgnoredWhileDisabled) {
+  Recorder r;  // never enabled: reset must not invoke the sink
+  int calls = 0;
+  r.set_flush_sink([&](const Recorder&) { ++calls; });
+  r.reset();
+  EXPECT_EQ(calls, 0);
+}
+
 // --- Analysis unit tests ---------------------------------------------------
 
 TEST(AnalysisTest, UtilizationSkipsIdleTracks) {

@@ -115,9 +115,14 @@ TEST(Recovery, InertInjectorMatchesDisabledMakespan) {
     run_sum(rt, b);
     return rt.engine().makespan();
   };
-  Runtime plain(m);
+  // Fusion off on both sides: fault injection disables fusion, and this test
+  // measures injector inertness, not window rewriting.
+  RuntimeOptions plain_opts;
+  plain_opts.fusion = rt::Fusion::Off;
+  Runtime plain(m, plain_opts);
   double t_plain = workload(plain);
   RuntimeOptions opts;
+  opts.fusion = rt::Fusion::Off;
   opts.faults.enabled = true;  // enabled but with nothing scheduled
   Runtime inert(m, opts);
   double t_inert = workload(inert);
