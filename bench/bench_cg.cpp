@@ -65,6 +65,7 @@ LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& poin
   lsr_bench::metrics_end(runtime, point, mbase, sim_per_iter);
   lsr_bench::profile_end(runtime.engine(), point);
   lsr_bench::note_fusion(point, runtime);
+  lsr_bench::diag_point_end(runtime, point);
   return {sim_per_iter, wall};
 }
 

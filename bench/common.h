@@ -21,6 +21,7 @@
 
 #include <fstream>
 
+#include "diag/diag.h"
 #include "metrics/metrics.h"
 #include "prof/analysis.h"
 #include "prof/trace.h"
@@ -52,6 +53,12 @@ namespace lsr_bench {
 //                                    bit-identical at any --threads value);
 //                                    compared against the committed
 //                                    BENCH_*.json by scripts/bench_compare.py
+//   bench_cg --dump-on-exit          write an lsr_diag post-mortem dump at
+//                                    the end of every point (implies
+//                                    LSR_DIAG=on); summarize the file with
+//                                    scripts/diagnose.py
+//   bench_cg --log-level info        lsr_diag stderr verbosity
+//                                    (silent|warn|info|debug; LSR_DIAG_LOG)
 // ---------------------------------------------------------------------------
 
 struct ProfOptions {
@@ -66,6 +73,12 @@ struct ProfOptions {
   /// --fuse off|on|auto launch-window fusion mode for the Legate runtime
   /// points (Unset: the runtime falls back to LSR_FUSE, then off).
   legate::rt::Fusion fusion = legate::rt::Fusion::Unset;
+  /// --dump-on-exit: write an lsr_diag post-mortem dump at the end of each
+  /// profiled point, even without a watchdog trip (implies LSR_DIAG=on for
+  /// the benchmark's runtimes unless the env says otherwise).
+  bool dump_on_exit = false;
+  /// --log-level silent|warn|info|debug: lsr_diag stderr verbosity.
+  std::string log_level;
 };
 
 inline ProfOptions& prof_options() {
@@ -109,11 +122,21 @@ inline void init_prof_flags(int* argc, char** argv) {
         std::cerr << "warning: unknown --fuse value '" << v6
                   << "' (expected off|on|auto), using the runtime default\n";
       }
+    } else if (a == "--dump-on-exit") {
+      po.dump_on_exit = true;
+    } else if (const char* v7 = value_of("--log-level")) {
+      po.log_level = v7;
+      legate::diag::set_log_level(legate::diag::parse_log_level(v7));
     } else {
       argv[out++] = argv[i];
     }
   }
   *argc = out;
+  if (po.dump_on_exit) {
+    // The exit dump should carry flight-recorder events, so make sure the
+    // recorder is on unless the environment explicitly chose a mode.
+    ::setenv("LSR_DIAG", "on", /*overwrite=*/0);
+  }
 }
 
 /// Executor threads requested with --threads (0: let the runtime read
@@ -157,6 +180,16 @@ inline void note_fusion(const std::string& point, legate::rt::Runtime& rt) {
   auto& c = extra_counters()[point];
   c["fused_launches"] = static_cast<double>(rt.fused_participants());
   c["fused_eliminated"] = static_cast<double>(rt.fused_eliminated());
+}
+
+/// Write an lsr_diag post-mortem dump for a finished point when
+/// --dump-on-exit was given (fences first; see Runtime::diag_dump). The dump
+/// lands in LSR_DIAG_DIR (default: the working directory) and is summarized
+/// by scripts/diagnose.py.
+inline void diag_point_end(legate::rt::Runtime& rt, const std::string& point) {
+  if (!prof_options().dump_on_exit || point.empty()) return;
+  const std::string path = rt.diag_dump("exit:" + point);
+  if (!path.empty()) std::cerr << "diag dump written to " << path << "\n";
 }
 
 /// Monotonic wall-clock seconds (for the real-execution speedup counters).

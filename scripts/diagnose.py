@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Summarize an lsr_diag post-mortem dump (lsr_dump_*.json).
+
+Usage:
+    diagnose.py DUMP.json [--last N] [--expect-suspect SUBSTR]
+
+Prints a human-readable post-mortem: the dump header (reason, mode, clocks),
+the suspect block (in-flight launch, lost node, poisoned store), the progress
+board, exec-pool occupancy, the last N events per ring, and notable metrics.
+
+Exit codes:
+    0   dump parsed and summarized (and --expect-suspect matched, if given)
+    1   --expect-suspect was given and nothing in the suspect block matched
+    2   the file is missing, unreadable, or not a schema-1 lsr_diag dump
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> "sys.NoReturn":
+    print(f"diagnose.py: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_dump(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            d = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    if not isinstance(d, dict) or d.get("tool") != "lsr_diag":
+        fail(f"{path} is not an lsr_diag dump (missing tool tag)")
+    if d.get("schema") != 1:
+        fail(f"{path} has unsupported schema {d.get('schema')!r} (expected 1)")
+    return d
+
+
+def fmt_time(ev: dict) -> str:
+    sim = ev.get("sim", -1)
+    if sim is not None and sim >= 0:
+        return f"sim={sim:.6g}s"
+    return f"wall={ev.get('wall', 0):.6g}s"
+
+
+def print_events(dump: dict, last_n: int) -> None:
+    events = dump.get("events", [])
+    rings = dump.get("rings", [])
+    by_ring: dict = {name: [] for name in rings}
+    for ev in events:
+        ring = ev.get("ring", "?")
+        if isinstance(ring, int) and 0 <= ring < len(rings):
+            ring = rings[ring]  # events reference rings by index
+        by_ring.setdefault(str(ring), []).append(ev)
+    print(f"events ({len(events)} drained, last {last_n} per ring):")
+    for name in sorted(by_ring):
+        evs = by_ring[name]
+        print(f"  ring {name}: {len(evs)} events")
+        for ev in evs[-last_n:]:
+            label = ev.get("label", "")
+            kind = ev.get("kind", "?")
+            extra = ""
+            a, b, v = ev.get("a", 0), ev.get("b", 0), ev.get("v", 0)
+            if a or b:
+                extra += f" a={a} b={b}"
+            if v:
+                extra += f" v={v:.6g}"
+            print(f"    #{ev.get('seq', '?'):>6} {fmt_time(ev):>18} "
+                  f"{kind:<12} {label}{extra}")
+
+
+def print_metrics(dump: dict) -> None:
+    snap = dump.get("metrics")
+    if not snap:
+        return
+    interesting = [m for m in snap.get("metrics", [])
+                   if m.get("name", "").startswith(("lsr_diag_", "lsr_fault_",
+                                                    "lsr_integrity_",
+                                                    "lsr_launches", "lsr_fences"))]
+    if not interesting:
+        return
+    print("metrics highlights:")
+    for m in interesting:
+        val = m.get("value", m.get("count", ""))
+        print(f"  {m.get('name')}: {val}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("dump", help="lsr_dump_*.json file to summarize")
+    ap.add_argument("--last", type=int, default=10, metavar="N",
+                    help="events shown per ring (default 10)")
+    ap.add_argument("--expect-suspect", default=None, metavar="SUBSTR",
+                    help="exit 1 unless the suspect block mentions SUBSTR")
+    args = ap.parse_args()
+
+    dump = load_dump(args.dump)
+    suspect = dump.get("suspect", {})
+    board = dump.get("board", {})
+    pool = dump.get("pool", {})
+    counters = dump.get("counters", {})
+
+    print(f"lsr_diag dump: {args.dump}")
+    print(f"  reason: {dump.get('reason', '?')}   mode: {dump.get('mode', '?')}")
+    clocks = f"  wall: {dump.get('wall_seconds', 0):.6g}s"
+    if "sim_seconds" in dump:
+        clocks += f"   sim: {dump['sim_seconds']:.6g}s"
+    print(clocks)
+
+    print("suspect:")
+    launch = suspect.get("launch", "")
+    state = "in flight" if suspect.get("active") else "last retired"
+    print(f"  launch: {launch or '<none>'} ({state}, "
+          f"{suspect.get('pending', 0)} deferred)")
+    if suspect.get("node_lost"):
+        print(f"  node: {suspect.get('node')} (LOST to fault injection)")
+    else:
+        print(f"  node: {suspect.get('node', 0)}")
+    if "store" in suspect:
+        print(f"  store: {suspect['store']} (poisoned)")
+
+    print("board:")
+    print(f"  launches replayed: {board.get('launches', 0)}   "
+          f"pending: {board.get('pending', 0)}   "
+          f"open fusion window: {board.get('open_window', 0)}")
+    print(f"  partition: {board.get('partition', '?')}   "
+          f"poisoned stores: {board.get('poisoned_stores', 0)}")
+
+    if pool.get("valid"):
+        print(f"pool: queued={pool.get('queued', 0)} "
+              f"running={pool.get('running', 0)} "
+              f"completed={pool.get('completed', 0)}")
+        if pool.get("queued", 0) > 0 and pool.get("running", 0) == 0:
+            print("  !! ready work queued with no worker running "
+                  "(deadlock signature)")
+    else:
+        print("pool: not attached (sequential run)")
+
+    print(f"counters: events={counters.get('events_total', 0)} "
+          f"watchdog_trips={counters.get('watchdog_trips', 0)} "
+          f"dumps={counters.get('dumps_written', 0)}")
+
+    print_events(dump, max(1, args.last))
+    print_metrics(dump)
+
+    if args.expect_suspect is not None:
+        hay = json.dumps(suspect)
+        if args.expect_suspect not in hay:
+            print(f"diagnose.py: expected suspect '{args.expect_suspect}' "
+                  f"not found in {hay}", file=sys.stderr)
+            return 1
+        print(f"expect-suspect: '{args.expect_suspect}' matched")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

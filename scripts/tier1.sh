@@ -20,7 +20,10 @@
 # the default preset (the asan/tsan presets pin their own thread counts but
 # still inherit LSR_PARTITION). LSR_FUSE=off|on|auto likewise selects the
 # launch-window fusion mode for every preset — CI runs tier-1 and tsan legs
-# with LSR_FUSE=on (DESIGN.md §13).
+# with LSR_FUSE=on (DESIGN.md §13). LSR_DIAG=off|on|abort-on-hang turns the
+# lsr_diag flight recorder + watchdog on for every test run (DESIGN.md §14)
+# — CI runs a tier-1 leg with LSR_DIAG=on to prove recording perturbs
+# nothing; the tsan preset exercises the diag rings under ThreadSanitizer.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +32,9 @@ if [ -n "${LSR_PARTITION:-}" ]; then
 fi
 if [ -n "${LSR_FUSE:-}" ]; then
   echo "tier1: LSR_FUSE=${LSR_FUSE} (passed through to all presets)"
+fi
+if [ -n "${LSR_DIAG:-}" ]; then
+  echo "tier1: LSR_DIAG=${LSR_DIAG} (passed through to all presets)"
 fi
 
 run_default() {
@@ -39,20 +45,24 @@ run_default() {
 
 run_asan() {
   cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_SANITIZE=ON
-  cmake --build build-sanitize -j --target util_tests rt_tests integrity_tests
+  cmake --build build-sanitize -j --target util_tests rt_tests integrity_tests diag_tests
   ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/util_tests
   ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/rt_tests
   ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/integrity_tests
+  ASAN_OPTIONS=detect_leaks=0 ./build-sanitize/tests/diag_tests
 }
 
 run_tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_TSAN=ON
-  cmake --build build-tsan -j --target exec_tests rt_tests metrics_tests integrity_tests fuse_tests
+  cmake --build build-tsan -j --target exec_tests rt_tests metrics_tests integrity_tests fuse_tests diag_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/exec_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/rt_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/metrics_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/integrity_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/fuse_tests
+  # Diag rings + watchdog under TSan with a live pool: the seqlock reader
+  # and the reset/join paths must be data-race-free (satellite a).
+  LSR_EXEC_THREADS=4 LSR_DIAG=on ./build-tsan/tests/diag_tests
 }
 
 presets=()

@@ -1,0 +1,407 @@
+#pragma once
+
+// legate::diag — always-on flight recorder, watchdog, and post-mortem dumps
+// (lsr_diag). Third leg of the observability stack next to legate::prof
+// (opt-in timelines) and legate::metrics (always-on aggregates): it answers
+// "what was the system doing in the last N events before it died or hung?".
+//
+// Model: per-thread lock-free bounded ring buffers of compact structured
+// events. The deterministic control path (the sequential launch replay)
+// records into a dedicated "sim" ring; every other thread — pool workers,
+// the watchdog itself — gets its own ring on first use. Writers are
+// single-producer per ring and never block; readers (dumps) are rare,
+// best-effort seqlock scans that can run while writers are live, which is
+// exactly the post-mortem situation. Recording never touches simulated
+// state, so simulated times, stats and every Stable metric are bit-identical
+// with diag on or off (the determinism argument in DESIGN.md §14).
+//
+// Gate via rt::RuntimeOptions::diag or LSR_DIAG (`off|on|abort-on-hang`).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace legate::diag {
+
+class Watchdog;
+
+// ---------------------------------------------------------------------------
+// Mode / options / logging
+// ---------------------------------------------------------------------------
+
+/// Diagnostics gate. `AbortOnHang` behaves like `On` but additionally calls
+/// std::abort() after a stall/deadlock watchdog trip has written its dump.
+enum class Mode {
+  Unset,  ///< read LSR_DIAG (`off|on|abort-on-hang`), defaulting to Off
+  Off,
+  On,
+  AbortOnHang,
+};
+
+/// Parse `off|0|on|1|abort-on-hang|abort` (anything else = Unset → default).
+[[nodiscard]] Mode parse_mode(const char* s);
+[[nodiscard]] const char* mode_name(Mode m);
+
+/// Stderr verbosity of the diag subsystem (watchdog trips, dump paths).
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+[[nodiscard]] LogLevel parse_log_level(const char* s);
+/// Process-wide level; initialized from LSR_DIAG_LOG (default warn).
+void set_log_level(LogLevel lvl);
+[[nodiscard]] LogLevel log_level();
+/// printf-style message to stderr when `lvl` <= the active level.
+void logf(LogLevel lvl, const char* fmt, ...);
+
+/// Recorder / watchdog tuning. Tests set fields directly; CLI users tune via
+/// the LSR_DIAG_* environment variables (see from_env).
+struct Options {
+  /// Events retained per ring (rounded up to a power of two). The sim ring
+  /// and every per-thread ring use the same bound.
+  std::size_t ring_capacity{4096};
+  /// Run the background watchdog thread (stall / deadlock detection).
+  bool watchdog{true};
+  /// Wall seconds without progress while work is pending before the
+  /// watchdog declares a stall.
+  double stall_deadline_s{5.0};
+  /// Watchdog sampling period (wall seconds).
+  double poll_interval_s{0.05};
+  /// Solver iterations without a relative residual improvement of at least
+  /// `divergence_rtol` before the divergence watchdog trips.
+  int divergence_window{100};
+  double divergence_rtol{1e-3};
+  /// Write a post-mortem dump when a watchdog (stall/deadlock/divergence)
+  /// trips.
+  bool dump_on_trip{true};
+  /// Directory for lsr_dump_<ts>.json files; empty = LSR_DIAG_DIR, else ".".
+  std::string dump_dir{};
+
+  /// Defaults overlaid with LSR_DIAG_RING / LSR_DIAG_STALL_S /
+  /// LSR_DIAG_POLL_S / LSR_DIAG_DIVERGENCE_WINDOW / LSR_DIAG_DIR.
+  [[nodiscard]] static Options from_env();
+};
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// What a flight-recorder event records. Kinds tagged [stable] are only ever
+/// recorded on the deterministic control path (FlightRecorder::record);
+/// the rest may come from any thread (record_thread).
+enum class EventKind : std::uint8_t {
+  Launch,        ///< [stable] a launch entered the simulated replay
+  Retire,        ///< [stable] the launch's replay finished (v = sim done)
+  LeafExec,      ///< real leaf bodies of a launch ran (worker or control)
+  Fence,         ///< a pipeline drain completed (a = launches replayed)
+  WindowFlush,   ///< [stable] a fusion window flushed (a = window size)
+  FuseDecision,  ///< [stable] fusion verdict (a = folded, b = eliminated)
+  Copy,          ///< [stable] simulated copy (a = src mem, b = dst, v = bytes)
+  Fault,         ///< [stable] fault injected
+  Retry,         ///< [stable] point-task retry scheduled
+  NodeLoss,      ///< [stable] whole-node loss (a = node)
+  Checkpoint,    ///< [stable] checkpoint write (v = bytes)
+  Restore,       ///< [stable] restore read (v = bytes)
+  Integrity,     ///< [stable] integrity verdict (a: 0 inj / 1 det / 2 rec)
+  Poison,        ///< [stable] a store was poisoned (a = store id)
+  SolverIter,    ///< [stable] solver iteration (a = iter, v = residual)
+  Spill,         ///< [stable] allocation spilled under OOM pressure
+  Stall,         ///< an injected/observed execution stall (v = seconds)
+  WatchdogTrip,  ///< a watchdog fired (label = stall|deadlock|divergence)
+  Dump,          ///< a post-mortem dump was written
+  Mark,          ///< generic marker
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind k);
+
+/// One compact recorded event; 80 bytes, trivially copyable (events are
+/// serialized through the ring slots as raw 64-bit words).
+struct Event {
+  double t_sim{-1};      ///< simulated seconds at record time; -1 off-path
+  double wall{0};        ///< wall seconds since the recorder epoch
+  std::uint64_t seq{0};  ///< global record order (monotone across rings)
+  std::int64_t a{0};     ///< payload (node, store id, colors, iteration, ...)
+  std::int64_t b{0};
+  double v{0};           ///< payload value (bytes, residual, seconds)
+  EventKind kind{EventKind::Mark};
+  char label[31]{};      ///< truncated NUL-terminated name
+};
+static_assert(sizeof(Event) == 80, "Event must stay 10 words");
+static_assert(std::is_trivially_copyable_v<Event>);
+
+// ---------------------------------------------------------------------------
+// Ring — bounded single-producer ring of events with seqlock slots
+// ---------------------------------------------------------------------------
+
+/// Bounded overwrite-oldest event ring. push() is owner-thread only and
+/// lock-free; drain() may run from any thread concurrently with the writer
+/// (per-slot seqlock: torn slots are skipped, which is acceptable for the
+/// post-mortem read side). All payload accesses go through atomics, so
+/// concurrent drains are data-race-free (TSan-clean) by construction.
+class Ring {
+ public:
+  Ring(std::size_t capacity, std::string name);
+
+  /// Append one event, overwriting the oldest when full. Owner thread only.
+  /// Returns true when the push overwrote a live (post-floor) event — i.e.
+  /// the bounded ring dropped history.
+  bool push(const Event& e);
+
+  /// Copy out the resident events, oldest first, skipping any slot the
+  /// writer is mid-update on. Safe from any thread. Events with seq below
+  /// `min_seq` are filtered (Engine::reset raises the floor instead of
+  /// touching live slots).
+  [[nodiscard]] std::vector<Event> drain(std::uint64_t min_seq = 0) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t pushed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Events currently resident above the floor (bounded by capacity).
+  [[nodiscard]] std::uint64_t resident() const;
+  /// Declare the ring logically empty without touching live slots (reset).
+  void set_floor_head();
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr std::size_t kWords = sizeof(Event) / sizeof(std::uint64_t);
+  struct Slot {
+    std::atomic<std::uint64_t> sq{0};
+    std::atomic<std::uint64_t> w[kWords] = {};
+  };
+
+  std::string name_;
+  std::size_t capacity_;  ///< power of two
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};        ///< next write position (monotone)
+  std::atomic<std::uint64_t> floor_head_{0};  ///< head at the last reset
+  std::atomic<std::uint64_t> dropped_{0};     ///< live events overwritten
+};
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+/// Executor-pool status sampled by the watchdog (exec::Pool::status adapted;
+/// `valid` is false when the runtime runs without a pool).
+struct PoolStatus {
+  long queued{0};     ///< tasks parked in the deques
+  long running{0};    ///< tasks currently executing
+  long completed{0};  ///< tasks finished since pool start
+  bool valid{false};
+};
+
+/// Stable metric handles bumped by the recorder (registered by the Engine on
+/// its registry; default-constructed handles are inert, so a bare recorder
+/// needs no registry). See DESIGN.md §14 for the stability argument.
+struct MetricHooks {
+  metrics::Counter events_recorded;   ///< Stable: replay-path events
+  metrics::Counter events_dropped;    ///< Stable: sim-ring overwrites
+  metrics::Counter thread_events;     ///< Volatile: per-thread/wall events
+  metrics::Counter thread_dropped;    ///< Volatile: thread-ring overwrites
+  metrics::Counter watchdog_trips;    ///< Stable (zero in any healthy run)
+  metrics::Counter dumps_written;     ///< Stable (zero in any healthy run)
+  metrics::Gauge ring_high_water;     ///< Volatile: max events resident
+};
+
+/// The always-on flight recorder: owns the rings, the control-path "board"
+/// (what is in flight right now), the watchdog, and the dump trigger state.
+/// One recorder per sim::Engine, mirroring prof::Recorder and
+/// metrics::Registry.
+class FlightRecorder {
+ public:
+  FlightRecorder();
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// (Re)configure: sets mode/options, resets the wall epoch, and
+  /// stops/starts the watchdog thread accordingly. Engine construction
+  /// configures from the environment; rt::Runtime reconfigures from
+  /// RuntimeOptions. Also installs the process fatal-signal dump handler
+  /// the first time any recorder turns on.
+  void configure(Mode mode, Options o);
+
+  [[nodiscard]] bool enabled() const {
+    return on_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] bool abort_on_hang() const { return mode_ == Mode::AbortOnHang; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Wall seconds since the recorder epoch (configure time).
+  [[nodiscard]] double wall_now() const;
+
+  // -- recording ------------------------------------------------------------
+  /// Record a deterministic replay-path event into the sim ring. Control
+  /// thread only (the sequential launch replay); counted by the Stable
+  /// lsr_diag_events_recorded/_dropped metrics. `t_sim` is read from the
+  /// engine's makespan via set_sim_clock.
+  void record(EventKind k, std::string_view label, std::int64_t a = 0,
+              std::int64_t b = 0, double v = 0);
+  /// Record a wall-clock event from any thread into that thread's ring
+  /// (created on first use). Counted by the Volatile thread-event metrics.
+  void record_thread(EventKind k, std::string_view label, std::int64_t a = 0,
+                     std::int64_t b = 0, double v = 0);
+
+  /// Bind the simulated clock sampled by record(). The pointee is only read
+  /// on the control thread (record() is control-path only), so no
+  /// synchronization is needed.
+  void set_sim_clock(const double* makespan) { sim_clock_ = makespan; }
+
+  // -- control-path board (what is in flight right now) ----------------------
+  /// Mark a launch as entering / leaving the sequential replay. The board is
+  /// what dumps report as the suspect in-flight launch.
+  void begin_launch(std::string_view name, long pending);
+  void end_launch();
+  void note_window(std::size_t open_window);
+  void note_poison(std::uint64_t store);
+  void note_node_loss(int node);
+  void note_partition_nnz(bool nnz);
+
+  struct Board {
+    std::string last_launch;      ///< name of the most recent replayed launch
+    bool active{false};           ///< a launch is inside the replay right now
+    long pending{0};              ///< deferred launches at last begin_launch
+    long launches{0};             ///< launches replayed so far
+    std::size_t window{0};        ///< open fusion-window size
+    long poisoned{0};             ///< stores poisoned so far
+    std::uint64_t last_poisoned{0};
+    int lost_node{-1};
+    bool partition_nnz{false};
+  };
+  [[nodiscard]] Board board() const;
+
+  // -- watchdog feed ---------------------------------------------------------
+  /// Bumped whenever forward progress happens (a launch replayed, a leaf
+  /// batch finished, a fence drained). The watchdog trips when this counter
+  /// stops moving while work is pending.
+  void progress() { progress_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t progress_count() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+  /// Executor-pool probe for deadlock classification; pass nullptr before
+  /// destroying the pool. Blocks until any in-flight watchdog sample that
+  /// uses the previous probe has finished.
+  void set_pool_status(std::function<PoolStatus()> fn);
+  [[nodiscard]] PoolStatus pool_status() const;
+
+  /// A watchdog fired (`what` = stall|deadlock|divergence): records the
+  /// event, bumps the trip metric, logs, writes a dump (per options), and —
+  /// for stall/deadlock under AbortOnHang — aborts the process.
+  void trip(const char* what, std::string_view detail);
+  [[nodiscard]] std::uint64_t trips() const {
+    return trips_.load(std::memory_order_relaxed);
+  }
+
+  // -- drains & dumps --------------------------------------------------------
+  struct Drained {
+    std::vector<std::string> rings;  ///< ring names, index referenced below
+    /// (ring index, event), merged across rings and sorted by (wall, seq)
+    /// so dump timelines are monotonic even when rings drain out of order.
+    std::vector<std::pair<int, Event>> events;
+  };
+  [[nodiscard]] Drained drain() const;
+
+  /// Serialize the drained recorder, a metrics snapshot, the board, and the
+  /// pool status into a versioned lsr_dump_<ts>.json in the dump directory.
+  /// Returns the path ("" on write failure). Safe from any thread.
+  std::string dump(const std::string& reason);
+  [[nodiscard]] std::uint64_t dumps_written() const {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+  /// Metrics registry snapshotted into dumps (the engine's).
+  void set_registry(const metrics::Registry* reg) { registry_ = reg; }
+  void set_metrics(MetricHooks m) { met_ = m; }
+
+  /// Drain-and-drop for Engine::reset: runs the flush sink (if any events
+  /// are resident), raises the event floor so drains start empty, resets the
+  /// board, and joins + restarts the watchdog so no background thread leaks
+  /// across resets (the prof flush-sink contract, extended to threads).
+  void reset();
+
+  /// Install a pre-reset export hook (mirrors prof::Recorder).
+  void set_flush_sink(std::function<void(FlightRecorder&)> sink) {
+    flush_sink_ = std::move(sink);
+  }
+
+  /// Total events pushed across all rings (diagnostic/test hook).
+  [[nodiscard]] std::uint64_t events_recorded() const;
+
+ private:
+  friend class Watchdog;
+  Ring* thread_ring();
+  void start_watchdog();
+  void stop_watchdog();
+  void update_high_water();
+
+  std::atomic<bool> on_{false};
+  Mode mode_{Mode::Off};
+  Options opts_{};
+  const double* sim_clock_{nullptr};
+  std::chrono::steady_clock::time_point epoch_{};
+  std::uint64_t uid_{0};  ///< process-unique id keying thread-local caches
+
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<std::uint64_t> floor_{0};  ///< reset() raises; drains filter
+  mutable std::mutex rings_mu_;          ///< guards ring registration
+  std::unique_ptr<Ring> sim_ring_;
+  std::vector<std::unique_ptr<Ring>> thread_rings_;
+
+  mutable std::mutex board_mu_;
+  Board board_;
+
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<std::uint64_t> trips_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+  mutable std::mutex pool_mu_;
+  std::function<PoolStatus()> pool_status_;
+
+  std::unique_ptr<Watchdog> watchdog_;
+  std::mutex dump_mu_;
+  const metrics::Registry* registry_{nullptr};
+  MetricHooks met_{};
+  std::function<void(FlightRecorder&)> flush_sink_;
+};
+
+// ---------------------------------------------------------------------------
+// DivergenceGuard — deterministic solver-stagnation watchdog
+// ---------------------------------------------------------------------------
+
+/// Control-thread divergence/stagnation detector fed by solver telemetry:
+/// trips when the best residual has not improved by `divergence_rtol`
+/// (relative) for `divergence_window` consecutive iterations. Runs on the
+/// sequential control path against bit-identical residuals, so trip counts
+/// are deterministic at any exec thread count (unlike the wall-clock
+/// watchdog). A non-finite residual (breakdown) never counts as progress.
+class DivergenceGuard {
+ public:
+  DivergenceGuard(FlightRecorder& rec, const char* solver)
+      : rec_(rec), solver_(solver) {}
+
+  /// Observe one iteration's residual; returns true if this call tripped.
+  bool observe(int iteration, double residual);
+
+  [[nodiscard]] bool tripped() const { return tripped_; }
+
+ private:
+  FlightRecorder& rec_;
+  const char* solver_;
+  double best_{-1};
+  int since_improve_{0};
+  bool tripped_{false};
+};
+
+}  // namespace legate::diag

@@ -1,0 +1,241 @@
+#include "diag/dump.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "diag/diag.h"
+
+namespace legate::diag {
+
+// ---------------------------------------------------------------------------
+// JSON helpers (append into a growing string; doubles with round-trip
+// precision, shared string escaping from lsr_metrics)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, const std::string& v,
+               bool comma = true) {
+  metrics::append_json_string(out, key);
+  out += ':';
+  metrics::append_json_string(out, v);
+  if (comma) out += ',';
+}
+
+void append_kv(std::string& out, const char* key, double v, bool comma = true) {
+  metrics::append_json_string(out, key);
+  out += ':';
+  append_double(out, v);
+  if (comma) out += ',';
+}
+
+void append_kv(std::string& out, const char* key, long long v,
+               bool comma = true) {
+  metrics::append_json_string(out, key);
+  out += ':';
+  out += std::to_string(v);
+  if (comma) out += ',';
+}
+
+void append_kv(std::string& out, const char* key, bool v, bool comma = true) {
+  metrics::append_json_string(out, key);
+  out += v ? ":true" : ":false";
+  if (comma) out += ',';
+}
+
+std::string dump_file_name(std::uint64_t ordinal) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(now);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "lsr_dump_%lld_%llu.json",
+                static_cast<long long>(ns.count()),
+                static_cast<unsigned long long>(ordinal));
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FlightRecorder::dump
+// ---------------------------------------------------------------------------
+
+std::string FlightRecorder::dump(const std::string& reason) {
+  std::lock_guard<std::mutex> lk(dump_mu_);
+  const Drained d = drain();
+  const Board bd = board();
+  const PoolStatus pool = pool_status();
+
+  std::string j;
+  j.reserve(4096 + d.events.size() * 140);
+  j += '{';
+  append_kv(j, "schema", static_cast<long long>(kDumpSchema));
+  append_kv(j, "tool", std::string("lsr_diag"));
+  append_kv(j, "reason", reason);
+  append_kv(j, "mode", std::string(mode_name(mode_)));
+  append_kv(j, "wall_seconds", wall_now());
+  if (sim_clock_ != nullptr) append_kv(j, "sim_seconds", *sim_clock_);
+
+  // The suspect block is what diagnose.py leads with: the launch that was in
+  // flight (or most recently replayed), the node lost to fault injection (or
+  // the home node when none was), and the last poisoned store if any.
+  j += "\"suspect\":{";
+  append_kv(j, "launch", bd.last_launch);
+  append_kv(j, "active", bd.active);
+  append_kv(j, "node",
+            static_cast<long long>(bd.lost_node >= 0 ? bd.lost_node : 0));
+  append_kv(j, "node_lost", bd.lost_node >= 0);
+  if (bd.poisoned > 0)
+    append_kv(j, "store", static_cast<long long>(bd.last_poisoned));
+  append_kv(j, "pending", static_cast<long long>(bd.pending), false);
+  j += "},";
+
+  j += "\"board\":{";
+  append_kv(j, "last_launch", bd.last_launch);
+  append_kv(j, "active", bd.active);
+  append_kv(j, "pending", static_cast<long long>(bd.pending));
+  append_kv(j, "launches", static_cast<long long>(bd.launches));
+  append_kv(j, "open_window", static_cast<long long>(bd.window));
+  append_kv(j, "partition",
+            std::string(bd.partition_nnz ? "nnz-balanced" : "row-blocks"));
+  append_kv(j, "poisoned_stores", static_cast<long long>(bd.poisoned));
+  append_kv(j, "last_poisoned_store", static_cast<long long>(bd.last_poisoned));
+  append_kv(j, "lost_node", static_cast<long long>(bd.lost_node), false);
+  j += "},";
+
+  j += "\"pool\":{";
+  append_kv(j, "valid", pool.valid);
+  append_kv(j, "queued", static_cast<long long>(pool.queued));
+  append_kv(j, "running", static_cast<long long>(pool.running));
+  append_kv(j, "completed", static_cast<long long>(pool.completed), false);
+  j += "},";
+
+  j += "\"counters\":{";
+  append_kv(j, "events_total",
+            static_cast<long long>(events_recorded()));
+  append_kv(j, "watchdog_trips", static_cast<long long>(trips()));
+  append_kv(j, "dumps_written", static_cast<long long>(dumps_written()), false);
+  j += "},";
+
+  j += "\"rings\":[";
+  for (std::size_t i = 0; i < d.rings.size(); ++i) {
+    if (i > 0) j += ',';
+    metrics::append_json_string(j, d.rings[i]);
+  }
+  j += "],";
+
+  // Events merged across rings, already sorted by (wall, seq) in drain(), so
+  // the timeline reads monotonically.
+  j += "\"events\":[";
+  for (std::size_t i = 0; i < d.events.size(); ++i) {
+    if (i > 0) j += ',';
+    const Event& e = d.events[i].second;
+    j += '{';
+    append_kv(j, "ring", static_cast<long long>(d.events[i].first));
+    append_kv(j, "seq", static_cast<long long>(e.seq));
+    append_kv(j, "wall", e.wall);
+    append_kv(j, "sim", e.t_sim);
+    append_kv(j, "kind", std::string(event_kind_name(e.kind)));
+    append_kv(j, "label", std::string(e.label));
+    append_kv(j, "a", static_cast<long long>(e.a));
+    append_kv(j, "b", static_cast<long long>(e.b));
+    append_kv(j, "v", e.v, false);
+    j += '}';
+  }
+  j += "],";
+
+  metrics::append_json_string(j, "metrics");
+  j += ':';
+  j += registry_ != nullptr ? registry_->snapshot().to_json(false) : "null";
+  j += '}';
+
+  std::string dir = opts_.dump_dir.empty() ? "." : opts_.dump_dir;
+  ::mkdir(dir.c_str(), 0777);  // best effort; EEXIST is the common case
+  const std::string path =
+      dir + "/" + dump_file_name(dumps_.load(std::memory_order_relaxed));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    logf(LogLevel::Warn, "failed to open dump file %s", path.c_str());
+    return "";
+  }
+  const std::size_t wrote = std::fwrite(j.data(), 1, j.size(), f);
+  std::fclose(f);
+  if (wrote != j.size()) {
+    logf(LogLevel::Warn, "short write on dump file %s", path.c_str());
+    return "";
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  met_.dumps_written.inc();
+  record_thread(EventKind::Dump, reason);
+  logf(LogLevel::Info, "wrote dump %s (%zu events, reason: %s)", path.c_str(),
+       d.events.size(), reason.c_str());
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-signal dumps
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::mutex g_crash_mu;
+std::vector<FlightRecorder*> g_crash_recorders;
+std::atomic<bool> g_handlers_installed{false};
+std::atomic<bool> g_fatal_dump_done{false};
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+void crash_handler(int sig) {
+  // Restore default disposition first so any crash inside the handler (or
+  // the re-raise below) terminates instead of recursing.
+  std::signal(sig, SIG_DFL);
+  if (!g_fatal_dump_done.exchange(true, std::memory_order_acq_rel)) {
+    // Deliberately best-effort: this allocates and locks, which is not
+    // async-signal-safe, but the process is dying anyway and a partial dump
+    // beats none (the same trade every production failure handler makes).
+    std::unique_lock<std::mutex> lk(g_crash_mu, std::try_to_lock);
+    if (lk.owns_lock()) {
+      for (FlightRecorder* rec : g_crash_recorders)
+        rec->dump(std::string("fatal-signal-") + std::to_string(sig));
+    }
+  }
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_crash_dump_handler(FlightRecorder* rec) {
+  {
+    std::lock_guard<std::mutex> lk(g_crash_mu);
+    if (std::find(g_crash_recorders.begin(), g_crash_recorders.end(), rec) ==
+        g_crash_recorders.end())
+      g_crash_recorders.push_back(rec);
+  }
+  if (!g_handlers_installed.exchange(true, std::memory_order_acq_rel))
+    for (int sig : kFatalSignals) std::signal(sig, crash_handler);
+}
+
+void unregister_crash_dump(FlightRecorder* rec) {
+  std::lock_guard<std::mutex> lk(g_crash_mu);
+  g_crash_recorders.erase(
+      std::remove(g_crash_recorders.begin(), g_crash_recorders.end(), rec),
+      g_crash_recorders.end());
+}
+
+void note_fatal_dump_done() {
+  g_fatal_dump_done.store(true, std::memory_order_release);
+}
+
+}  // namespace legate::diag

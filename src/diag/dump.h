@@ -1,0 +1,33 @@
+#pragma once
+
+// Post-mortem dump plumbing for lsr_diag.
+//
+// FlightRecorder::dump (implemented in dump.cpp) serializes the drained
+// rings, a metrics snapshot, the control-path board, and the executor-pool
+// status into a versioned `lsr_dump_<ts>.json` that scripts/diagnose.py
+// summarizes. This header carries the process-global fatal-signal hook: on
+// SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT every live enabled recorder writes a
+// best-effort dump before the default handler re-raises.
+
+#include <string>
+
+namespace legate::diag {
+
+class FlightRecorder;
+
+/// Dump-file schema version (the "schema" field in lsr_dump_*.json).
+inline constexpr int kDumpSchema = 1;
+
+/// Install the fatal-signal handlers once per process and register `rec` to
+/// be dumped when one fires. Idempotent per recorder.
+void install_crash_dump_handler(FlightRecorder* rec);
+
+/// Drop `rec` from the fatal-signal registry (recorder destruction).
+void unregister_crash_dump(FlightRecorder* rec);
+
+/// Mark the fatal-state dump as already written, so an imminent abort (e.g.
+/// LSR_DIAG=abort-on-hang after a watchdog trip already dumped) does not
+/// produce a second dump from the SIGABRT handler.
+void note_fatal_dump_done();
+
+}  // namespace legate::diag

@@ -1,0 +1,64 @@
+#include "diag/watchdog.h"
+
+#include <cstdio>
+
+namespace legate::diag {
+
+Watchdog::Watchdog(FlightRecorder& rec, Options opts)
+    : rec_(rec), opts_(std::move(opts)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    cv_.wait_for(lk, std::chrono::duration<double>(opts_.poll_interval_s),
+                 [this] { return stop_; });
+    if (stop_) return;
+    lk.unlock();
+    sample();
+    lk.lock();
+  }
+}
+
+void Watchdog::sample() {
+  const std::uint64_t progress = rec_.progress_count();
+  const double now = rec_.wall_now();
+  if (progress != last_progress_ || stuck_since_ < 0) {
+    last_progress_ = progress;
+    stuck_since_ = now;
+    tripped_ = false;
+  }
+  const FlightRecorder::Board bd = rec_.board();
+  const PoolStatus pool = rec_.pool_status();
+  const bool busy = bd.active || bd.pending > 0 ||
+                    (pool.valid && (pool.running > 0 || pool.queued > 0));
+  if (!busy) {
+    // Idle is not a stall: re-arm so a later burst gets the full deadline.
+    stuck_since_ = now;
+    tripped_ = false;
+    return;
+  }
+  if (tripped_ || now - stuck_since_ < opts_.stall_deadline_s) return;
+  tripped_ = true;
+  const bool deadlock = pool.valid && pool.queued > 0 && pool.running == 0;
+  char detail[160];
+  std::snprintf(detail, sizeof detail,
+                "no progress for %.3gs (progress=%llu queued=%ld running=%ld "
+                "pending=%ld active=%d)",
+                now - stuck_since_,
+                static_cast<unsigned long long>(progress), pool.queued,
+                pool.running, bd.pending, bd.active ? 1 : 0);
+  rec_.trip(deadlock ? "deadlock" : "stall", detail);
+}
+
+}  // namespace legate::diag

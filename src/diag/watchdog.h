@@ -1,0 +1,50 @@
+#pragma once
+
+// Background hang watchdog for the flight recorder (lsr_diag).
+//
+// A single sampling thread per FlightRecorder wakes every poll interval and
+// compares the recorder's progress counter against the last sample. If the
+// system is busy (a launch mid-replay, deferred work pending, or pool tasks
+// queued/running) and progress has not moved for the stall deadline, it
+// trips — classified as `deadlock` when the executor pool reports ready work
+// with every worker parked, `stall` otherwise. One trip per stall episode;
+// the detector re-arms as soon as progress moves again.
+//
+// Solver divergence detection is deliberately NOT here: it runs
+// synchronously on the control path (diag::DivergenceGuard) so its trips are
+// deterministic.
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "diag/diag.h"
+
+namespace legate::diag {
+
+class Watchdog {
+ public:
+  /// Starts the sampling thread immediately. `rec` must outlive the watchdog.
+  Watchdog(FlightRecorder& rec, Options opts);
+  ~Watchdog();  ///< joins the sampling thread
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  void loop();
+  void sample();
+
+  FlightRecorder& rec_;
+  Options opts_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_{false};
+  std::thread thread_;
+
+  // Sampling state (loop thread only).
+  std::uint64_t last_progress_{0};
+  double stuck_since_{-1};  ///< wall time progress last moved; -1 = idle
+  bool tripped_{false};     ///< already fired for this stall episode
+};
+
+}  // namespace legate::diag

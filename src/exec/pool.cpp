@@ -64,6 +64,12 @@ std::size_t Pool::queued_locked() const {
   return total;
 }
 
+Pool::Status Pool::status() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return Status{static_cast<long>(queued_locked()), running_, inflight_nodes_,
+                completed_};
+}
+
 void Pool::run_task(std::function<void()>& task) {
   auto t0 = std::chrono::steady_clock::now();
   task();
@@ -122,6 +128,7 @@ bool Pool::help_one(std::unique_lock<std::mutex>& lk) {
   run_task(task);
   lk.lock();
   --running_;
+  ++completed_;
   cv_done_.notify_all();
   return true;
 }
@@ -153,6 +160,7 @@ void Pool::worker_loop(int self) {
       run_task(task);
       lk.lock();
       --running_;
+      ++completed_;
       cv_done_.notify_all();
       continue;
     }

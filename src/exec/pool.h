@@ -80,6 +80,17 @@ class Pool {
   /// (completion publishes the bodies' writes to the caller).
   void parallel_for(long n, const std::function<void(long)>& body);
 
+  /// Point-in-time scheduling state, sampled under the pool mutex. The diag
+  /// watchdog uses this to classify a hang: `queued > 0 && running == 0`
+  /// held across a deadline means ready work with every worker parked.
+  struct Status {
+    long queued{0};     ///< tasks parked across all deques
+    long running{0};    ///< tasks currently executing
+    long inflight{0};   ///< submitted nodes not yet done
+    long completed{0};  ///< tasks finished since the pool started
+  };
+  [[nodiscard]] Status status();
+
  private:
   struct WorkerDeque {
     std::deque<std::function<void()>> q;
@@ -106,6 +117,7 @@ class Pool {
   std::size_t next_deque_{0};
   long inflight_nodes_{0};  ///< submitted, not yet done
   long running_{0};         ///< tasks currently executing
+  long completed_{0};       ///< tasks finished since pool start
   bool stop_{false};
   std::vector<std::thread> workers_;
 

@@ -1,5 +1,6 @@
 #include "prof/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -73,7 +74,21 @@ std::string chrome_trace_json(const Recorder& rec) {
     os << "}}";
   }
 
-  for (const Event& ev : rec.events()) {
+  // Events arrive in append order, which interleaves arbitrarily when the
+  // exec pool records from several worker threads. Emit both timelines in
+  // timestamp order (stable on ties, keyed by record id) so the trace — and
+  // any tool that streams it — sees monotonic ts per process.
+  std::vector<const Event*> ordered;
+  ordered.reserve(rec.events().size());
+  for (const Event& ev : rec.events()) ordered.push_back(&ev);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->start != b->start) return a->start < b->start;
+                     return a->id < b->id;
+                   });
+
+  for (const Event* evp : ordered) {
+    const Event& ev = *evp;
     const Track& tr = rec.tracks()[static_cast<std::size_t>(ev.track)];
     bool instant = ev.cat == Category::Fault || ev.cat == Category::Retry ||
                    ev.cat == Category::Spill || ev.cat == Category::Snapshot ||
@@ -107,8 +122,19 @@ std::string chrome_trace_json(const Recorder& rec) {
   constexpr int kWallPid = 999;
   bool wall_meta = false;
   std::vector<int> wall_tracks;
+  std::vector<const Event*> wall_ordered;
   for (const Event& ev : rec.events()) {
-    if (ev.wall_end < 0) continue;
+    if (ev.wall_end >= 0) wall_ordered.push_back(&ev);
+  }
+  std::stable_sort(wall_ordered.begin(), wall_ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->wall_start != b->wall_start) {
+                       return a->wall_start < b->wall_start;
+                     }
+                     return a->id < b->id;
+                   });
+  for (const Event* evp : wall_ordered) {
+    const Event& ev = *evp;
     if (!wall_meta) {
       wall_meta = true;
       sep();

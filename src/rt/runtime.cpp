@@ -229,6 +229,21 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   if (fusion_mode_ == Fusion::Unset) fusion_mode_ = Fusion::Off;
   fusion_on_ = fusion_mode_ != Fusion::Off && !opts_.faults.enabled;
   if (fusion_on_) fuse_tracker_ = std::make_unique<fuse::WindowTracker>();
+  // Diagnostics mode: option, else LSR_DIAG env, else off. The engine already
+  // configured itself from the environment at construction; reconfigure with
+  // the resolved option set and wire the watchdog's executor-pool probe.
+  diag::Mode dmode = opts_.diag;
+  if (dmode == diag::Mode::Unset) dmode = diag::parse_mode(std::getenv("LSR_DIAG"));
+  if (dmode == diag::Mode::Unset) dmode = diag::Mode::Off;
+  engine_->flight().configure(dmode, opts_.diag_opts);
+  engine_->flight().note_partition_nnz(partition_strategy_ ==
+                                       PartitionStrategy::Nnz);
+  if (pool_ != nullptr) {
+    engine_->flight().set_pool_status([p = pool_.get()] {
+      exec::Pool::Status s = p->status();
+      return diag::PoolStatus{s.queued, s.running, s.completed, true};
+    });
+  }
 
   auto& mreg = engine_->metrics();
   met_.launches = mreg.counter("lsr_rt_launches_total", "task launches applied");
@@ -311,8 +326,16 @@ Runtime::~Runtime() {
     fence();
   } catch (...) {  // NOLINT(bugprone-empty-catch)
   }
+  // Detach the watchdog's pool probe before the pool dies; set_pool_status
+  // blocks until any in-flight watchdog sample finished with the old probe.
+  engine_->flight().set_pool_status({});
   pool_.reset();
   for (auto* impl : live_stores_) impl->rt = nullptr;
+}
+
+std::string Runtime::diag_dump(const std::string& reason) {
+  fence();
+  return engine_->flight().dump(reason);
 }
 
 Store Runtime::create_store(DType dtype, std::vector<coord_t> shape) {
@@ -838,11 +861,18 @@ void Runtime::handle_node_loss(int node) {
     });
     if (lost.empty()) continue;
     poisoned_stores_.insert(sid);
+    diag_note_poison(sid, "node-loss", /*allow_dump=*/false);
     for (Interval iv : lost) ss->owner.assign(iv, machine_.home_memory());
   }
   // Loss detection + replacement admission stall the whole machine.
   engine_->stall_all(engine_->makespan(), opts_.faults.node_recovery_seconds);
   node_loss_pending_ = true;
+  auto& fr = engine_->flight();
+  if (fr.enabled()) {
+    fr.record(diag::EventKind::NodeLoss, "node-loss", node);
+    fr.note_node_loss(node);
+    fr.dump("node-loss");
+  }
 }
 
 void Runtime::poll_faults() {
@@ -948,6 +978,7 @@ void Runtime::integrity_verify(StoreId id, std::byte* data,
       // accept the damaged bytes as the new baseline so the same corruption
       // is not re-detected on every subsequent read.
       poisoned_stores_.insert(id);
+      diag_note_poison(id, "integrity");
       ledger_.record(id, data, nbytes, b.lo, b.hi);
     }
   }
@@ -1142,6 +1173,7 @@ double Runtime::shuffle(const Store& in, const Store& out,
   // The shuffle fully rewrites `out` from `in`: poison follows the source.
   if (poisoned_stores_.count(in.id()) > 0) {
     poisoned_stores_.insert(out.id());
+    diag_note_poison(out.id(), "shuffle-propagate");
   } else {
     poisoned_stores_.erase(out.id());
   }
@@ -1184,6 +1216,23 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
   }
   met_.launches.inc();
   ++launches_applied_;  // plain mirror for the fenced accessor
+  // Flight recorder: publish the launch on the board before any simulated
+  // work, so a hang anywhere below names this launch as the suspect. The
+  // board is cleared even on the exception paths (OOM, surfaced leaf
+  // errors) — a dead launch must not keep the watchdog's busy signal high.
+  auto& fr = engine_->flight();
+  struct LaunchScope {
+    diag::FlightRecorder& fr;
+    explicit LaunchScope(diag::FlightRecorder& f) : fr(f) {}
+    ~LaunchScope() { fr.end_launch(); }
+  };
+  std::optional<LaunchScope> diag_scope;
+  if (fr.enabled()) {
+    fr.begin_launch(R.name, static_cast<long>(pending_launches()));
+    fr.record(diag::EventKind::Launch, R.name,
+              static_cast<std::int64_t>(R.args.size()));
+    diag_scope.emplace(fr);
+  }
   double t_launch = engine_->control_advance(task_overhead_, R.name);
 
   const int nargs = static_cast<int>(R.args.size());
@@ -1566,6 +1615,7 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
     // launch that rewrites a store's full extent washes old poison out.
     if (poisoned) {
       poisoned_stores_.insert(a.view.id);
+      diag_note_poison(a.view.id, "retry-exhausted");
     } else if (poisoned_stores_.count(a.view.id) > 0) {
       IntervalSet written;
       for (int c = 0; c < colors; ++c) {
@@ -1639,6 +1689,7 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
     // Reductions rewrite the whole store: poison follows the launch state.
     if (poisoned) {
       poisoned_stores_.insert(a.view.id);
+      diag_note_poison(a.view.id, "retry-exhausted");
     } else {
       poisoned_stores_.erase(a.view.id);
     }
@@ -1669,6 +1720,24 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
   }
   fut.poisoned = poisoned;
   R.result = fut;
+  if (fr.enabled()) {
+    fr.record(diag::EventKind::Retire, R.name, colors, poisoned ? 1 : 0,
+              max_completion);
+  }
+  fr.progress();
+}
+
+void Runtime::diag_note_poison(StoreId id, const char* why, bool allow_dump) {
+  auto& fr = engine_->flight();
+  if (!fr.enabled()) return;
+  fr.record(diag::EventKind::Poison, why, static_cast<std::int64_t>(id));
+  fr.note_poison(id);
+  // One post-mortem dump per runtime on the first poison propagation: that
+  // is the moment the terminal injected fault became user-visible damage.
+  if (allow_dump && !diag_poison_dumped_) {
+    diag_poison_dumped_ = true;
+    fr.dump("poison");
+  }
 }
 
 }  // namespace legate::rt

@@ -265,6 +265,16 @@ struct RuntimeOptions {
   /// everything else — pipelining, partition pins, integrity, checkpoints —
   /// composes.
   Fusion fusion = Fusion::Unset;
+  /// Always-on flight recorder + hang watchdog + post-mortem dumps
+  /// (src/diag). Unset reads the LSR_DIAG environment variable
+  /// (`off|on|abort-on-hang`), defaulting to Off. Recording never perturbs
+  /// replay ordering or simulated time: results and every Stable metric are
+  /// bit-identical with diag on or off, at any exec thread count.
+  diag::Mode diag = diag::Mode::Unset;
+  /// Recorder/watchdog tuning (ring capacity, stall deadline, divergence
+  /// window, dump directory). Defaults come from the LSR_DIAG_* environment
+  /// variables; tests override fields directly.
+  diag::Options diag_opts = diag::Options::from_env();
 };
 
 /// The Legion-model runtime: dynamic dependence analysis over the task
@@ -311,6 +321,14 @@ class Runtime {
   /// count (see src/metrics/metrics.h). Records an instant marker on the
   /// profiler timeline when tracing is enabled.
   [[nodiscard]] metrics::Snapshot metrics_snapshot();
+
+  // -- diagnostics -----------------------------------------------------------
+  /// The engine's always-on flight recorder (lsr_diag). Like metrics(), this
+  /// does NOT fence: recording and watchdog state are safe mid-pipeline.
+  [[nodiscard]] diag::FlightRecorder& flight() { return engine_->flight(); }
+  /// Drain the pipeline and write a post-mortem diagnostic dump (the
+  /// `--dump-on-exit` bench hook). Returns the dump path, "" on failure.
+  std::string diag_dump(const std::string& reason);
 
   // -- execution backend -----------------------------------------------------
   /// Drain the deferred execution pipeline: finish every enqueued leaf task
@@ -522,6 +540,13 @@ class Runtime {
   void poll_faults();
   [[nodiscard]] int sysmem_of_node(int node) const;
 
+  // -- diagnostics internals --------------------------------------------------
+  /// Record a Poison flight-recorder event + board update for store `id`;
+  /// the first poison per runtime also writes a post-mortem dump (unless
+  /// `allow_dump` is false because a more specific dump follows, e.g.
+  /// node-loss). Control path only.
+  void diag_note_poison(StoreId id, const char* why, bool allow_dump = true);
+
   // -- data-integrity internals ---------------------------------------------
   /// Apply due scripted and rate-drawn silent bit flips to live canonical
   /// buffers (deterministic: stores visited in id order, draws keyed on a
@@ -549,6 +574,7 @@ class Runtime {
   double task_overhead_;
   double cpu_fraction_;
   PartitionStrategy partition_strategy_{PartitionStrategy::Rows};
+  bool diag_poison_dumped_{false};  ///< first-poison dump fired
 
   StoreId next_store_id_{1};
   std::unordered_set<detail::StoreImpl*> live_stores_;

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "rt/runtime.h"
 #include "rt/runtime_detail.h"
@@ -280,6 +281,20 @@ void Runtime::enqueue_record(const std::shared_ptr<LaunchRecord>& R) {
 }
 
 void Runtime::run_leaves(LaunchRecord& R) {
+  // Scripted execution stall (hung kernel / wedged driver model): sleep on
+  // the executing thread before any leaf body runs. With fault injection
+  // enabled pipelining is off, so this runs inline on the control thread and
+  // the stateful injector access stays single-threaded. Charges no simulated
+  // time — its purpose is tripping the lsr_diag watchdog.
+  if (injector_ != nullptr) {
+    const double stall_s = injector_->stall_seconds_due(R.name);
+    if (stall_s > 0) {
+      auto& fr = engine_->flight();
+      if (fr.enabled())
+        fr.record_thread(diag::EventKind::Stall, R.name, 0, 0, stall_s);
+      std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
+    }
+  }
   const int nargs = static_cast<int>(R.args.size());
   const int colors = R.colors;
   R.out.assign(static_cast<std::size_t>(colors), {});
@@ -380,6 +395,14 @@ void Runtime::run_leaves(LaunchRecord& R) {
       auto dst = R.args[i].view.span<double>();
       std::copy(acc[i].begin(), acc[i].end(), dst.begin());
     }
+  }
+  // Leaf batch done: wall-clock evidence of forward progress from whichever
+  // thread ran it (pool worker under pipelining, control thread otherwise).
+  auto& fr = engine_->flight();
+  if (fr.enabled()) {
+    fr.record_thread(diag::EventKind::LeafExec, R.name, colors,
+                     failed ? 1 : 0);
+    fr.progress();
   }
 }
 

@@ -61,6 +61,9 @@ Future Runtime::fuse_execute(const std::shared_ptr<LaunchRecord>& R) {
   }
   fuse_window_.push_back(R);
   fuse_tracker_->add(*R);
+  if (auto& fr = engine_->flight(); fr.enabled()) {
+    fr.note_window(fuse_window_.size());
+  }
   if (R->has_redop) {
     // Terminal link: the scalar future must resolve before execute() returns.
     flush_fuse_window();
@@ -112,6 +115,13 @@ void Runtime::flush_fuse_window() {
   window.swap(fuse_window_);
   fuse_tracker_->clear();
   met_.fuse_windows.inc();
+  if (auto& fr = engine_->flight(); fr.enabled()) {
+    // Window contents are structural (identical at any exec thread count),
+    // so the flush event rides the stable sim ring.
+    fr.record(diag::EventKind::WindowFlush, "flush",
+              static_cast<std::int64_t>(window.size()));
+    fr.note_window(0);
+  }
 
   // Stores destroyed while this window was open: their release accounting
   // was deferred (window leaves may still read their views). Replay the
@@ -137,6 +147,11 @@ void Runtime::flush_fuse_window() {
       auto F = make_fused_record(window);
       met_.fuse_fused.inc(static_cast<double>(k));
       met_.fuse_eliminated.inc(static_cast<double>(k - 1));
+      if (auto& fr = engine_->flight(); fr.enabled()) {
+        fr.record(diag::EventKind::FuseDecision, "fused",
+                  static_cast<std::int64_t>(k),
+                  static_cast<std::int64_t>(k - 1));
+      }
       fuse_participants_ += static_cast<long>(k);
       fuse_eliminated_launches_ += static_cast<long>(k - 1);
       engine_->note_fused();
@@ -144,6 +159,9 @@ void Runtime::flush_fuse_window() {
       // The terminal link owns the window's scalar future (if any).
       window.back()->result = F->result;
     } else {
+      if (auto& fr = engine_->flight(); fr.enabled()) {
+        fr.record(diag::EventKind::FuseDecision, "passthrough", 1, 0);
+      }
       issue_record(window.front());
     }
   } catch (...) {
@@ -159,11 +177,13 @@ void Runtime::drain_sim_queue() {
   if (draining_ || sim_queue_.empty()) return;
   met_.fences.inc();  // Volatile: drain count depends on pipelining depth
   draining_ = true;
+  long replayed = 0;
   try {
     while (!sim_queue_.empty()) {
       auto fn = std::move(sim_queue_.front());
       sim_queue_.pop_front();
       fn();
+      ++replayed;
     }
   } catch (...) {
     // Leave the remaining launches queued (a later fence continues the
@@ -175,6 +195,13 @@ void Runtime::drain_sim_queue() {
   // Every queued launch waited on its node before replay, so all real work
   // is finished: the hazard graph is fully retired.
   hazards_.clear();
+  if (auto& fr = engine_->flight(); fr.enabled()) {
+    // Fence count depends on pipelining depth, so this is a volatile
+    // (thread-ring) event; Launch/Retire replay already charged the stable
+    // ring inside sim_apply.
+    fr.record_thread(diag::EventKind::Fence, "fence", replayed);
+    fr.progress();
+  }
 }
 
 std::shared_ptr<LaunchRecord> Runtime::make_fused_record(

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 namespace legate::sim {
@@ -61,6 +62,42 @@ Engine::Engine(const Machine& machine)
       "lsr_integrity_detect_latency_seconds",
       "simulated injection-to-detection latency per caught flip",
       Registry::seconds_buckets());
+
+  // Flight-recorder metrics. The replay-path event and drop counts are
+  // Stable: the sequential control path records a thread-count-invariant
+  // event sequence into a fixed-capacity ring, so both are deterministic.
+  // Watchdog trips and dumps are Stable by the zero-in-healthy-runs
+  // argument: any run where they differ from zero is already broken.
+  using metrics::Stability;
+  diag::MetricHooks dm;
+  dm.events_recorded =
+      metrics_.counter("lsr_diag_events_recorded_total",
+                       "flight-recorder events on the deterministic replay path");
+  dm.events_dropped =
+      metrics_.counter("lsr_diag_events_dropped_total",
+                       "replay-path events overwritten in the bounded sim ring");
+  dm.thread_events =
+      metrics_.counter("lsr_diag_thread_events_total",
+                       "flight-recorder events from worker/watchdog threads",
+                       Stability::Volatile);
+  dm.thread_dropped =
+      metrics_.counter("lsr_diag_thread_events_dropped_total",
+                       "thread-ring events overwritten", Stability::Volatile);
+  dm.watchdog_trips = metrics_.counter(
+      "lsr_diag_watchdog_trips_total",
+      "stall/deadlock/divergence watchdog trips (zero in a healthy run)");
+  dm.dumps_written = metrics_.counter(
+      "lsr_diag_dumps_written_total",
+      "post-mortem diagnostic dumps written (zero in a healthy run)");
+  dm.ring_high_water = metrics_.gauge(
+      "lsr_diag_ring_high_water",
+      "peak events resident in the flight recorder's sim ring",
+      Stability::Volatile);
+  diag_.set_metrics(dm);
+  diag_.set_registry(&metrics_);
+  diag_.set_sim_clock(&makespan_);
+  diag_.configure(diag::parse_mode(std::getenv("LSR_DIAG")),
+                  diag::Options::from_env());
 }
 
 // --- Recorder track interning (profiling-enabled paths only) ---------------
@@ -190,6 +227,7 @@ double Engine::copy(int src, int dst, double bytes, double ready) {
     ev.dst_node = dm.node;
     recorder_.add_traffic(sm.node, dm.node, bytes);
   }
+  diag_.record(diag::EventKind::Copy, "copy", src, dst, bytes);
   return done;
 }
 
@@ -317,6 +355,7 @@ double Engine::stall_all(double at, double seconds) {
     recorder_.record(prof::Category::Stall, control_track(), stall_start,
                      stall_start + seconds, -1.0, "stall");
   }
+  diag_.record(diag::EventKind::Stall, "machine-stall", 0, 0, seconds);
   return latest;
 }
 
@@ -342,6 +381,8 @@ double Engine::checkpoint_io(double bytes, double ready, bool restore) {
     recorder_.add_busy(tr, io_clock_ - start);
     recorder_.last().bytes = bytes;
   }
+  diag_.record(restore ? diag::EventKind::Restore : diag::EventKind::Checkpoint,
+               restore ? "restore" : "checkpoint", 0, 0, bytes);
   return io_clock_;
 }
 
@@ -357,6 +398,10 @@ void Engine::reset() {
   makespan_ = 0;
   mem_peak_ = mem_used_;
   recorder_.reset();
+  // Drain the flight recorder before the metrics zero out so its flush sink
+  // (if any) can snapshot the epoch it belongs to; this also joins and
+  // restarts the watchdog thread, so resets never leak a stale thread.
+  diag_.reset();
   metrics_.reset();
 }
 

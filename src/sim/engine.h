@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "diag/diag.h"
 #include "metrics/metrics.h"
 #include "prof/prof.h"
 #include "sim/machine.h"
@@ -144,16 +145,19 @@ class Engine {
     ++stats_.faults_injected;
     met_.faults.inc();
     if (recorder_.enabled()) mark(prof::Category::Fault);
+    diag_.record(diag::EventKind::Fault, "fault");
   }
   void note_retry() {
     ++stats_.retries;
     met_.retries.inc();
     if (recorder_.enabled()) mark(prof::Category::Retry);
+    diag_.record(diag::EventKind::Retry, "retry");
   }
   void note_spill() {
     ++stats_.spills;
     met_.spills.inc();
     if (recorder_.enabled()) mark(prof::Category::Spill);
+    diag_.record(diag::EventKind::Spill, "spill");
   }
   /// Instant timeline marker for a metrics snapshot (Runtime::metrics_snapshot
   /// calls this so snapshots show up on recorded traces).
@@ -164,6 +168,7 @@ class Engine {
     ++stats_.flips_injected;
     met_.flips_injected.inc();
     if (recorder_.enabled()) mark(prof::Category::Integrity);
+    diag_.record(diag::EventKind::Integrity, "flip-injected", 0);
   }
   /// Instant timeline marker: the runtime rewrote a launch window into one
   /// fused launch (src/fuse).
@@ -177,11 +182,13 @@ class Engine {
     met_.flips_detected.inc();
     met_.flip_latency.observe(latency);
     if (recorder_.enabled()) mark(prof::Category::Integrity);
+    diag_.record(diag::EventKind::Integrity, "flip-detected", 1, 0, latency);
   }
   void note_flip_recovered() {
     ++stats_.flips_recovered;
     met_.flips_recovered.inc();
     if (recorder_.enabled()) mark(prof::Category::Integrity);
+    diag_.record(diag::EventKind::Integrity, "flip-recovered", 2);
   }
 
   /// Workload scale factor S: benchmarks execute a 1/S functional sample of
@@ -209,6 +216,13 @@ class Engine {
   [[nodiscard]] prof::Recorder& recorder() { return recorder_; }
   [[nodiscard]] const prof::Recorder& recorder() const { return recorder_; }
   [[nodiscard]] bool profiling() const { return recorder_.enabled(); }
+
+  /// Always-on flight recorder + watchdog (legate::diag). Configured from
+  /// LSR_DIAG at construction; rt::Runtime reconfigures from
+  /// RuntimeOptions::diag. Recording charges no simulated time and bumps no
+  /// engine stats, so simulated results are bit-identical with diag on/off.
+  [[nodiscard]] diag::FlightRecorder& flight() { return diag_; }
+  [[nodiscard]] const diag::FlightRecorder& flight() const { return diag_; }
 
   /// Rewind the engine for reuse across benchmark repetitions: clears every
   /// resource clock, the makespan, all Stats counters, and the recorded
@@ -247,6 +261,7 @@ class Engine {
   prof::Recorder recorder_;
 
   metrics::Registry metrics_;
+  diag::FlightRecorder diag_;
   /// Pre-registered handles for the engine's own metrics (registered once in
   /// the constructor; increments are lock-free).
   struct Met {

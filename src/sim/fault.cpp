@@ -114,4 +114,17 @@ std::vector<std::size_t> FaultInjector::scripted_flips_due(double now) {
   return due;
 }
 
+double FaultInjector::stall_seconds_due(const std::string& task) {
+  if (cfg_.scripted_stalls.empty()) return 0;
+  stalls_fired_.resize(cfg_.scripted_stalls.size(), false);
+  double total = 0;
+  for (std::size_t i = 0; i < cfg_.scripted_stalls.size(); ++i) {
+    const ScriptedStall& s = cfg_.scripted_stalls[i];
+    if (stalls_fired_[i] || task.find(s.task) == std::string::npos) continue;
+    stalls_fired_[i] = true;
+    total += s.seconds;
+  }
+  return total;
+}
+
 }  // namespace legate::sim

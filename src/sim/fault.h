@@ -15,6 +15,16 @@ struct ScriptedFault {
   int attempt{0};
 };
 
+/// One scripted wall-clock execution stall: the first launch whose task name
+/// contains `task` sleeps for `seconds` of real time while it holds the
+/// control path (a hung kernel / wedged driver model). Charges no simulated
+/// time — the point is to exercise the diag watchdog, not the cost model.
+/// Each entry fires exactly once.
+struct ScriptedStall {
+  std::string task;
+  double seconds{0};
+};
+
 /// One scripted silent bit flip: at simulated time `time`, flip bit `bit`
 /// (0-7) of the byte at `offset` within store `store`. `node` is advisory
 /// metadata (which node's memory the upset models); the canonical host
@@ -64,6 +74,11 @@ struct FaultConfig {
   double output_flip_rate{0};
   /// Explicitly scripted flips, applied in addition to the random stream.
   std::vector<ScriptedFlip> scripted_flips;
+
+  // --- execution stalls ----------------------------------------------------
+  /// Scripted wall-clock hangs, matched by task-name substring; used to
+  /// trip the lsr_diag watchdog deterministically in tests and CI.
+  std::vector<ScriptedStall> scripted_stalls;
 
   // --- whole-node loss ----------------------------------------------------
   /// Simulated time at which node `node_loss_node` is lost; < 0 disables.
@@ -130,6 +145,11 @@ class FaultInjector {
   /// fires exactly once (stateful, like node_loss_due).
   [[nodiscard]] std::vector<std::size_t> scripted_flips_due(double now);
 
+  /// Total wall seconds of scripted stall due for a launch named `task`
+  /// (every not-yet-fired entry whose substring matches); 0 when none.
+  /// Stateful like node_loss_due: each entry fires exactly once.
+  [[nodiscard]] double stall_seconds_due(const std::string& task);
+
  private:
   [[nodiscard]] std::uint64_t hash(long task_seq, int attempt,
                                    std::uint64_t salt) const;
@@ -140,6 +160,7 @@ class FaultInjector {
   FaultConfig cfg_;
   bool node_loss_fired_{false};
   std::vector<bool> flips_fired_;
+  std::vector<bool> stalls_fired_;
 };
 
 }  // namespace legate::sim

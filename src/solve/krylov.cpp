@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "diag/diag.h"
 #include "rt/checkpoint.h"
 
 namespace legate::solve {
@@ -74,7 +75,9 @@ DArray checked_spmv(const sparse::CsrMatrix& A, const DArray& x, bool& ok) {
 /// (residuals, iteration counts, simulated time), so all of it is Stable.
 class Telemetry {
  public:
-  Telemetry(rt::Runtime& rt, const char* name) : rt_(rt), scope_(rt, name) {
+  Telemetry(rt::Runtime& rt, const char* name)
+      : rt_(rt), scope_(rt, name), scope_name_(name),
+        guard_(rt.flight(), name) {
     auto& reg = rt.metrics();
     std::string p = std::string("lsr_solve_") + name + "_";
     solves_ = reg.counter(p + "solves_total", "solve invocations");
@@ -109,8 +112,18 @@ class Telemetry {
   }
 
   /// Record one iteration's residual (the solve's convergence history).
+  /// Feeds the diag flight recorder (stable SolverIter event) and the
+  /// divergence guard: both run on the sequential control path against
+  /// bit-identical residuals, so neither perturbs determinism.
   void iteration(double residual) {
     res_log10_.observe(residual > 0 ? std::log10(residual) : -16.0);
+    const long it = it_++;
+    auto& fr = rt_.flight();
+    if (fr.enabled()) {
+      fr.record(diag::EventKind::SolverIter, scope_name_, it, 0, residual);
+      fr.progress();
+    }
+    guard_.observe(static_cast<int>(it), residual);
   }
 
   /// Stamp the final outcome; call once before returning the result.
@@ -134,6 +147,9 @@ class Telemetry {
  private:
   rt::Runtime& rt_;
   rt::ProvenanceScope scope_;
+  const char* scope_name_;
+  diag::DivergenceGuard guard_;
+  long it_{0};
   double t0_{0};
   long base_applied_{0}, base_fused_{0}, base_eliminated_{0};
   metrics::Counter solves_, iters_;

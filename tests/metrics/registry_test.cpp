@@ -264,5 +264,50 @@ TEST(RuntimeMetrics, SnapshotAfterWorkAndPerEngineIsolation) {
   EXPECT_DOUBLE_EQ(snap_b.find("lsr_rt_launches_total")->value, 0.0);
 }
 
+TEST(RuntimeMetrics, DiagMetricsRegisteredWithDocumentedStability) {
+  // The lsr_diag_* family (DESIGN.md section 14): replay-path event counts
+  // and trip/dump counters are Stable (deterministic at any thread count),
+  // per-thread event counts and the ring high-water mark are Volatile.
+  sim::PerfParams pp;
+  rt::RuntimeOptions opts;
+  opts.diag = diag::Mode::On;
+  opts.diag_opts.watchdog = false;
+  rt::Runtime rt(sim::Machine::gpus(2, pp), opts);
+
+  rt::Store st = rt.create_store(rt::DType::F64, {100});
+  rt::TaskLauncher launch(rt, "fill");
+  int out = launch.add_output(st);
+  launch.set_leaf([out](rt::TaskContext& ctx) {
+    auto y = ctx.full<double>(out);
+    Interval iv = ctx.elem_interval(out);
+    for (coord_t j = iv.lo; j < iv.hi; ++j) y[j] = 1.0;
+    ctx.add_cost(static_cast<double>(iv.size()) * 8, 0);
+  });
+  launch.execute();
+  rt.fence();
+
+  Snapshot snap = rt.metrics_snapshot();
+  const struct {
+    const char* name;
+    Stability st;
+  } expected[] = {
+      {"lsr_diag_events_recorded_total", Stability::Stable},
+      {"lsr_diag_events_dropped_total", Stability::Stable},
+      {"lsr_diag_watchdog_trips_total", Stability::Stable},
+      {"lsr_diag_dumps_written_total", Stability::Stable},
+      {"lsr_diag_thread_events_total", Stability::Volatile},
+      {"lsr_diag_thread_events_dropped_total", Stability::Volatile},
+      {"lsr_diag_ring_high_water", Stability::Volatile},
+  };
+  for (const auto& e : expected) {
+    const Snapshot::Metric* m = snap.find(e.name);
+    ASSERT_NE(m, nullptr) << e.name;
+    EXPECT_EQ(m->stability, e.st) << e.name;
+  }
+  EXPECT_GT(snap.find("lsr_diag_events_recorded_total")->value, 0.0);
+  EXPECT_DOUBLE_EQ(snap.find("lsr_diag_watchdog_trips_total")->value, 0.0);
+  EXPECT_GT(snap.find("lsr_diag_ring_high_water")->value, 0.0);
+}
+
 }  // namespace
 }  // namespace legate::metrics

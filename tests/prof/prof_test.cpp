@@ -414,6 +414,37 @@ TEST(TraceTest, InstantMarkersUseInstantPhase) {
   EXPECT_EQ(instants, 2);
 }
 
+TEST(TraceTest, EventsEmitInMonotonicTimestampOrderPerProcess) {
+  // Regression (lsr_diag satellite): events appended out of timestamp order
+  // — the exec pool's worker threads interleave arbitrarily — must still be
+  // emitted with monotonic ts within each process so dumps and streaming
+  // trace consumers see an ordered timeline.
+  Recorder r;
+  r.enable();
+  int t0 = r.track("gpu0", 0);
+  int t1 = r.track("gpu1", 0);
+  r.record(Category::Kernel, t0, 2.0, 3.0, -1.0, "late");
+  r.record(Category::Kernel, t1, 0.0, 1.0, -1.0, "early");
+  r.record(Category::Kernel, t0, 0.5, 1.5, -1.0, "middle");
+  r.set_last_wall(0.25, 0.75);
+  JsonValue doc = parse_json(chrome_trace_json(r));
+  double last_sim = -1.0, last_wall = -1.0;
+  int sim_events = 0;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    if (ev.at("ph").str != "X") continue;
+    const double ts = ev.at("ts").number;
+    if (ev.at("pid").number == 999) {
+      EXPECT_GE(ts, last_wall);
+      last_wall = ts;
+    } else {
+      EXPECT_GE(ts, last_sim) << "sim timeline out of order at " << ts;
+      last_sim = ts;
+      ++sim_events;
+    }
+  }
+  EXPECT_EQ(sim_events, 3);
+}
+
 // --- End-to-end: a small CG solve through the real stack -------------------
 
 struct CgRun {
