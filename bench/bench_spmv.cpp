@@ -38,6 +38,7 @@ LegateRun run_legate_once(sim::ProcKind kind, int procs, const std::string& poin
   opts.exec_threads = threads;
   opts.partition = lsr_bench::bench_partition();
   opts.fusion = lsr_bench::bench_fusion();
+  opts.comm = lsr_bench::bench_comm();
   rt::Runtime runtime(machine, opts);
   runtime.engine().set_cost_scale(kScale);
   apps::HostProblem prob = apps::banded_matrix(kRowsPerProc * procs, kHalfBand);
@@ -89,6 +90,7 @@ LegateRun run_skew_once(int procs, rt::PartitionStrategy strat,
   rt::RuntimeOptions opts;
   opts.exec_threads = threads;
   opts.partition = strat;
+  opts.comm = lsr_bench::bench_comm();
   rt::Runtime runtime(sim::Machine::gpus(procs, pp), opts);
   runtime.engine().set_cost_scale(kScale);
   apps::HostProblem prob =
@@ -119,6 +121,59 @@ double run_skew(int procs, rt::PartitionStrategy strat, const std::string& point
   double wall_seq = run.wall_per_iter;
   if (threads > 1) {
     wall_seq = run_skew_once(procs, strat, "", 1).wall_per_iter;
+  }
+  lsr_bench::note_wall(point, run.wall_per_iter, wall_seq, threads);
+  return run.sim_per_iter;
+}
+
+// Communication-planner sweep: the same Zipf-skewed matrix under nnz-balanced
+// partitioning, but with x *updated every iteration* so each SpMV must
+// re-gather its skewed column footprint — a comm-bound steady state where the
+// exchange structure repeats while the data is always stale. Per comm mode
+// this records the plan-cache hit rate, the coalesced message count, and the
+// per-link byte split; off vs plan shows the message-coalescing win, plan vs
+// overlap the interior/boundary compute-comm overlap win.
+LegateRun run_comm_once(int procs, comm::Mode mode, const std::string& point,
+                        int threads) {
+  sim::PerfParams pp;
+  rt::RuntimeOptions opts;
+  opts.exec_threads = threads;
+  opts.partition = rt::PartitionStrategy::Nnz;
+  opts.comm = mode;
+  rt::Runtime runtime(sim::Machine::gpus(procs, pp), opts);
+  runtime.engine().set_cost_scale(kScale);
+  apps::HostProblem prob =
+      apps::zipf_matrix(kSkewRowsPerProc * procs, kSkewS, kSkewAvgNnz, 97);
+  auto A = sparse::CsrMatrix::from_host(runtime, prob.rows, prob.cols, prob.indptr,
+                                        prob.indices, prob.values);
+  auto x = dense::DArray::full(runtime, prob.rows, 1.0);
+  {
+    auto warm = A.spmv(x);
+    x.axpy(dense::Scalar{1e-9}, warm);
+  }
+  lsr_bench::profile_begin(runtime.engine(), point);
+  auto mbase = lsr_bench::metrics_begin(runtime, point);
+  double t0 = runtime.sim_time();
+  double w0 = lsr_bench::wall_now();
+  for (int i = 0; i < kIters; ++i) {
+    auto y = A.spmv(x);
+    x.axpy(dense::Scalar{1e-9}, y);  // dirty x: next spmv re-gathers it
+    benchmark::DoNotOptimize(y.store().span<double>().data());
+  }
+  runtime.fence();
+  double wall = (lsr_bench::wall_now() - w0) / kIters;
+  double sim_per_iter = (runtime.sim_time() - t0) / kIters;
+  lsr_bench::metrics_end(runtime, point, mbase, sim_per_iter);
+  lsr_bench::profile_end(runtime.engine(), point);
+  return {sim_per_iter, wall};
+}
+
+double run_comm(int procs, comm::Mode mode, const std::string& point) {
+  int threads = lsr_bench::bench_threads();
+  LegateRun run = run_comm_once(procs, mode, point, threads);
+  double wall_seq = run.wall_per_iter;
+  if (threads > 1) {
+    wall_seq = run_comm_once(procs, mode, "", 1).wall_per_iter;
   }
   lsr_bench::note_wall(point, run.wall_per_iter, wall_seq, threads);
   return run.sim_per_iter;
@@ -189,6 +244,16 @@ void register_all() {
                          std::to_string(p);
       register_point(name, p,
                      [p, strat, name] { return run_skew(p, strat, name); });
+    }
+  }
+  // Comm sweep: CI selects these with --benchmark_filter=Comm into
+  // BENCH_spmv_comm.json (gated by scripts/bench_compare.py).
+  for (int p : {12, 48}) {
+    for (comm::Mode mode : {comm::Mode::Off, comm::Mode::Plan, comm::Mode::Overlap}) {
+      std::string name = std::string("Comm/SpMV/") + comm::comm_mode_name(mode) +
+                         "/" + std::to_string(p);
+      register_point(name, p,
+                     [p, mode, name] { return run_comm(p, mode, name); });
     }
   }
 }

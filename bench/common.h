@@ -48,6 +48,11 @@ namespace lsr_bench {
 //                                    launch counts appear as the
 //                                    fused_launches / fused_eliminated
 //                                    counters
+//   bench_cg --comm plan             communication-planner mode
+//                                    (off|plan|overlap) for the Legate
+//                                    runtime points; plan-cache hits/misses
+//                                    and coalesced-message counts appear as
+//                                    lsr_comm_* stable counters
 //   bench_cg --metrics out.json      write a per-point metrics snapshot file
 //                                    (stable metrics only, so the file is
 //                                    bit-identical at any --threads value);
@@ -73,6 +78,9 @@ struct ProfOptions {
   /// --fuse off|on|auto launch-window fusion mode for the Legate runtime
   /// points (Unset: the runtime falls back to LSR_FUSE, then off).
   legate::rt::Fusion fusion = legate::rt::Fusion::Unset;
+  /// --comm off|plan|overlap communication-planner mode for the Legate
+  /// runtime points (Unset: the runtime falls back to LSR_COMM, then off).
+  legate::comm::Mode comm = legate::comm::Mode::Unset;
   /// --dump-on-exit: write an lsr_diag post-mortem dump at the end of each
   /// profiled point, even without a watchdog trip (implies LSR_DIAG=on for
   /// the benchmark's runtimes unless the env says otherwise).
@@ -122,6 +130,12 @@ inline void init_prof_flags(int* argc, char** argv) {
         std::cerr << "warning: unknown --fuse value '" << v6
                   << "' (expected off|on|auto), using the runtime default\n";
       }
+    } else if (const char* v8 = value_of("--comm")) {
+      po.comm = legate::comm::parse_comm_mode(v8);
+      if (po.comm == legate::comm::Mode::Unset) {
+        std::cerr << "warning: unknown --comm value '" << v8
+                  << "' (expected off|plan|overlap), using the runtime default\n";
+      }
     } else if (a == "--dump-on-exit") {
       po.dump_on_exit = true;
     } else if (const char* v7 = value_of("--log-level")) {
@@ -152,6 +166,10 @@ inline legate::rt::PartitionStrategy bench_partition() {
 /// Fusion mode requested with --fuse (Unset: runtime default, i.e. LSR_FUSE
 /// or off).
 inline legate::rt::Fusion bench_fusion() { return prof_options().fusion; }
+
+/// Communication-planner mode requested with --comm (Unset: runtime default,
+/// i.e. LSR_COMM or off).
+inline legate::comm::Mode bench_comm() { return prof_options().comm; }
 
 /// Extra per-point counters (real wall-clock seconds, measured speedup)
 /// attached by the run functions and exported by register_point.

@@ -24,6 +24,10 @@
 # lsr_diag flight recorder + watchdog on for every test run (DESIGN.md §14)
 # — CI runs a tier-1 leg with LSR_DIAG=on to prove recording perturbs
 # nothing; the tsan preset exercises the diag rings under ThreadSanitizer.
+# LSR_COMM=off|plan|overlap selects the communication planner (DESIGN.md
+# §15): cached halo-exchange plans, per-link message coalescing, and (with
+# overlap) interior/boundary kernel splitting. CI runs tier-1 and tsan legs
+# with LSR_COMM=overlap — results must stay bit-identical to off.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +39,9 @@ if [ -n "${LSR_FUSE:-}" ]; then
 fi
 if [ -n "${LSR_DIAG:-}" ]; then
   echo "tier1: LSR_DIAG=${LSR_DIAG} (passed through to all presets)"
+fi
+if [ -n "${LSR_COMM:-}" ]; then
+  echo "tier1: LSR_COMM=${LSR_COMM} (passed through to all presets)"
 fi
 
 run_default() {
@@ -54,12 +61,16 @@ run_asan() {
 
 run_tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLSR_TSAN=ON
-  cmake --build build-tsan -j --target exec_tests rt_tests metrics_tests integrity_tests fuse_tests diag_tests
+  cmake --build build-tsan -j --target exec_tests rt_tests metrics_tests integrity_tests fuse_tests comm_tests diag_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/exec_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/rt_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/metrics_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/integrity_tests
   LSR_EXEC_THREADS=4 ./build-tsan/tests/fuse_tests
+  # Comm planner under TSan with a live pool: plan derivation and the
+  # hit/miss counters run on the submitting thread, but replay interleaves
+  # with pool workers — the cache must never be touched from a leaf.
+  LSR_EXEC_THREADS=4 LSR_COMM=overlap ./build-tsan/tests/comm_tests
   # Diag rings + watchdog under TSan with a live pool: the seqlock reader
   # and the reset/join paths must be data-race-free (satellite a).
   LSR_EXEC_THREADS=4 LSR_DIAG=on ./build-tsan/tests/diag_tests

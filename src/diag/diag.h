@@ -113,6 +113,7 @@ enum class EventKind : std::uint8_t {
   Poison,        ///< [stable] a store was poisoned (a = store id)
   SolverIter,    ///< [stable] solver iteration (a = iter, v = residual)
   Spill,         ///< [stable] allocation spilled under OOM pressure
+  Comm,          ///< [stable] exchange plan applied (a = transfers, b = 1 hit / 0 miss, v = bytes)
   Stall,         ///< an injected/observed execution stall (v = seconds)
   WatchdogTrip,  ///< a watchdog fired (label = stall|deadlock|divergence)
   Dump,          ///< a post-mortem dump was written

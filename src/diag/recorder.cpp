@@ -135,6 +135,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::Poison: return "poison";
     case EventKind::SolverIter: return "solver-iter";
     case EventKind::Spill: return "spill";
+    case EventKind::Comm: return "comm";
     case EventKind::Stall: return "stall";
     case EventKind::WatchdogTrip: return "watchdog-trip";
     case EventKind::Dump: return "dump";

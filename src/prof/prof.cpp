@@ -18,6 +18,7 @@ const char* category_name(Category c) {
     case Category::Snapshot: return "metrics-snapshot";
     case Category::Integrity: return "integrity";
     case Category::Fused: return "fused";
+    case Category::Comm: return "comm";
   }
   return "unknown";
 }

@@ -28,6 +28,7 @@ enum class Category {
   Snapshot,   ///< instant marker: a metrics snapshot was taken
   Integrity,  ///< instant marker: a silent flip was injected/detected/repaired
   Fused,      ///< instant marker: a launch window was rewritten into a fused launch
+  Comm,       ///< instant marker: a cached exchange plan was applied
 };
 
 [[nodiscard]] const char* category_name(Category c);

@@ -9,6 +9,7 @@
 #include "fuse/fuse.h"
 #include "rt/checkpoint.h"
 #include "rt/runtime_detail.h"
+#include "rt/runtime_state.h"
 
 namespace legate::rt {
 
@@ -37,39 +38,8 @@ StoreImpl::~StoreImpl() {
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
-// Internal runtime state
-// ---------------------------------------------------------------------------
-
-/// Per-store dynamic analysis state. All interval maps are in *element*
-/// coordinates (2-D stores linearized row-major).
-struct Runtime::SyncState {
-  IntervalMap<double> last_write;  ///< completion time of the last writer
-  std::vector<std::pair<Interval, double>> readers;  ///< reads since last write
-  IntervalMap<std::uint64_t> version;  ///< data version (implicit 0)
-  IntervalMap<int> owner;              ///< memory holding the latest version
-  std::uint64_t version_counter{0};
-  std::uint64_t epoch{0};  ///< bumped on writes; invalidates image cache
-  PartitionRef key;        ///< last partition used to write (basis units)
-};
-
-/// One simulated allocation of (part of) a store in one memory.
-struct Runtime::Alloc {
-  Interval extent;  ///< element interval covered
-  IntervalMap<std::uint64_t> held;  ///< version of data held (implicit: none)
-  IntervalMap<double> ready;        ///< time the held data became valid
-  double last_use{0};  ///< logical touch tick; eviction picks the minimum
-  double esize{8};     ///< bytes per element (needed to release/spill by id)
-};
-
-struct Runtime::MemState {
-  std::unordered_map<StoreId, std::vector<Alloc>> allocs;
-  /// Extents of allocations whose stores went out of scope. New requirements
-  /// matching a pooled extent reuse it directly — this is how the paper's
-  /// Fig. 5 steady state avoids per-iteration allocation resizing (x2 reuses
-  /// a slice of x0's old allocation).
-  std::vector<Interval> pool;
-};
-
+// Internal runtime state: SyncState / Alloc / MemState definitions live in
+// rt/runtime_state.h, shared with the comm-planner translation unit.
 // ---------------------------------------------------------------------------
 // TaskContext
 // ---------------------------------------------------------------------------
@@ -229,6 +199,17 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   if (fusion_mode_ == Fusion::Unset) fusion_mode_ = Fusion::Off;
   fusion_on_ = fusion_mode_ != Fusion::Off && !opts_.faults.enabled;
   if (fusion_on_) fuse_tracker_ = std::make_unique<fuse::WindowTracker>();
+  // Comm-planner mode: option, else LSR_COMM env, else off. Fault injection
+  // disables the planner (per-point retry accounting needs the per-piece
+  // staging path), and so does the coalescing=false ablation (the plan's
+  // ghost→allocation resolution assumes disjoint allocation extents).
+  comm_mode_ = opts_.comm;
+  if (comm_mode_ == comm::Mode::Unset) {
+    comm_mode_ = comm::parse_comm_mode(std::getenv("LSR_COMM"));
+  }
+  if (comm_mode_ == comm::Mode::Unset) comm_mode_ = comm::Mode::Off;
+  comm_on_ = comm_mode_ != comm::Mode::Off && !opts_.faults.enabled &&
+             opts_.coalescing;
   // Diagnostics mode: option, else LSR_DIAG env, else off. The engine already
   // configured itself from the environment at construction; reconfigure with
   // the resolved option set and wire the watchdog's executor-pool probe.
@@ -301,6 +282,33 @@ Runtime::Runtime(const sim::Machine& machine, RuntimeOptions opts)
   met_.fuse_bytes_saved = mreg.counter(
       "lsr_fuse_bytes_saved_total",
       "intermediate store round-trip bytes eliminated by fused chains");
+  met_.comm_plan_hits = mreg.counter(
+      "lsr_comm_plan_hits_total",
+      "launches whose halo-exchange plan was served from the cache");
+  met_.comm_plan_misses = mreg.counter("lsr_comm_plan_misses_total",
+                                       "halo-exchange plans derived fresh");
+  met_.comm_plan_invalidations =
+      mreg.counter("lsr_comm_plan_invalidations_total",
+                   "cached exchange plans dropped by store mutation/"
+                   "destruction/shuffle/restore");
+  met_.comm_messages = mreg.counter(
+      "lsr_comm_messages_total", "coalesced exchange transfers issued");
+  met_.comm_messages_saved =
+      mreg.counter("lsr_comm_messages_saved_total",
+                   "per-piece staging copies replaced by coalescing");
+  met_.comm_bytes = mreg.counter("lsr_comm_bytes_total",
+                                 "ghost bytes moved by exchange plans");
+  met_.comm_bytes_intra = mreg.counter(
+      "lsr_comm_bytes_intra_total", "exchange-plan bytes within one memory");
+  met_.comm_bytes_nvlink = mreg.counter(
+      "lsr_comm_bytes_nvlink_total",
+      "exchange-plan bytes over intra-node (nvlink-class) links");
+  met_.comm_bytes_ib = mreg.counter(
+      "lsr_comm_bytes_ib_total",
+      "exchange-plan bytes over inter-node (ib-class) links");
+  met_.comm_overlap_splits = mreg.counter(
+      "lsr_comm_overlap_splits_total",
+      "kernels split into interior/boundary phases to overlap the exchange");
   ledger_.set_hashed_counter(mreg.counter(
       "lsr_integrity_bytes_hashed_total",
       "bytes run through CRC32C by checksum maintenance and verification"));
@@ -368,6 +376,7 @@ void Runtime::mark_attached(const Store& s) {
   // The attach wrote the canonical bytes externally: refresh the checksums.
   auto v = s.view();
   integrity_record(s.id(), v.raw().data(), v.raw().size(), 0, v.raw().size());
+  comm_invalidate(s.id());
 }
 
 void Runtime::on_store_destroyed(detail::StoreImpl* impl) {
@@ -428,6 +437,10 @@ void Runtime::release_store(StoreId id, double esize) {
     mem_state_[mem]->allocs.erase(it);
   }
   sync_.erase(id);
+  // Plans referencing the dead id must not survive: runs at the store's
+  // stream position in both sequential and pipelined modes, so the hit/miss/
+  // invalidation sequence is deterministic.
+  comm_invalidate(id);
 }
 
 Runtime::SyncState& Runtime::sync(StoreId id) {
@@ -1097,6 +1110,7 @@ double Runtime::restore(const Checkpoint& ckpt) {
     // checkpoint, payload-checksummed on disk).
     integrity_record(e.store.id(), raw.data(), raw.size(), 0, raw.size());
     outstanding_flips_.erase(e.store.id());
+    comm_invalidate(e.store.id());
   }
   return done;
 }
@@ -1129,14 +1143,77 @@ double Runtime::shuffle(const Store& in, const Store& out,
   double block_bytes =
       static_cast<double>(in.volume()) * esize / (static_cast<double>(P) * P);
   std::vector<double> dst_ready(static_cast<std::size_t>(P), src_ready);
-  for (int s = 0; s < P; ++s) {
-    for (int d = 0; d < P; ++d) {
-      int ms = machine_.proc(s).mem;
-      int md = machine_.proc(d).mem;
-      if (ms == md) continue;
-      double done = engine_->copy(ms, md, block_bytes, src_ready);
-      dst_ready[static_cast<std::size_t>(d)] =
-          std::max(dst_ready[static_cast<std::size_t>(d)], done);
+  if (!comm_on_) {
+    for (int s = 0; s < P; ++s) {
+      for (int d = 0; d < P; ++d) {
+        // A processor sends nothing to itself (s == d was previously charged
+        // whenever two procs shared a memory, and skipped when they did not —
+        // backwards on both counts). Distinct processors sharing one memory
+        // (CPU sockets on a node) exchange their blocks as local memory
+        // traffic: the engine models src == dst copies on the per-memory
+        // intra clock.
+        if (s == d) continue;
+        int ms = machine_.proc(s).mem;
+        int md = machine_.proc(d).mem;
+        double done = engine_->copy(ms, md, block_bytes, src_ready);
+        dst_ready[static_cast<std::size_t>(d)] =
+            std::max(dst_ready[static_cast<std::size_t>(d)], done);
+      }
+    }
+  } else {
+    // Comm planner: aggregate the volume/P² all-to-all into one transfer per
+    // modeled link — per memory (shared-memory socket pairs), per memory
+    // pair (same node), per node pair (ib) — like an MPI_Alltoall built on
+    // per-peer message combining.
+    struct Agg {
+      int src_mem, dst_mem;
+      double bytes{0};
+      long pieces{0};
+      std::vector<int> dst_procs;
+    };
+    std::map<std::tuple<int, int, int>, Agg> groups;
+    for (int s = 0; s < P; ++s) {
+      for (int d = 0; d < P; ++d) {
+        if (s == d) continue;
+        int ms = machine_.proc(s).mem;
+        int md = machine_.proc(d).mem;
+        int ns = machine_.memory(ms).node;
+        int nd = machine_.memory(md).node;
+        std::tuple<int, int, int> link =
+            ms == md  ? std::tuple{0, ms, ms}
+            : ns == nd ? std::tuple{1, ms, md}
+                       : std::tuple{2, ns, nd};
+        auto [it, fresh] = groups.try_emplace(link, Agg{ms, md, 0, 0, {}});
+        it->second.bytes += block_bytes;
+        ++it->second.pieces;
+        it->second.dst_procs.push_back(d);
+      }
+    }
+    double bytes_total = 0;
+    for (auto& [link, g] : groups) {
+      double done = engine_->copy(g.src_mem, g.dst_mem, g.bytes, src_ready);
+      for (int d : g.dst_procs) {
+        dst_ready[static_cast<std::size_t>(d)] =
+            std::max(dst_ready[static_cast<std::size_t>(d)], done);
+      }
+      bytes_total += g.bytes;
+      met_.comm_messages.inc();
+      if (g.pieces > 1) {
+        met_.comm_messages_saved.inc(static_cast<double>(g.pieces - 1));
+      }
+      const double scaled = g.bytes * engine_->cost_scale();
+      met_.comm_bytes.inc(scaled);
+      (std::get<0>(link) == 0   ? met_.comm_bytes_intra
+       : std::get<0>(link) == 1 ? met_.comm_bytes_nvlink
+                                : met_.comm_bytes_ib)
+          .inc(scaled);
+    }
+    engine_->note_comm();
+    auto& sfr = engine_->flight();
+    if (sfr.enabled()) {
+      sfr.record(diag::EventKind::Comm, "shuffle",
+                 static_cast<std::int64_t>(groups.size()), 0,
+                 bytes_total * engine_->cost_scale());
     }
   }
 
@@ -1177,6 +1254,8 @@ double Runtime::shuffle(const Store& in, const Store& out,
   } else {
     poisoned_stores_.erase(out.id());
   }
+  // The shuffle rewrote `out`'s version/ownership layout wholesale.
+  comm_invalidate(out.id());
   pinned_.clear();
   return max_done;
 }
@@ -1493,6 +1572,15 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
   std::vector<double> partials;
   double max_completion = t_launch;
 
+  if (comm_on_) {
+    // Comm planner (src/comm, DESIGN.md §15): the staleness copies below are
+    // materialized into a cached ExchangePlan and charged as coalesced
+    // per-link transfers instead; canonical results are identical. The
+    // planner never runs with fault injection, so the retry loop in the
+    // per-piece path has no comm counterpart.
+    comm_pass_b(R, parts, point_ivs, all_empty, dep_time, completion,
+                point_mem, partials, max_completion);
+  } else {
   for (int c = 0; c < colors; ++c) {
     // Mapper: consistent color -> processor assignment across libraries.
     int proc_id = c % machine_.num_procs();
@@ -1579,6 +1667,7 @@ void Runtime::sim_apply(LaunchRecord& R, bool deferred) {
     completion[static_cast<std::size_t>(c)] = done;
     max_completion = std::max(max_completion, done);
   }
+  }  // !comm_on_
 
   // ---- 5. Pass C: publish writes into the dependence state ---------------
   for (int i = 0; i < nargs; ++i) {

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "comm/comm.h"
 #include "exec/pool.h"
 #include "integrity/integrity.h"
 #include "rt/partition.h"
@@ -275,6 +276,16 @@ struct RuntimeOptions {
   /// window, dump directory). Defaults come from the LSR_DIAG_* environment
   /// variables; tests override fields directly.
   diag::Options diag_opts = diag::Options::from_env();
+  /// Communication planner (src/comm): cached halo-exchange plans with
+  /// per-link message coalescing (`plan`) and interior/boundary kernel
+  /// splitting so compute overlaps the exchange (`overlap`). Unset reads the
+  /// LSR_COMM environment variable (`off|plan|overlap`), defaulting to Off.
+  /// Results are bit-identical across modes and exec thread counts; only the
+  /// simulated copy schedule changes. Fault injection disables the planner
+  /// (its per-point retry accounting needs the per-piece staging path), as
+  /// does the coalescing=false ablation (plans assume disjoint allocation
+  /// extents).
+  comm::Mode comm = comm::Mode::Unset;
 };
 
 /// The Legion-model runtime: dynamic dependence analysis over the task
@@ -371,6 +382,19 @@ class Runtime {
   [[nodiscard]] long fused_eliminated() {
     fence();
     return fuse_eliminated_launches_;
+  }
+
+  // -- communication planner (src/comm) --------------------------------------
+  /// Whether the comm planner is active (mode plan/overlap, fault injection
+  /// off, allocation coalescing on). Resolved once in the constructor.
+  [[nodiscard]] bool comm_enabled() const { return comm_on_; }
+  /// Resolved comm mode (never Unset).
+  [[nodiscard]] comm::Mode comm_mode() const { return comm_mode_; }
+  /// Exchange-plan cache statistics (hits/misses/invalidations), mirroring
+  /// the lsr_comm_plan_* counters. A fence point.
+  [[nodiscard]] comm::PlanCache::Stats comm_plan_stats() {
+    fence();
+    return comm_cache_.stats();
   }
 
   // -- profiling -------------------------------------------------------------
@@ -515,6 +539,28 @@ class Runtime {
   /// chained leaf, max/OR-folded dependences, terminal scalar reduction.
   std::shared_ptr<detail::LaunchRecord> make_fused_record(
       std::vector<std::shared_ptr<detail::LaunchRecord>> children);
+  // -- comm-planner internals (src/rt/runtime_comm.cpp) ----------------------
+  /// Pass B of sim_apply when the comm planner is active: stage allocations,
+  /// look up or derive the launch's ExchangePlan, charge the coalesced
+  /// transfers on the link model, and charge the kernels (split into
+  /// interior/boundary phases under Overlap). Bit-identical canonical
+  /// results to the per-piece path — only simulated copy ops differ.
+  void comm_pass_b(detail::LaunchRecord& R,
+                   const std::vector<PartitionRef>& parts,
+                   const std::vector<std::vector<Interval>>& point_ivs,
+                   const std::vector<char>& all_empty,
+                   const std::vector<double>& dep_time,
+                   std::vector<double>& completion, std::vector<int>& point_mem,
+                   std::vector<double>& partials, double& max_completion);
+  /// First allocation of `id` in `mem` covering `elem`, or null. Unlike
+  /// find_or_create_alloc this never allocates, touches LRU state, or bumps
+  /// metrics — safe for signature computation.
+  [[nodiscard]] Alloc* comm_find_alloc(StoreId id, Interval elem, int mem) const;
+  /// Drop cached exchange plans touching `id` (store mutation/destruction/
+  /// shuffle/restore) and bump the invalidation counter. No-op when the
+  /// planner is off.
+  void comm_invalidate(StoreId id);
+
   /// The pre-fusion fence() body: drain sim_queue_ in issue order.
   void drain_sim_queue();
   /// Block until the last pending real writer of `id` finished (eager image
@@ -632,6 +678,11 @@ class Runtime {
   long fuse_participants_{0};        ///< original launches folded into fused ones
   long fuse_eliminated_launches_{0}; ///< participants minus fused launches
 
+  // -- comm-planner state (src/rt/runtime_comm.cpp) --------------------------
+  comm::Mode comm_mode_{comm::Mode::Off};
+  bool comm_on_{false};
+  comm::PlanCache comm_cache_;
+
   // -- fault-tolerance state -------------------------------------------------
   std::unique_ptr<sim::FaultInjector> injector_;
   long task_seq_{0};   ///< deterministic point-task sequence number
@@ -684,6 +735,16 @@ class Runtime {
     /// Bumped only in flush_fuse_window() on the control thread → Stable.
     metrics::Counter fuse_windows, fuse_fused, fuse_eliminated,
         fuse_bytes_saved;
+    /// Communication-planner accounting (src/comm): exchange-plan cache
+    /// hits/misses/invalidations, coalesced transfers issued, per-piece
+    /// copies those transfers replaced, bytes moved by link class, and
+    /// kernels split into interior/boundary phases under Overlap. All bumped
+    /// on the sequential replay path → Stable.
+    metrics::Counter comm_plan_hits, comm_plan_misses, comm_plan_invalidations;
+    metrics::Counter comm_messages, comm_messages_saved;
+    metrics::Counter comm_bytes, comm_bytes_intra, comm_bytes_nvlink,
+        comm_bytes_ib;
+    metrics::Counter comm_overlap_splits;
   } met_;
 };
 

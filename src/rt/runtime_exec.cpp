@@ -43,12 +43,16 @@ void Runtime::sync_store_access(StoreId id) {
     // Sequential fusion mode still memoizes eager images off real bytes:
     // the returned span is mutable, so they must not be reused.
     if (fusion_on_) ++eager_epoch_[id];
+    // The caller may mutate the canonical bytes through the returned span;
+    // cached exchange plans signed against this store's state are stale.
+    comm_invalidate(id);
     return;
   }
   drain_sim_queue();
   // The returned span is mutable: assume the caller changes the bytes, so
   // eagerly computed images of this store must not be reused.
   ++eager_epoch_[id];
+  comm_invalidate(id);
 }
 
 void Runtime::fence() {
@@ -95,6 +99,9 @@ std::shared_ptr<LaunchRecord> Runtime::make_record(TaskLauncher& L) {
   // splits of the strategy subsystem, so tag the timeline label with the
   // strategy (the equal row split is the unlabeled default).
   if (any_pin && engine_->profiling()) R->prof_label += " [part=nnz]";
+  if (comm_on_ && engine_->profiling())
+    R->prof_label +=
+        comm_mode_ == comm::Mode::Overlap ? " [comm:overlap]" : " [comm:plan]";
   R->leaf = L.leaf_;
   R->redop = L.redop_;
   R->has_redop = L.has_redop_;

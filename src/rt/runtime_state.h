@@ -1,0 +1,41 @@
+#pragma once
+
+// Definitions of Runtime's private dynamic-analysis state, shared by the
+// runtime translation units (runtime.cpp, runtime_comm.cpp). Internal header:
+// include only after rt/runtime.h.
+
+#include "rt/runtime.h"
+
+namespace legate::rt {
+
+/// Per-store dynamic analysis state. All interval maps are in *element*
+/// coordinates (2-D stores linearized row-major).
+struct Runtime::SyncState {
+  IntervalMap<double> last_write;  ///< completion time of the last writer
+  std::vector<std::pair<Interval, double>> readers;  ///< reads since last write
+  IntervalMap<std::uint64_t> version;  ///< data version (implicit 0)
+  IntervalMap<int> owner;              ///< memory holding the latest version
+  std::uint64_t version_counter{0};
+  std::uint64_t epoch{0};  ///< bumped on writes; invalidates image cache
+  PartitionRef key;        ///< last partition used to write (basis units)
+};
+
+/// One simulated allocation of (part of) a store in one memory.
+struct Runtime::Alloc {
+  Interval extent;  ///< element interval covered
+  IntervalMap<std::uint64_t> held;  ///< version of data held (implicit: none)
+  IntervalMap<double> ready;        ///< time the held data became valid
+  double last_use{0};  ///< logical touch tick; eviction picks the minimum
+  double esize{8};     ///< bytes per element (needed to release/spill by id)
+};
+
+struct Runtime::MemState {
+  std::unordered_map<StoreId, std::vector<Alloc>> allocs;
+  /// Extents of allocations whose stores went out of scope. New requirements
+  /// matching a pooled extent reuse it directly — this is how the paper's
+  /// Fig. 5 steady state avoids per-iteration allocation resizing (x2 reuses
+  /// a slice of x0's old allocation).
+  std::vector<Interval> pool;
+};
+
+}  // namespace legate::rt

@@ -151,6 +151,19 @@ double& Engine::pair_link(int src_mem, int dst_mem) {
 }
 
 double Engine::copy(int src, int dst, double bytes, double ready) {
+  // Validate before touching any clock or counter: a bad id must not leave
+  // half-applied accounting behind (`.at()` below would only throw after the
+  // copy was already counted, with an unhelpful "map::at" message).
+  const int nmem = static_cast<int>(machine_.memories().size());
+  if (src < 0 || src >= nmem)
+    throw IndexError("Engine::copy: source memory id " + std::to_string(src) +
+                         " out of range [0, " + std::to_string(nmem) + ")",
+                     "src_mem", src, nmem);
+  if (dst < 0 || dst >= nmem)
+    throw IndexError("Engine::copy: destination memory id " +
+                         std::to_string(dst) + " out of range [0, " +
+                         std::to_string(nmem) + ")",
+                     "dst_mem", dst, nmem);
   ++stats_.copies;
   met_.copies.inc();
   bytes *= cost_scale_;

@@ -175,6 +175,11 @@ class Engine {
   void note_fused() {
     if (recorder_.enabled()) mark(prof::Category::Fused);
   }
+  /// Instant timeline marker: the runtime applied a (cached) exchange plan
+  /// in place of per-piece staleness copies (src/comm).
+  void note_comm() {
+    if (recorder_.enabled()) mark(prof::Category::Comm);
+  }
   /// `latency` is simulated seconds between injection and detection (0 when
   /// the flip is caught at the very poll that injected it).
   void note_flip_detected(double latency) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "apps/workloads.h"
+#include "comm/comm.h"
 #include "solve/krylov.h"
 #include "solve/lanczos.h"
 #include "solve/multigrid.h"
@@ -270,6 +271,61 @@ TEST(Determinism, SolversBitIdenticalAcrossFusionModes) {
               << ", strategy=" << static_cast<int>(s)
               << ") diverged at exec_threads=" << threads;
         }
+      }
+    }
+  }
+}
+
+TEST(Determinism, SolversBitIdenticalAcrossCommModes) {
+  // The communication planner replays cached exchange plans and coalesces
+  // the staleness copies into per-link messages; overlap additionally splits
+  // kernels around in-flight ghosts. All of that is simulated-time shaping:
+  // solution bits must not move across off|plan|overlap, and within one mode
+  // the full signature (solution, makespan, engine stats) must stay
+  // thread-invariant. Copy counts and per-link bytes legitimately differ
+  // *between* modes — coalescing is the point — so cross-mode comparison is
+  // solutions only.
+  auto cg_run = [](comm::Mode m, int threads) {
+    sim::PerfParams pp;
+    rt::RuntimeOptions opts = threaded(threads);
+    opts.comm = m;
+    rt::Runtime rt(sim::Machine::gpus(4, pp), opts);
+    CsrMatrix A = poisson2d(rt, 18);
+    auto b = DArray::full(rt, A.rows(), 1.0);
+    auto res = solve::cg(A, b, 1e-10, 500);
+    EXPECT_TRUE(res.converged);
+    return finish(rt, res.x.to_vector(), res.iterations);
+  };
+  auto gmres_run = [](comm::Mode m, int threads) {
+    sim::PerfParams pp;
+    rt::RuntimeOptions opts = threaded(threads);
+    opts.comm = m;
+    rt::Runtime rt(sim::Machine::gpus(3, pp), opts);
+    auto prob = apps::banded_matrix(500, 2);
+    auto A = CsrMatrix::from_host(rt, prob.rows, prob.cols, prob.indptr,
+                                  prob.indices, prob.values);
+    auto b = DArray::random(rt, A.rows(), 5);
+    auto res = solve::gmres(A, b, 30, 1e-10, 400);
+    EXPECT_TRUE(res.converged);
+    return finish(rt, res.x.to_vector(), res.iterations);
+  };
+  using Runner = std::function<RunSignature(comm::Mode, int)>;
+  for (const Runner& run : {Runner(cg_run), Runner(gmres_run)}) {
+    RunSignature ref = run(comm::Mode::Off, 1);
+    ASSERT_FALSE(ref.solution.empty());
+    for (comm::Mode m :
+         {comm::Mode::Off, comm::Mode::Plan, comm::Mode::Overlap}) {
+      RunSignature cell1 = run(m, 1);
+      EXPECT_EQ(cell1.iterations, ref.iterations);
+      ASSERT_EQ(cell1.solution.size(), ref.solution.size());
+      EXPECT_EQ(std::memcmp(cell1.solution.data(), ref.solution.data(),
+                            ref.solution.size() * sizeof(double)),
+                0)
+          << "solution bits diverged (comm=" << comm::comm_mode_name(m) << ")";
+      for (int threads : {4, 8}) {
+        EXPECT_EQ(cell1, run(m, threads))
+            << "(comm=" << comm::comm_mode_name(m)
+            << ") diverged at exec_threads=" << threads;
       }
     }
   }

@@ -302,6 +302,56 @@ TEST(Runtime, ShuffleTransposesAndChargesTraffic) {
   EXPECT_GT(rt.engine().stats().copies, copies_before);
 }
 
+TEST(Runtime, ShuffleSingleProcChargesNoTraffic) {
+  // Regression: the volume/P^2 all-to-all model used to charge every (s, d)
+  // pair including s == d, so a single-proc shuffle booked interconnect
+  // traffic for data that never leaves the processor.
+  auto m = gpu_machine(1);
+  Runtime rt(m);
+  Store in = rt.create_store(DType::F64, {4, 3});
+  auto is = in.span<double>();
+  for (coord_t i = 0; i < 12; ++i) is[i] = static_cast<double>(i);
+  rt.mark_attached(in);
+  Store out = rt.create_store(DType::F64, {3, 4});
+  const auto before = rt.engine().stats();
+  rt.shuffle(in, out, [&]() {
+    auto a = in.span<double>();
+    auto b = out.span<double>();
+    for (coord_t i = 0; i < 4; ++i)
+      for (coord_t j = 0; j < 3; ++j) b[j * 4 + i] = a[i * 3 + j];
+  });
+  EXPECT_DOUBLE_EQ(out.span<double>()[0 * 4 + 2], 6.0);
+  const auto& after = rt.engine().stats();
+  EXPECT_EQ(after.copies, before.copies);
+  EXPECT_DOUBLE_EQ(after.bytes_intra, before.bytes_intra);
+  EXPECT_DOUBLE_EQ(after.bytes_nvlink, before.bytes_nvlink);
+  EXPECT_DOUBLE_EQ(after.bytes_ib, before.bytes_ib);
+}
+
+TEST(Runtime, ShuffleCpuSocketsChargeIntraOnly) {
+  // Two sockets sharing one sysmem: cross-socket pairs move bytes within a
+  // single memory, never over nvlink or the NIC.
+  sim::PerfParams pp;
+  auto m = sim::Machine::sockets(2, pp);
+  Runtime rt(m);
+  Store in = rt.create_store(DType::F64, {8, 4});
+  auto is = in.span<double>();
+  for (coord_t i = 0; i < 32; ++i) is[i] = static_cast<double>(i);
+  rt.mark_attached(in);
+  Store out = rt.create_store(DType::F64, {4, 8});
+  const auto before = rt.engine().stats();
+  rt.shuffle(in, out, [&]() {
+    auto a = in.span<double>();
+    auto b = out.span<double>();
+    for (coord_t i = 0; i < 8; ++i)
+      for (coord_t j = 0; j < 4; ++j) b[j * 8 + i] = a[i * 4 + j];
+  });
+  const auto& after = rt.engine().stats();
+  EXPECT_GT(after.bytes_intra, before.bytes_intra);
+  EXPECT_DOUBLE_EQ(after.bytes_nvlink, before.bytes_nvlink);
+  EXPECT_DOUBLE_EQ(after.bytes_ib, before.bytes_ib);
+}
+
 TEST(Runtime, MoreColorsThanRowsClamps) {
   auto m = gpu_machine(6);
   Runtime rt(m);

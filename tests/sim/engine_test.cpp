@@ -73,6 +73,32 @@ TEST_F(EngineTest, IntraMemoryCopyCountsAsIntra) {
   EXPECT_DOUBLE_EQ(e.stats().bytes_intra, 1e6);
 }
 
+TEST_F(EngineTest, CopyRejectsOutOfRangeMemoryIds) {
+  Machine m = Machine::gpus(2, pp);
+  Engine e(m);
+  const int nmem = static_cast<int>(m.memories().size());
+  int fb = m.proc(0).mem;
+  EXPECT_THROW(e.copy(-1, fb, 1e6, 0.0), IndexError);
+  EXPECT_THROW(e.copy(nmem, fb, 1e6, 0.0), IndexError);
+  EXPECT_THROW(e.copy(fb, -3, 1e6, 0.0), IndexError);
+  EXPECT_THROW(e.copy(fb, nmem + 7, 1e6, 0.0), IndexError);
+  // The check precedes any accounting: a rejected copy must not half-apply.
+  EXPECT_EQ(e.stats().copies, 0L);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_intra, 0.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_nvlink, 0.0);
+  EXPECT_DOUBLE_EQ(e.stats().bytes_ib, 0.0);
+  EXPECT_DOUBLE_EQ(e.makespan(), 0.0);
+  // And the message names the offending axis and bound.
+  try {
+    e.copy(fb, nmem, 1e6, 0.0);
+    FAIL() << "expected IndexError";
+  } catch (const IndexError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("destination memory id"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(nmem)), std::string::npos) << what;
+  }
+}
+
 TEST_F(EngineTest, LegateAllreduceHasLinearTerm) {
   Machine m = Machine::gpus(6, pp);
   Engine e(m);
